@@ -1,0 +1,265 @@
+package csce_test
+
+// One benchmark per paper artifact (tables and figures of Section VII),
+// each driving the corresponding experiment of internal/bench in reduced
+// (Quick) mode, plus micro-benchmarks of the engine's building blocks.
+// Run the full-size experiments with cmd/cscebench instead:
+//
+//	go run ./cmd/cscebench -exp all
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"csce"
+	"csce/internal/bench"
+	"csce/internal/dataset"
+)
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	cfg := bench.Config{
+		Out:               io.Discard,
+		TimeLimit:         200 * time.Millisecond,
+		PatternsPerConfig: 1,
+		Quick:             true,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := exp.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3Capabilities(b *testing.B)       { runExperiment(b, "table3") }
+func BenchmarkTable4DatasetStats(b *testing.B)       { runExperiment(b, "table4") }
+func BenchmarkFig6TotalTime(b *testing.B)            { runExperiment(b, "fig6") }
+func BenchmarkFig7VariantComparison(b *testing.B)    { runExperiment(b, "fig7") }
+func BenchmarkFig8Throughput(b *testing.B)           { runExperiment(b, "fig8") }
+func BenchmarkFig9EmbeddingScalability(b *testing.B) { runExperiment(b, "fig9") }
+func BenchmarkFig10PlanScalability(b *testing.B)     { runExperiment(b, "fig10") }
+func BenchmarkFig11CCSROverhead(b *testing.B)        { runExperiment(b, "fig11") }
+func BenchmarkFig12SCEOccurrence(b *testing.B)       { runExperiment(b, "fig12") }
+func BenchmarkFig13PlanQuality(b *testing.B)         { runExperiment(b, "fig13") }
+func BenchmarkFig14SymmetryAndDensity(b *testing.B)  { runExperiment(b, "fig14") }
+func BenchmarkCaseStudyMotifClustering(b *testing.B) { runExperiment(b, "casestudy") }
+
+// ---- engine micro-benchmarks ----
+
+func yeastFixture(b *testing.B) (*csce.Graph, *csce.Engine, []*csce.Graph) {
+	b.Helper()
+	spec, _ := dataset.ByName("Yeast")
+	g := spec.Generate()
+	engine := csce.NewEngine(g)
+	patterns, err := dataset.SamplePatterns(g, dataset.PatternConfig{Size: 8, Dense: true, Count: 3, Seed: 77})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, engine, patterns
+}
+
+// BenchmarkClusterBuild measures the offline CCSR construction stage.
+func BenchmarkClusterBuild(b *testing.B) {
+	spec, _ := dataset.ByName("Yeast")
+	g := spec.Generate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = csce.NewEngine(g)
+	}
+}
+
+// BenchmarkMatchEdgeInduced measures a full match (read + plan + execute)
+// of a dense 8-vertex pattern on the Yeast analogue.
+func BenchmarkMatchEdgeInduced(b *testing.B) {
+	_, engine, patterns := yeastFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := patterns[i%len(patterns)]
+		if _, err := engine.Match(p, csce.MatchOptions{Variant: csce.EdgeInduced}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatchVertexInduced covers the negation-checking path.
+func BenchmarkMatchVertexInduced(b *testing.B) {
+	_, engine, patterns := yeastFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := patterns[i%len(patterns)]
+		if _, err := engine.Match(p, csce.MatchOptions{Variant: csce.VertexInduced}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatchHomomorphic covers the non-injective path with
+// factorized counting.
+func BenchmarkMatchHomomorphic(b *testing.B) {
+	_, engine, patterns := yeastFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := patterns[i%len(patterns)]
+		if _, err := engine.Match(p, csce.MatchOptions{Variant: csce.Homomorphic, TimeLimit: time.Second}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSCECacheAblation quantifies the candidate-reuse speedup the
+// SCE cache provides on the same workload.
+func BenchmarkSCECacheAblation(b *testing.B) {
+	_, engine, patterns := yeastFixture(b)
+	for _, disabled := range []bool{false, true} {
+		name := "cache-on"
+		if disabled {
+			name = "cache-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := patterns[i%len(patterns)]
+				_, err := engine.Match(p, csce.MatchOptions{
+					Variant:         csce.EdgeInduced,
+					DisableSCECache: disabled,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelMatch compares the sequential executor with 2- and
+// 4-way parallel execution on the same workload.
+func BenchmarkParallelMatch(b *testing.B) {
+	_, engine, patterns := yeastFixture(b)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := patterns[i%len(patterns)]
+				_, err := engine.Match(p, csce.MatchOptions{
+					Variant: csce.EdgeInduced,
+					Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIncrementalUpdate measures InsertEdge+DeleteEdge round trips
+// against the clustered index, including amortized compactions.
+func BenchmarkIncrementalUpdate(b *testing.B) {
+	spec, _ := dataset.ByName("Yeast")
+	g := spec.Generate()
+	engine := csce.NewEngine(g)
+	rng := rand.New(rand.NewSource(5))
+	n := g.NumVertices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := csce.VertexID(rng.Intn(n))
+		dst := csce.VertexID(rng.Intn(n))
+		if src == dst {
+			continue
+		}
+		if err := engine.InsertEdge(src, dst, 7); err != nil {
+			continue // already present from an earlier iteration
+		}
+		if err := engine.DeleteEdge(src, dst, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeltaMatching measures one continuous-matching event: insert
+// an edge, enumerate the new embeddings of an 8-vertex pattern, delete it.
+func BenchmarkDeltaMatching(b *testing.B) {
+	g, engine, patterns := yeastFixture(b)
+	p := patterns[0]
+	rng := rand.New(rand.NewSource(9))
+	n := g.NumVertices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := csce.VertexID(rng.Intn(n))
+		dst := csce.VertexID(rng.Intn(n))
+		if src == dst {
+			continue
+		}
+		if err := engine.InsertEdge(src, dst, 0); err != nil {
+			continue
+		}
+		_, err := csce.NewEmbeddings(engine, p, csce.DeltaEdge{Src: src, Dst: dst},
+			csce.DeltaOptions{Variant: csce.EdgeInduced})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := engine.DeleteEdge(src, dst, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryParse measures MATCH-query compilation.
+func BenchmarkQueryParse(b *testing.B) {
+	g, _ := csce.ParseGraph(strings.NewReader("t directed\nv 0 A\nv 1 B\ne 0 1 r\n"))
+	const q = "MATCH (a:A)-[:r]->(b:B), (c:A)-[:r]->(b), (a)-[:r]->(d:B), (c)-[:r]->(d)"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := csce.ParseQuery(q, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHigherOrderWeights measures G_P construction (triangle weights
+// on the Yeast analogue).
+func BenchmarkHigherOrderWeights(b *testing.B) {
+	spec, _ := dataset.ByName("Yeast")
+	g := spec.Generate()
+	engine := csce.NewEngine(g)
+	p := csce.Clique(3, g.Label(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := engine.BuildHigherOrder(p, csce.HigherOrderOptions{
+			Variant:              csce.EdgeInduced,
+			CountAutomorphicOnce: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanOptimization isolates GCF + DAG + LDSF for a 64-vertex
+// pattern.
+func BenchmarkPlanOptimization(b *testing.B) {
+	spec, _ := dataset.ByName("Patent")
+	spec.Vertices = 5000
+	spec.TargetEdges = 45000
+	spec.Name = "Patent-bench"
+	g := spec.Generate()
+	engine := csce.NewEngine(g)
+	rng := rand.New(rand.NewSource(13))
+	p, err := dataset.SamplePattern(g, 64, false, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := engine.PlanOnly(p, csce.EdgeInduced); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Command cscebench regenerates the paper's evaluation artifacts: one
+// experiment per table and figure of Section VII (see DESIGN.md for the
+// per-experiment index).
+//
+//	cscebench -list
+//	cscebench -exp fig6
+//	cscebench -exp all -timelimit 5s -patterns 5
+//	cscebench -exp fig10 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"csce/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "cscebench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("cscebench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list      = fs.Bool("list", false, "list experiments and exit")
+		expID     = fs.String("exp", "", "experiment to run, or \"all\"")
+		timeLimit = fs.Duration("timelimit", 2*time.Second, "per-task time limit")
+		patterns  = fs.Int("patterns", 3, "patterns per configuration (paper uses 10)")
+		quick     = fs.Bool("quick", false, "reduced sizes for a fast smoke run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Fprintf(stdout, "%-10s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	if *expID == "" {
+		return fmt.Errorf("pass -exp <id> or -exp all (see -list)")
+	}
+	cfg := bench.Config{
+		Out:               stdout,
+		TimeLimit:         *timeLimit,
+		PatternsPerConfig: *patterns,
+		Quick:             *quick,
+	}
+	runOne := func(e bench.Experiment) error {
+		fmt.Fprintf(stdout, "\n#### %s — %s\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(cfg); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintf(stdout, "## %s done in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+	if *expID == "all" {
+		for _, e := range bench.All() {
+			if err := runOne(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	e, ok := bench.ByID(*expID)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", *expID)
+	}
+	return runOne(e)
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"table3", "fig6", "casestudy"} {
+		if !strings.Contains(out.String(), id) {
+			t.Fatalf("-list missing %s:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-exp", "table3", "-quick", "-timelimit", "100ms", "-patterns", "1"}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table III") {
+		t.Fatalf("experiment output missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "done in") {
+		t.Fatal("timing footer missing")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{}, &out, &errOut); err == nil {
+		t.Fatal("missing -exp must error")
+	}
+	if err := run([]string{"-exp", "nope"}, &out, &errOut); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+	if err := run([]string{"-bogus"}, &out, &errOut); err == nil {
+		t.Fatal("unknown flag must error")
+	}
+}

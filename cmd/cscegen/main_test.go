@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"csce/internal/graph"
+)
+
+func TestListDatasets(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"DIP", "Yeast", "RoadCA", "EMAIL-EU"} {
+		if !strings.Contains(out.String(), name) {
+			t.Fatalf("-list missing %s", name)
+		}
+	}
+}
+
+func TestGenerateGraphFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "yeast.graph")
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-dataset", "Yeast", "-out", path, "-stats"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := graph.Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() < 2000 || g.NumEdges() < 5000 {
+		t.Fatalf("generated graph too small: %d/%d", g.NumVertices(), g.NumEdges())
+	}
+	if !strings.Contains(out.String(), "Yeast") {
+		t.Fatal("-stats output missing")
+	}
+}
+
+func TestSamplePatternsToFiles(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "d8")
+	var out, errOut bytes.Buffer
+	err := run([]string{"-dataset", "Yeast", "-pattern", "8", "-dense", "-count", "2", "-out", prefix}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		f, err := os.Open(prefix + "-" + string(rune('0'+i)) + ".graph")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := graph.Parse(f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.NumVertices() != 8 || !graph.IsConnected(p) {
+			t.Fatalf("pattern %d malformed", i)
+		}
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-dataset", "nope", "-out", "/tmp/x"}, &out, &errOut); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+	if err := run([]string{"-dataset", "Yeast"}, &out, &errOut); err == nil {
+		t.Fatal("no action must error")
+	}
+	if err := run([]string{"-dataset", "Yeast", "-pattern", "8"}, &out, &errOut); err == nil {
+		t.Fatal("-pattern without -out must error")
+	}
+}

@@ -1,0 +1,134 @@
+package csce_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"csce"
+)
+
+const exampleData = `
+t undirected
+v 0 Protein
+v 1 Protein
+v 2 Kinase
+v 3 Protein
+v 4 Kinase
+e 0 1
+e 0 2
+e 1 2
+e 1 3
+e 3 4
+e 0 3
+`
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	g, err := csce.ParseGraph(strings.NewReader(exampleData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := csce.NewEngine(g)
+	p, err := csce.ParsePattern(strings.NewReader(`
+t undirected
+v 0 Protein
+v 1 Protein
+v 2 Kinase
+e 0 1
+e 0 2
+e 1 2
+`), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Match(p, csce.MatchOptions{Variant: csce.EdgeInduced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Triangles with two Proteins and one Kinase: {0,1,2} only, in 2
+	// orientations of the protein pair.
+	if res.Embeddings != 2 {
+		t.Fatalf("embeddings = %d, want 2", res.Embeddings)
+	}
+	// Homomorphic count can only grow; vertex-induced can only shrink.
+	hres, err := engine.Match(p, csce.MatchOptions{Variant: csce.Homomorphic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vres, err := engine.Match(p, csce.MatchOptions{Variant: csce.VertexInduced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hres.Embeddings < res.Embeddings || vres.Embeddings > res.Embeddings {
+		t.Fatalf("variant ordering violated: H=%d E=%d V=%d",
+			hres.Embeddings, res.Embeddings, vres.Embeddings)
+	}
+}
+
+func TestPublicAPISaveLoadAndFormat(t *testing.T) {
+	g, err := csce.ParseGraph(strings.NewReader(exampleData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := csce.NewEngine(g)
+	var store bytes.Buffer
+	if err := engine.Save(&store); err != nil {
+		t.Fatal(err)
+	}
+	engine2, err := csce.LoadEngine(&store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := csce.Clique(3, g.Names.Vertex("Protein"))
+	a, err := engine.Count(p, csce.EdgeInduced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := engine2.Count(p, csce.EdgeInduced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("save/load changed counts: %d vs %d", a, b)
+	}
+
+	var text bytes.Buffer
+	if err := csce.FormatGraph(&text, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "Protein") {
+		t.Fatal("formatted graph lost label names")
+	}
+	s := csce.ComputeStats("example", g)
+	if s.VertexCount != 5 || s.EdgeCount != 6 {
+		t.Fatalf("stats wrong: %+v", s)
+	}
+}
+
+func TestPublicAPIBuilder(t *testing.T) {
+	names := csce.NewLabelTable()
+	b := csce.NewBuilder(true)
+	b.SetNames(names)
+	a := b.AddVertex(names.Vertex("Paper"))
+	c := b.AddVertex(names.Vertex("Paper"))
+	b.AddEdge(a, c, names.Edge("cites"))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Directed() || g.NumEdges() != 1 {
+		t.Fatal("builder misconfigured")
+	}
+	engine := csce.NewEngine(g)
+	pb := csce.NewBuilder(true)
+	x := pb.AddVertex(names.Vertex("Paper"))
+	y := pb.AddVertex(names.Vertex("Paper"))
+	pb.AddEdge(x, y, names.Edge("cites"))
+	n, err := engine.Count(pb.MustBuild(), csce.Homomorphic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("single citation edge count = %d, want 1", n)
+	}
+}

@@ -1,0 +1,98 @@
+package csce_test
+
+import (
+	"fmt"
+	"strings"
+
+	"csce"
+)
+
+// ExampleEngine_Match demonstrates the basic pipeline: cluster a labeled
+// graph once, then match a pattern under each variant.
+func ExampleEngine_Match() {
+	g, _ := csce.ParseGraph(strings.NewReader(`
+t undirected
+v 0 A
+v 1 B
+v 2 A
+v 3 B
+e 0 1
+e 1 2
+e 2 3
+e 3 0
+`))
+	engine := csce.NewEngine(g)
+	p, _ := csce.ParsePattern(strings.NewReader(`
+t undirected
+v 0 A
+v 1 B
+e 0 1
+`), g)
+
+	for _, variant := range []csce.Variant{csce.EdgeInduced, csce.Homomorphic} {
+		res, _ := engine.Match(p, csce.MatchOptions{Variant: variant})
+		fmt.Printf("%s: %d\n", variant, res.Embeddings)
+	}
+	// Output:
+	// edge-induced: 4
+	// homomorphic: 4
+}
+
+// ExampleParseQuery shows the MATCH query front-end.
+func ExampleParseQuery() {
+	g, _ := csce.ParseGraph(strings.NewReader(`
+t directed
+v 0 Person
+v 1 Person
+v 2 Post
+e 0 1 knows
+e 0 2 wrote
+e 1 2 likes
+`))
+	engine := csce.NewEngine(g)
+	p, vars, _ := csce.ParseQuery(
+		"MATCH (author:Person)-[:wrote]->(p:Post), (fan:Person)-[:likes]->(p)", g)
+	n, _ := engine.Count(p, csce.EdgeInduced)
+	fmt.Println(vars, n)
+	// Output:
+	// [author p fan] 1
+}
+
+// ExampleEngine_BuildHigherOrder computes the higher-order weight graph
+// G_P: how many triangles contain each vertex pair.
+func ExampleEngine_BuildHigherOrder() {
+	engine := csce.NewEngine(csce.Clique(4, 0))
+	weights, instances, _ := engine.BuildHigherOrder(csce.Clique(3, 0), csce.HigherOrderOptions{
+		Variant:              csce.EdgeInduced,
+		CountAutomorphicOnce: true,
+	})
+	fmt.Println(instances, weights.Weight(0, 1))
+	// Output:
+	// 4 2
+}
+
+// ExampleNewEmbeddings shows continuous matching: only the embeddings an
+// insertion creates are enumerated.
+func ExampleNewEmbeddings() {
+	g, _ := csce.ParseGraph(strings.NewReader(`
+t undirected
+v 0 A
+v 1 B
+v 2 A
+e 0 1
+`))
+	engine := csce.NewEngine(g)
+	p, _ := csce.ParsePattern(strings.NewReader(`
+t undirected
+v 0 A
+v 1 B
+e 0 1
+`), g)
+
+	_ = engine.InsertEdge(2, 1, 0) // new A-B edge
+	delta, _ := csce.NewEmbeddings(engine, p, csce.DeltaEdge{Src: 2, Dst: 1},
+		csce.DeltaOptions{Variant: csce.EdgeInduced})
+	fmt.Println(delta)
+	// Output:
+	// 1
+}

@@ -1,0 +1,111 @@
+// Citation motifs: homomorphic matching on a directed labeled graph, the
+// graph-database workload of the paper (Table III pairs it with
+// Graphflow). Citation chains and feed-forward motifs are counted on a
+// Subcategory-like citation network, comparing the homomorphic and
+// vertex-induced variants (Finding 7: homomorphism solves faster).
+//
+//	go run ./examples/citationmotifs
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"csce"
+	"csce/internal/dataset"
+	"csce/internal/graph"
+)
+
+func main() {
+	spec, _ := dataset.ByName("Subcategory")
+	// Trim the analogue so the example finishes in seconds.
+	spec.Vertices = 8000
+	spec.TargetEdges = 40000
+	spec.Name = "Subcategory-small"
+	g := spec.Generate()
+	engine := csce.NewEngine(g)
+	fmt.Printf("citation network: %d papers, %d citations, %d category labels\n\n",
+		g.NumVertices(), g.NumEdges(), g.VertexLabelCount())
+
+	// Motifs are built over the two most frequent category labels.
+	la, lb := topLabels(g)
+
+	motifs := []struct {
+		name  string
+		build func() *csce.Graph
+	}{
+		{"chain a->b->a", func() *csce.Graph {
+			b := csce.NewBuilder(true)
+			x := b.AddVertex(la)
+			y := b.AddVertex(lb)
+			z := b.AddVertex(la)
+			b.AddEdge(x, y, 0)
+			b.AddEdge(y, z, 0)
+			return b.MustBuild()
+		}},
+		{"feed-forward", func() *csce.Graph {
+			b := csce.NewBuilder(true)
+			x := b.AddVertex(la)
+			y := b.AddVertex(lb)
+			z := b.AddVertex(la)
+			b.AddEdge(x, y, 0)
+			b.AddEdge(y, z, 0)
+			b.AddEdge(x, z, 0)
+			return b.MustBuild()
+		}},
+		{"co-citation", func() *csce.Graph {
+			b := csce.NewBuilder(true)
+			x := b.AddVertex(la)
+			y := b.AddVertex(la)
+			z := b.AddVertex(lb)
+			b.AddEdge(x, z, 0)
+			b.AddEdge(y, z, 0)
+			return b.MustBuild()
+		}},
+	}
+
+	fmt.Printf("%-14s %-14s %-14s %-12s %-12s\n",
+		"motif", "homomorphic", "vertex-induced", "homo-time", "vi-time")
+	for _, m := range motifs {
+		p := m.build()
+		homo, err := engine.Match(p, csce.MatchOptions{Variant: csce.Homomorphic, TimeLimit: 5 * time.Second})
+		if err != nil {
+			log.Fatal(err)
+		}
+		vi, err := engine.Match(p, csce.MatchOptions{Variant: csce.VertexInduced, TimeLimit: 5 * time.Second})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %-14d %-14d %-12v %-12v\n",
+			m.name, homo.Embeddings, vi.Embeddings,
+			homo.Total().Round(time.Microsecond), vi.Total().Round(time.Microsecond))
+	}
+	fmt.Println("\nhomomorphic counts dominate: they admit repeated papers and extra arcs.")
+}
+
+// topLabels returns the two most frequent vertex labels of g.
+func topLabels(g *csce.Graph) (csce.Label, csce.Label) {
+	type lc struct {
+		l csce.Label
+		c int
+	}
+	var best, second lc
+	seen := map[graph.Label]bool{}
+	for v := 0; v < g.NumVertices(); v++ {
+		l := g.Label(graph.VertexID(v))
+		if seen[l] {
+			continue
+		}
+		seen[l] = true
+		c := g.LabelFrequency(l)
+		switch {
+		case c > best.c:
+			second = best
+			best = lc{l, c}
+		case c > second.c:
+			second = lc{l, c}
+		}
+	}
+	return best.l, second.l
+}

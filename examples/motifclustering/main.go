@@ -1,0 +1,40 @@
+// Higher-order graph clustering: the paper's case study (Section VII-G).
+// Members of a research institution are clustered by department from
+// their email graph. Raw edges are a weak signal; 8-clique motifs — which
+// CSCE enumerates quickly — concentrate inside departments and give a
+// markedly better pairwise F1 score.
+//
+//	go run ./examples/motifclustering
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"csce/internal/dataset"
+	"csce/internal/motifcluster"
+)
+
+func main() {
+	spec := dataset.EmailEU()
+	g, truth := spec.GenerateWithCommunities()
+	fmt.Printf("EMAIL-EU analogue: %d members, %d email edges, %d departments\n\n",
+		g.NumVertices(), g.NumEdges(), spec.Communities)
+
+	start := time.Now()
+	res, err := motifcluster.Run(g, truth, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-14s %-8s %-10s\n", "method", "F1", "clusters")
+	fmt.Printf("%-14s %-8.3f %-10d\n", "edge-based", res.EdgeF1, res.EdgeClusters)
+	fmt.Printf("%-14s %-8.3f %-10d\n", "8-clique", res.MotifF1, res.MotifClusters)
+	fmt.Printf("\n8-clique instances: %d, enumerated in %v (total pipeline %v)\n",
+		res.CliqueInstances, res.CliqueTime.Round(time.Millisecond),
+		time.Since(start).Round(time.Millisecond))
+	if res.MotifF1 > res.EdgeF1 {
+		fmt.Println("higher-order clustering wins, as in the paper (0.398 -> 0.515).")
+	}
+}

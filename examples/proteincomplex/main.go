@@ -1,0 +1,69 @@
+// Protein-complex search: the paper's motivating workload (Section I).
+// Protein complexes and functional modules appear as large subgraphs of
+// protein-protein interaction networks — 8 to 360 vertices in the studies
+// the paper cites. This example samples complex-sized patterns from a
+// DIP-like PPI network and finds all of their occurrences, comparing the
+// edge-induced and vertex-induced counts and showing how SCE candidate
+// reuse behaves on large sparse patterns.
+//
+//	go run ./examples/proteincomplex
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"csce"
+	"csce/internal/dataset"
+)
+
+func main() {
+	spec, _ := dataset.ByName("DIP")
+	g := spec.Generate()
+	engine := csce.NewEngine(g)
+	fmt.Printf("PPI network (DIP analogue): %d proteins, %d interactions\n\n",
+		g.NumVertices(), g.NumEdges())
+
+	rng := rand.New(rand.NewSource(2024))
+	fmt.Printf("%-10s %-8s %-14s %-14s %-10s %-10s\n",
+		"complex", "edges", "edge-induced", "vertex-induced", "time", "SCE-reuse")
+	for _, size := range []int{8, 12, 16, 24} {
+		// Sample a complex-shaped pattern (a connected module) of the
+		// requested size from the network itself, like the paper's MIPS
+		// complex protocol.
+		p, err := dataset.SamplePattern(g, size, false, rng)
+		if err != nil {
+			log.Fatalf("sample size %d: %v", size, err)
+		}
+		edge, err := engine.Match(p, csce.MatchOptions{
+			Variant:   csce.EdgeInduced,
+			TimeLimit: 3 * time.Second,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		vertex, err := engine.Match(p, csce.MatchOptions{
+			Variant:   csce.VertexInduced,
+			TimeLimit: 3 * time.Second,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		reuse := "-"
+		if b := edge.Exec.CandidateBuilds + edge.Exec.CandidateReuses; b > 0 {
+			reuse = fmt.Sprintf("%.0f%%", 100*float64(edge.Exec.CandidateReuses)/float64(b))
+		}
+		note := ""
+		if edge.Exec.TimedOut || vertex.Exec.TimedOut {
+			note = " (timed out)"
+		}
+		fmt.Printf("%-10d %-8d %-14d %-14d %-10v %-10s%s\n",
+			size, p.NumEdges(), edge.Embeddings, vertex.Embeddings,
+			edge.Total().Round(time.Millisecond), reuse, note)
+	}
+
+	fmt.Println("\nVertex-induced counts are never larger than edge-induced counts:")
+	fmt.Println("an induced complex must reproduce the pattern's exact interaction set.")
+}

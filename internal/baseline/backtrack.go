@@ -1,0 +1,369 @@
+package baseline
+
+import (
+	"time"
+
+	"csce/internal/graph"
+)
+
+// Backtrack is the classic filtering-plus-backtracking matcher family
+// (CFL-Match, GuP, VEQ share this skeleton): per-vertex candidate sets are
+// computed once with label-degree filtering (LDF) and neighborhood label
+// frequency filtering (NLF), then a connectivity-preserving order is
+// searched depth-first, validating edges against the raw adjacency lists.
+// Unlike CSCE it has no cluster index and recomputes candidate
+// intersections on every extension.
+type Backtrack struct {
+	fsp bool // enable DAF-style failing-set pruning
+}
+
+// NewBacktrack returns the plain backtracking matcher (GuP stand-in).
+func NewBacktrack() *Backtrack { return &Backtrack{} }
+
+// NewBacktrackFSP returns backtracking with failing-set pruning
+// (DAF/RapidMatch/VEQ stand-in).
+func NewBacktrackFSP() *Backtrack { return &Backtrack{fsp: true} }
+
+// Capabilities mirrors GuP's Table III row (edge-induced, vertex labels,
+// undirected) extended to the variants this reimplementation handles; the
+// harness consults MaxTested for reporting only.
+func (b *Backtrack) Capabilities() Capabilities {
+	name := "Backtrack(GuP)"
+	if b.fsp {
+		name = "BacktrackFSP(RM/VEQ)"
+	}
+	return Capabilities{
+		Name:         name,
+		Variants:     []graph.Variant{graph.EdgeInduced, graph.VertexInduced, graph.Homomorphic},
+		VertexLabels: true,
+		EdgeLabels:   false,
+		Directed:     true,
+		Undirected:   true,
+		MaxTested:    32,
+	}
+}
+
+// Match enumerates the embeddings of p in g.
+func (b *Backtrack) Match(g, p *graph.Graph, variant graph.Variant, opts Options) (Result, error) {
+	start := time.Now()
+	// Failing-set pruning uses edge-induced semantics: a blame set of a
+	// failed extension is its mapped pattern neighbors. Vertex-induced
+	// failures can also be caused by negation against non-neighbors and
+	// homomorphic "conflicts" are not failures at all, so — exactly as the
+	// paper notes in Section I — FSP applies to edge-induced matching only.
+	st := &btState{
+		g: g, p: p, variant: variant, opts: opts,
+		deadline: opts.deadline(),
+		fsp:      b.fsp && variant == graph.EdgeInduced,
+	}
+	st.prepare()
+	if st.order != nil {
+		st.dfs(0)
+	}
+	res := Result{
+		Embeddings: st.count,
+		Steps:      st.steps,
+		TimedOut:   st.timedOut,
+		LimitHit:   st.limitHit,
+		Elapsed:    time.Since(start),
+	}
+	return res, nil
+}
+
+type btState struct {
+	g, p    *graph.Graph
+	variant graph.Variant
+	opts    Options
+
+	order      []graph.VertexID // pattern vertices in matching order
+	candidates [][]graph.VertexID
+	backNbrs   [][]graph.VertexID // pattern neighbors mapped earlier, per depth
+
+	mapping  []graph.VertexID // by depth
+	assigned []graph.VertexID // by pattern vertex
+	isSet    []bool
+	used     map[graph.VertexID]int // data vertex -> pattern vertex using it
+
+	count    uint64
+	steps    uint64
+	timedOut bool
+	limitHit bool
+	stop     bool
+	deadline time.Time
+
+	fsp bool
+	// symCons lists f(a) < f(b) symmetry-breaking constraints (SymBreak).
+	symCons [][2]graph.VertexID
+}
+
+// symOK checks the symmetry constraints that involve u against already
+// assigned vertices.
+func (s *btState) symOK(u, v graph.VertexID) bool {
+	for _, c := range s.symCons {
+		a, b := c[0], c[1]
+		if a == u && s.isSet[b] && v >= s.assigned[b] {
+			return false
+		}
+		if b == u && s.isSet[a] && s.assigned[a] >= v {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *btState) prepare() {
+	p, g := s.p, s.g
+	n := p.NumVertices()
+
+	// LDF + NLF candidate filtering. Multiplicity-based filters are only
+	// sound for injective variants; homomorphism can map several pattern
+	// neighbors onto one data neighbor, so it gets presence-only checks.
+	injective := s.variant.Injective()
+	s.candidates = make([][]graph.VertexID, n)
+	for u := 0; u < n; u++ {
+		uid := graph.VertexID(u)
+		var cands []graph.VertexID
+		for v := 0; v < g.NumVertices(); v++ {
+			vid := graph.VertexID(v)
+			if g.Label(vid) != p.Label(uid) {
+				continue
+			}
+			if injective && (g.OutDegree(vid) < p.OutDegree(uid) || g.InDegree(vid) < p.InDegree(uid)) {
+				continue
+			}
+			if !nlfOK(g, p, vid, uid, injective) {
+				continue
+			}
+			cands = append(cands, vid)
+		}
+		if len(cands) == 0 {
+			return // no embeddings; leave order nil
+		}
+		s.candidates[u] = cands
+	}
+
+	// Order: smallest candidate set first, then keep the prefix connected.
+	s.order = connectivityOrder(p, func(u graph.VertexID) int { return len(s.candidates[u]) })
+
+	s.backNbrs = make([][]graph.VertexID, n)
+	pos := make([]int, n)
+	for i, u := range s.order {
+		pos[u] = i
+	}
+	for i, u := range s.order {
+		for _, w := range p.UndirectedNeighbors(u) {
+			if pos[w] < i {
+				s.backNbrs[i] = append(s.backNbrs[i], w)
+			}
+		}
+	}
+
+	s.mapping = make([]graph.VertexID, n)
+	s.assigned = make([]graph.VertexID, n)
+	s.isSet = make([]bool, n)
+	s.used = make(map[graph.VertexID]int, n)
+}
+
+// nlfOK checks neighborhood label frequency: for every neighbor label the
+// pattern vertex requires, the data vertex must offer at least as many
+// (injective variants) or at least one (homomorphism).
+func nlfOK(g, p *graph.Graph, v, u graph.VertexID, injective bool) bool {
+	check := func(pNbrs []graph.Neighbor, gNbrs []graph.Neighbor) bool {
+		need := map[graph.Label]int{}
+		for _, nb := range pNbrs {
+			need[p.Label(nb.To)]++
+		}
+		have := map[graph.Label]int{}
+		for _, nb := range gNbrs {
+			have[g.Label(nb.To)]++
+		}
+		for l, c := range need {
+			if !injective {
+				c = 1
+			}
+			if have[l] < c {
+				return false
+			}
+		}
+		return true
+	}
+	if !check(p.Out(u), g.Out(v)) {
+		return false
+	}
+	if p.Directed() && !check(p.In(u), g.In(v)) {
+		return false
+	}
+	return true
+}
+
+// connectivityOrder greedily orders pattern vertices by ascending score,
+// requiring every vertex after the first to touch an earlier one when the
+// pattern is connected.
+func connectivityOrder(p *graph.Graph, score func(graph.VertexID) int) []graph.VertexID {
+	n := p.NumVertices()
+	order := make([]graph.VertexID, 0, n)
+	inOrder := make([]bool, n)
+	best := graph.VertexID(0)
+	for v := 1; v < n; v++ {
+		if score(graph.VertexID(v)) < score(best) {
+			best = graph.VertexID(v)
+		}
+	}
+	order = append(order, best)
+	inOrder[best] = true
+	for len(order) < n {
+		bestV, bestScore, found := graph.VertexID(0), 0, false
+		for v := 0; v < n; v++ {
+			vid := graph.VertexID(v)
+			if inOrder[v] {
+				continue
+			}
+			connected := false
+			for _, w := range p.UndirectedNeighbors(vid) {
+				if inOrder[w] {
+					connected = true
+					break
+				}
+			}
+			if !connected {
+				continue
+			}
+			if !found || score(vid) < bestScore {
+				bestV, bestScore, found = vid, score(vid), true
+			}
+		}
+		if !found { // disconnected pattern: take any remaining vertex
+			for v := 0; v < n; v++ {
+				if !inOrder[v] {
+					bestV, found = graph.VertexID(v), true
+					break
+				}
+			}
+		}
+		order = append(order, bestV)
+		inOrder[bestV] = true
+	}
+	return order
+}
+
+// failSet is a bitset over pattern vertices for failing-set pruning.
+// Vertices beyond 64 share bits (u mod 64); collisions only coarsen blame,
+// which loses pruning opportunities but never prunes incorrectly (a prune
+// requires the bit to be clear, which implies no collider is in the set).
+type failSet uint64
+
+func (f failSet) with(u graph.VertexID) failSet { return f | 1<<uint(u%64) }
+func (f failSet) has(u graph.VertexID) bool     { return f&(1<<uint(u%64)) != 0 }
+
+// dfs extends the embedding at depth d; with fsp enabled it returns whether
+// any embedding was found below and the failing set explaining failures.
+func (s *btState) dfs(d int) (bool, failSet) {
+	if s.stop {
+		return false, 0
+	}
+	if d == len(s.order) {
+		s.count++
+		if s.opts.Limit > 0 && s.count >= s.opts.Limit {
+			s.limitHit = true
+			s.stop = true
+		}
+		return true, 0
+	}
+	u := s.order[d]
+	var fs failSet
+	anyFound := false
+	extended := false
+
+	for _, v := range s.candidates[u] {
+		if s.stop {
+			break
+		}
+		s.steps++
+		if s.steps&1023 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			s.timedOut = true
+			s.stop = true
+			break
+		}
+		if s.variant.Injective() {
+			if w, taken := s.used[v]; taken {
+				if s.fsp {
+					fs = fs.with(u).with(graph.VertexID(w))
+				}
+				continue
+			}
+		}
+		if !s.edgesOK(d, u, v) {
+			continue
+		}
+		if len(s.symCons) > 0 && !s.symOK(u, v) {
+			continue
+		}
+		extended = true
+		s.mapping[d] = v
+		s.assigned[u] = v
+		s.isSet[u] = true
+		if s.variant.Injective() {
+			s.used[v] = int(u)
+		}
+		found, childFS := s.dfs(d + 1)
+		if s.variant.Injective() {
+			delete(s.used, v)
+		}
+		s.isSet[u] = false
+		if found {
+			anyFound = true
+		} else if s.fsp && !s.stop {
+			if !childFS.has(u) && childFS != 0 {
+				// The failure below does not involve u: every sibling
+				// mapping of u fails identically, so prune them.
+				fs = childFS
+				return anyFound, fs
+			}
+			fs |= childFS
+		}
+	}
+	if s.fsp && !anyFound && !extended {
+		// Nothing matched: blame u and its mapped pattern neighbors.
+		fs = fs.with(u)
+		for _, w := range s.backNbrs[d] {
+			fs = fs.with(w)
+		}
+	}
+	return anyFound, fs
+}
+
+// edgesOK validates the new assignment u -> v against all mapped pattern
+// vertices, under the run's variant semantics (shared with BruteForce).
+func (s *btState) edgesOK(d int, u, v graph.VertexID) bool {
+	p, g := s.p, s.g
+	if s.variant == graph.VertexInduced {
+		for w := 0; w < p.NumVertices(); w++ {
+			wid := graph.VertexID(w)
+			if !s.isSet[wid] || wid == u {
+				continue
+			}
+			vw := s.assigned[wid]
+			if !equalLabels(arcLabels(p, wid, u), arcLabels(g, vw, v)) {
+				return false
+			}
+			if p.Directed() && !equalLabels(arcLabels(p, u, wid), arcLabels(g, v, vw)) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, wid := range s.backNbrs[d] {
+		vw := s.assigned[wid]
+		for _, l := range arcLabels(p, wid, u) {
+			if !g.HasEdgeLabeled(vw, v, l) {
+				return false
+			}
+		}
+		for _, l := range arcLabels(p, u, wid) {
+			if !g.HasEdgeLabeled(v, vw, l) {
+				return false
+			}
+		}
+	}
+	return true
+}

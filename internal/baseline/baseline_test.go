@@ -1,0 +1,343 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"csce/internal/graph"
+	"csce/internal/plan"
+)
+
+func randomGraph(rng *rand.Rand, n, m, labels, edgeLabels int, directed bool) *graph.Graph {
+	b := graph.NewBuilder(directed)
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.Label(rng.Intn(labels)))
+	}
+	for i := 0; i < m; i++ {
+		v := graph.VertexID(rng.Intn(n))
+		w := graph.VertexID(rng.Intn(n))
+		if v == w {
+			continue
+		}
+		var el graph.EdgeLabel
+		if edgeLabels > 1 {
+			el = graph.EdgeLabel(rng.Intn(edgeLabels))
+		}
+		b.AddEdge(v, w, el)
+	}
+	return b.MustBuild()
+}
+
+func randomConnectedPattern(rng *rand.Rand, n, labels int, directed bool) *graph.Graph {
+	b := graph.NewBuilder(directed)
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.Label(rng.Intn(labels)))
+	}
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i)
+		b.AddEdge(graph.VertexID(j), graph.VertexID(i), 0)
+	}
+	for k := 0; k < rng.Intn(n); k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j {
+			b.AddEdge(graph.VertexID(i), graph.VertexID(j), 0)
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestBruteForceKnownCounts(t *testing.T) {
+	k5, k3 := graph.Clique(5, 0), graph.Clique(3, 0)
+	if got := BruteForce(k5, k3, graph.EdgeInduced); got != 60 {
+		t.Fatalf("K3 in K5 edge-induced = %d, want 60", got)
+	}
+	if got := BruteForce(k5, k3, graph.VertexInduced); got != 60 {
+		t.Fatalf("K3 in K5 vertex-induced = %d, want 60", got)
+	}
+	p5, p3 := graph.Path(5, 0), graph.Path(3, 0)
+	if got := BruteForce(p5, p3, graph.EdgeInduced); got != 6 {
+		t.Fatalf("P3 in P5 edge-induced = %d, want 6", got)
+	}
+	if got := BruteForce(p5, p3, graph.Homomorphic); got != 14 {
+		t.Fatalf("P3 in P5 homomorphic = %d, want 14", got)
+	}
+	// Vertex-induced P3 in a triangle: none.
+	if got := BruteForce(graph.Cycle(3), p3, graph.VertexInduced); got != 0 {
+		t.Fatalf("P3 in C3 vertex-induced = %d, want 0", got)
+	}
+}
+
+// TestBacktrackMatchesBruteForce covers both the plain and the
+// failing-set-pruned backtracking across variants and directedness.
+func TestBacktrackMatchesBruteForce(t *testing.T) {
+	matchers := []Matcher{NewBacktrack(), NewBacktrackFSP()}
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		directed := seed%2 == 0
+		g := randomGraph(rng, 10, 30, 3, 1, directed)
+		p := randomConnectedPattern(rng, 2+rng.Intn(4), 3, directed)
+		for _, variant := range graph.Variants() {
+			want := BruteForce(g, p, variant)
+			for _, m := range matchers {
+				res, err := m.Match(g, p, variant, Options{})
+				if err != nil {
+					t.Fatalf("seed %d %v %s: %v", seed, variant, m.Capabilities().Name, err)
+				}
+				if res.Embeddings != want {
+					t.Fatalf("seed %d %v %s: got %d want %d",
+						seed, variant, m.Capabilities().Name, res.Embeddings, want)
+				}
+			}
+		}
+	}
+}
+
+func TestJoinWCOJMatchesBruteForce(t *testing.T) {
+	m := NewJoinWCOJ()
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		directed := seed%2 == 1
+		g := randomGraph(rng, 10, 30, 3, 2, directed)
+		p := randomConnectedPattern(rng, 2+rng.Intn(4), 3, directed)
+		for _, variant := range []graph.Variant{graph.EdgeInduced, graph.Homomorphic} {
+			want := BruteForce(g, p, variant)
+			res, err := m.Match(g, p, variant, Options{})
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, variant, err)
+			}
+			if res.Embeddings != want {
+				t.Fatalf("seed %d %v: got %d want %d", seed, variant, res.Embeddings, want)
+			}
+		}
+	}
+	if _, err := m.Match(graph.Clique(3, 0), graph.Path(2, 0), graph.VertexInduced, Options{}); !IsUnsupported(err) {
+		t.Fatal("JoinWCOJ must reject vertex-induced")
+	}
+}
+
+func TestVF3LikeMatchesBruteForce(t *testing.T) {
+	m := NewVF3Like()
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		directed := seed%2 == 0
+		g := randomGraph(rng, 10, 30, 3, 1, directed)
+		p := randomConnectedPattern(rng, 2+rng.Intn(4), 3, directed)
+		want := BruteForce(g, p, graph.VertexInduced)
+		res, err := m.Match(g, p, graph.VertexInduced, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Embeddings != want {
+			t.Fatalf("seed %d: got %d want %d", seed, res.Embeddings, want)
+		}
+	}
+	if _, err := m.Match(graph.Clique(3, 0), graph.Path(2, 0), graph.Homomorphic, Options{}); !IsUnsupported(err) {
+		t.Fatal("VF3Like must reject homomorphic")
+	}
+}
+
+func TestSymBreakMatchesBruteForce(t *testing.T) {
+	m := NewSymBreak()
+	m.PlanBudget = 200 * time.Millisecond
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 9, 22, 1, 1, false)
+		p := randomConnectedPattern(rng, 2+rng.Intn(4), 1, false)
+		want := BruteForce(g, p, graph.EdgeInduced)
+		res, err := m.Match(g, p, graph.EdgeInduced, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Embeddings != want {
+			t.Fatalf("seed %d: symmetry-broken count %d, want %d", seed, res.Embeddings, want)
+		}
+		if res.PlanTime <= 0 {
+			t.Fatal("plan time must be reported")
+		}
+	}
+	if _, err := m.Match(graph.Clique(3, 0), graph.Path(2, 0), graph.Homomorphic, Options{}); !IsUnsupported(err) {
+		t.Fatal("SymBreak must reject non-edge-induced variants")
+	}
+}
+
+func TestSymmetryConstraintsReduceSearch(t *testing.T) {
+	p := graph.Clique(4, 0)
+	auts := plan.Automorphisms(p)
+	cons := plan.SymmetryConstraints(p, auts)
+	if len(auts) != 24 {
+		t.Fatalf("Aut(K4) = %d", len(auts))
+	}
+	if len(cons) == 0 {
+		t.Fatal("K4 must yield constraints")
+	}
+	// Constrained search on K6 must count C(6,4) = 15 canonical instances,
+	// recovered to 15 * 24 = 360 total by the multiplier.
+	m := NewSymBreak()
+	m.PlanBudget = 200 * time.Millisecond
+	res, err := m.Match(graph.Clique(6, 0), p, graph.EdgeInduced, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Embeddings != 360 {
+		t.Fatalf("K4 in K6 = %d, want 360", res.Embeddings)
+	}
+}
+
+func TestCapabilitiesMatrix(t *testing.T) {
+	for _, m := range All() {
+		c := m.Capabilities()
+		if c.Name == "" || len(c.Variants) == 0 || c.MaxTested == 0 {
+			t.Fatalf("incomplete capabilities: %+v", c)
+		}
+	}
+	gp := NewSymBreak().Capabilities()
+	if gp.Supports(graph.EdgeInduced, false, true, false) {
+		t.Fatal("GraphPi row must reject vertex labels")
+	}
+	if !gp.Supports(graph.EdgeInduced, false, false, false) {
+		t.Fatal("GraphPi row must accept unlabeled undirected edge-induced")
+	}
+	if gp.Supports(graph.Homomorphic, false, false, false) {
+		t.Fatal("GraphPi row must reject homomorphic")
+	}
+	vf3 := NewVF3Like().Capabilities()
+	if !vf3.Supports(graph.VertexInduced, true, true, true) {
+		t.Fatal("VF3 row must accept directed labeled vertex-induced")
+	}
+}
+
+func TestBaselineTimeLimit(t *testing.T) {
+	g := graph.Clique(30, 0)
+	p := graph.Clique(5, 0)
+	for _, m := range []Matcher{NewBacktrack(), NewBacktrackFSP()} {
+		res, err := m.Match(g, p, graph.EdgeInduced, Options{TimeLimit: 20 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.TimedOut {
+			t.Fatalf("%s: expected timeout", m.Capabilities().Name)
+		}
+	}
+}
+
+func TestBaselineLimit(t *testing.T) {
+	g := graph.Clique(8, 0)
+	p := graph.Path(3, 0)
+	res, err := NewBacktrack().Match(g, p, graph.EdgeInduced, Options{Limit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.LimitHit || res.Embeddings != 5 {
+		t.Fatalf("limit run: %+v", res)
+	}
+}
+
+func TestFSPNeverTakesMoreSteps(t *testing.T) {
+	// Failing-set pruning can only skip sibling candidates, so on identical
+	// inputs it must never attempt more extensions than plain backtracking,
+	// while producing identical counts.
+	prunedHelped := false
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 14, 28, 1, 1, false) // sparse, unlabeled: failures abound
+		p := randomConnectedPattern(rng, 5, 1, false)
+		plain, err := NewBacktrack().Match(g, p, graph.EdgeInduced, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pruned, err := NewBacktrackFSP().Match(g, p, graph.EdgeInduced, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Embeddings != pruned.Embeddings {
+			t.Fatalf("seed %d: counts diverge %d vs %d", seed, plain.Embeddings, pruned.Embeddings)
+		}
+		if pruned.Steps > plain.Steps {
+			t.Fatalf("seed %d: FSP took more steps (%d) than plain (%d)", seed, pruned.Steps, plain.Steps)
+		}
+		if pruned.Steps < plain.Steps {
+			prunedHelped = true
+		}
+	}
+	_ = prunedHelped // random cases rarely trigger prunes; the deterministic test below does
+}
+
+// TestFSPPrunesIndependentRegion reproduces the paper's R1/R2 motivation
+// deterministically: a leaf region (many B leaves) is conditionally
+// independent of a failing region (an A-C-C triangle the data lacks). With
+// the leaf ordered before the failing region, plain backtracking re-fails
+// once per leaf while FSP blames only the triangle vertices and prunes all
+// sibling leaf mappings.
+func TestFSPPrunesIndependentRegion(t *testing.T) {
+	gb := graph.NewBuilder(false)
+	a0 := gb.AddVertex(0) // A
+	for i := 0; i < 20; i++ {
+		leaf := gb.AddVertex(1) // B leaves
+		gb.AddEdge(a0, leaf, 0)
+	}
+	c1 := gb.AddVertex(2) // C
+	c2 := gb.AddVertex(2) // C
+	gb.AddEdge(a0, c1, 0)
+	gb.AddEdge(a0, c2, 0)
+	// Pendant C's so c1 and c2 pass NLF (they need a C neighbor) without
+	// forming the triangle the pattern wants.
+	c3 := gb.AddVertex(2)
+	c4 := gb.AddVertex(2)
+	gb.AddEdge(c1, c3, 0)
+	gb.AddEdge(c2, c4, 0)
+	g := gb.MustBuild()
+
+	pb := graph.NewBuilder(false)
+	pc := pb.AddVertex(0) // A center
+	pl := pb.AddVertex(1) // B leaf (region R1)
+	pm := pb.AddVertex(2) // C      (region R2...)
+	px := pb.AddVertex(2) // C
+	pb.AddEdge(pc, pl, 0)
+	pb.AddEdge(pc, pm, 0)
+	pb.AddEdge(pc, px, 0)
+	pb.AddEdge(pm, px, 0) // the A-C-C triangle: absent from the data
+	p := pb.MustBuild()
+
+	run := func(fsp bool) *btState {
+		st := &btState{g: g, p: p, variant: graph.EdgeInduced, fsp: fsp}
+		st.prepare()
+		if st.order == nil {
+			t.Fatal("candidates vanished; NLF too strict for the fixture")
+		}
+		st.order = []graph.VertexID{pc, pl, pm, px} // leaf before the failing region
+		st.rebindOrder()
+		st.dfs(0)
+		return st
+	}
+	plain := run(false)
+	pruned := run(true)
+	if plain.count != 0 || pruned.count != 0 {
+		t.Fatalf("pattern must be unsatisfiable: %d/%d", plain.count, pruned.count)
+	}
+	if pruned.steps >= plain.steps {
+		t.Fatalf("FSP must prune the independent leaf region: fsp=%d plain=%d steps",
+			pruned.steps, plain.steps)
+	}
+}
+
+func TestConnectivityOrder(t *testing.T) {
+	p := graph.Path(6, 0)
+	order := connectivityOrder(p, func(u graph.VertexID) int { return int(u) })
+	if len(order) != 6 {
+		t.Fatal("order incomplete")
+	}
+	seen := map[graph.VertexID]bool{order[0]: true}
+	for _, u := range order[1:] {
+		touched := false
+		for _, w := range p.UndirectedNeighbors(u) {
+			if seen[w] {
+				touched = true
+			}
+		}
+		if !touched {
+			t.Fatalf("order %v breaks prefix connectivity at %d", order, u)
+		}
+		seen[u] = true
+	}
+}

@@ -1,0 +1,114 @@
+// Package baseline reimplements, in spirit, the algorithms the paper
+// compares against (Table III): plain backtracking with LDF/NLF filtering
+// (the GuP/VEQ family's foundation), failing-set pruning (DAF, RapidMatch,
+// VEQ), a relation-based worst-case-optimal join without clustering
+// (Graphflow, RapidMatch), a VF3-style vertex-induced matcher with
+// lookahead, and GraphPi-style symmetry breaking. A tiny exhaustive
+// matcher (BruteForce) serves as the correctness oracle for every engine.
+package baseline
+
+import (
+	"csce/internal/graph"
+)
+
+// BruteForce exhaustively enumerates the embeddings of p in g under the
+// given variant. It tries every label-compatible assignment with no
+// pruning beyond constraint checking, so it is only usable on tiny inputs;
+// the test suites use it as the ground-truth oracle.
+func BruteForce(g, p *graph.Graph, variant graph.Variant) uint64 {
+	n := p.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	f := make([]graph.VertexID, n)
+	used := make(map[graph.VertexID]bool, n)
+	var count uint64
+
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			count++
+			return
+		}
+		uk := graph.VertexID(k)
+		for v := 0; v < g.NumVertices(); v++ {
+			vk := graph.VertexID(v)
+			if g.Label(vk) != p.Label(uk) {
+				continue
+			}
+			if variant.Injective() && used[vk] {
+				continue
+			}
+			if !consistent(g, p, variant, f, k, vk) {
+				continue
+			}
+			f[k] = vk
+			if variant.Injective() {
+				used[vk] = true
+			}
+			rec(k + 1)
+			if variant.Injective() {
+				delete(used, vk)
+			}
+		}
+	}
+	rec(0)
+	return count
+}
+
+// consistent checks the constraints between the new assignment uk -> vk and
+// every previously assigned pattern vertex.
+func consistent(g, p *graph.Graph, variant graph.Variant, f []graph.VertexID, k int, vk graph.VertexID) bool {
+	uk := graph.VertexID(k)
+	for w := 0; w < k; w++ {
+		uw := graph.VertexID(w)
+		vw := f[w]
+		if variant == graph.VertexInduced {
+			// Induced isomorphism: the arc label multiset between the data
+			// pair must equal the pattern pair's, in both directions.
+			if !equalLabels(arcLabels(p, uw, uk), arcLabels(g, vw, vk)) {
+				return false
+			}
+			if p.Directed() && !equalLabels(arcLabels(p, uk, uw), arcLabels(g, vk, vw)) {
+				return false
+			}
+			continue
+		}
+		// Homomorphic / edge-induced: every pattern arc needs a data arc
+		// with the same label.
+		for _, l := range arcLabels(p, uw, uk) {
+			if !g.HasEdgeLabeled(vw, vk, l) {
+				return false
+			}
+		}
+		for _, l := range arcLabels(p, uk, uw) {
+			if !g.HasEdgeLabeled(vk, vw, l) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// arcLabels returns the sorted labels of all arcs a -> b.
+func arcLabels(g *graph.Graph, a, b graph.VertexID) []graph.EdgeLabel {
+	var out []graph.EdgeLabel
+	for _, nb := range g.Out(a) {
+		if nb.To == b {
+			out = append(out, nb.Label)
+		}
+	}
+	return out // adjacency is sorted by (To, Label), so out is sorted
+}
+
+func equalLabels(a, b []graph.EdgeLabel) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,248 @@
+package baseline
+
+import (
+	"sort"
+	"time"
+
+	"csce/internal/graph"
+)
+
+// JoinWCOJ is the relation-based worst-case-optimal join engine in the
+// style of Graphflow and RapidMatch: for every pattern edge it materializes
+// a relation (the data edges matching that edge's labels) by scanning the
+// whole edge list, then grows embeddings one vertex at a time by
+// intersecting relation adjacency. It differs from CSCE in both
+// motivations the paper calls out: relation construction rescans the data
+// graph per pattern edge (no offline cluster index), and there is no
+// sequential candidate equivalence (every extension recomputes its
+// intersection).
+type JoinWCOJ struct{}
+
+// NewJoinWCOJ returns the Graphflow-style baseline.
+func NewJoinWCOJ() *JoinWCOJ { return &JoinWCOJ{} }
+
+// Capabilities mirrors Graphflow's Table III row, extended with
+// edge-induced support (RapidMatch's variant) so the harness can use one
+// join baseline across figures.
+func (j *JoinWCOJ) Capabilities() Capabilities {
+	return Capabilities{
+		Name:         "JoinWCOJ(GF/RM)",
+		Variants:     []graph.Variant{graph.Homomorphic, graph.EdgeInduced},
+		VertexLabels: true,
+		EdgeLabels:   true,
+		Directed:     true,
+		Undirected:   true,
+		MaxTested:    32,
+	}
+}
+
+// relation is the adjacency of one pattern edge's matching data edges.
+type relation struct {
+	fwd map[graph.VertexID][]graph.VertexID // src -> sorted dsts
+	rev map[graph.VertexID][]graph.VertexID // dst -> sorted srcs
+}
+
+// Match enumerates embeddings by pipelined WCOJ over per-edge relations.
+func (j *JoinWCOJ) Match(g, p *graph.Graph, variant graph.Variant, opts Options) (Result, error) {
+	start := time.Now()
+	if variant == graph.VertexInduced {
+		// Out of the baseline's supported variants (Table III).
+		return Result{Elapsed: time.Since(start)}, errUnsupported("JoinWCOJ", variant)
+	}
+
+	// Build one relation per pattern edge by scanning all data edges.
+	type pedge struct {
+		src, dst graph.VertexID
+		label    graph.EdgeLabel
+	}
+	var pedges []pedge
+	p.Edges(func(a, b graph.VertexID, l graph.EdgeLabel) {
+		pedges = append(pedges, pedge{a, b, l})
+	})
+	rels := make([]relation, len(pedges))
+	for i, pe := range pedges {
+		r := relation{
+			fwd: make(map[graph.VertexID][]graph.VertexID),
+			rev: make(map[graph.VertexID][]graph.VertexID),
+		}
+		srcL, dstL := p.Label(pe.src), p.Label(pe.dst)
+		g.Edges(func(a, b graph.VertexID, l graph.EdgeLabel) {
+			if l != pe.label {
+				return
+			}
+			if g.Label(a) == srcL && g.Label(b) == dstL {
+				r.fwd[a] = append(r.fwd[a], b)
+				r.rev[b] = append(r.rev[b], a)
+			}
+			if !g.Directed() && g.Label(b) == srcL && g.Label(a) == dstL {
+				r.fwd[b] = append(r.fwd[b], a)
+				r.rev[a] = append(r.rev[a], b)
+			}
+		})
+		for v := range r.fwd {
+			sort.Slice(r.fwd[v], func(x, y int) bool { return r.fwd[v][x] < r.fwd[v][y] })
+		}
+		for v := range r.rev {
+			sort.Slice(r.rev[v], func(x, y int) bool { return r.rev[v][x] < r.rev[v][y] })
+		}
+		rels[i] = r
+	}
+
+	order := connectivityOrder(p, func(u graph.VertexID) int { return -p.Degree(u) })
+	pos := make([]int, p.NumVertices())
+	for i, u := range order {
+		pos[u] = i
+	}
+
+	// Per depth: relations constraining the new vertex given earlier ones.
+	type constraintT struct {
+		parent graph.VertexID
+		adj    map[graph.VertexID][]graph.VertexID
+	}
+	cons := make([][]constraintT, len(order))
+	for i, pe := range pedges {
+		ps, pd := pos[pe.src], pos[pe.dst]
+		if ps < pd {
+			cons[pd] = append(cons[pd], constraintT{parent: pe.src, adj: rels[i].fwd})
+		} else {
+			cons[ps] = append(cons[ps], constraintT{parent: pe.dst, adj: rels[i].rev})
+		}
+	}
+
+	st := struct {
+		count    uint64
+		steps    uint64
+		stop     bool
+		timedOut bool
+		limitHit bool
+	}{}
+	deadline := opts.deadline()
+	assigned := make([]graph.VertexID, p.NumVertices())
+	used := make(map[graph.VertexID]bool)
+
+	var rec func(d int)
+	rec = func(d int) {
+		if st.stop {
+			return
+		}
+		if d == len(order) {
+			st.count++
+			if opts.Limit > 0 && st.count >= opts.Limit {
+				st.limitHit = true
+				st.stop = true
+			}
+			return
+		}
+		u := order[d]
+		var cands []graph.VertexID
+		if d == 0 {
+			// First vertex: all distinct sources of any incident relation.
+			seen := map[graph.VertexID]bool{}
+			for i, pe := range pedges {
+				if pe.src == u {
+					for v := range rels[i].fwd {
+						if !seen[v] {
+							seen[v] = true
+							cands = append(cands, v)
+						}
+					}
+					break
+				}
+				if pe.dst == u {
+					for v := range rels[i].rev {
+						if !seen[v] {
+							seen[v] = true
+							cands = append(cands, v)
+						}
+					}
+					break
+				}
+			}
+			sort.Slice(cands, func(x, y int) bool { return cands[x] < cands[y] })
+		} else {
+			cs := cons[d]
+			if len(cs) == 0 {
+				return // disconnected pattern prefix: unsupported
+			}
+			base := cs[0].adj[assigned[cs[0].parent]]
+			for _, v := range base {
+				ok := true
+				for _, c := range cs[1:] {
+					if !containsID(c.adj[assigned[c.parent]], v) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					cands = append(cands, v)
+				}
+			}
+		}
+		for _, v := range cands {
+			if st.stop {
+				return
+			}
+			st.steps++
+			if st.steps&1023 == 0 && !deadline.IsZero() && time.Now().After(deadline) {
+				st.timedOut = true
+				st.stop = true
+				return
+			}
+			if variant.Injective() && used[v] {
+				continue
+			}
+			assigned[u] = v
+			if variant.Injective() {
+				used[v] = true
+			}
+			rec(d + 1)
+			if variant.Injective() {
+				delete(used, v)
+			}
+		}
+	}
+	if len(order) > 0 && p.NumEdges() > 0 {
+		rec(0)
+	}
+	return Result{
+		Embeddings: st.count,
+		Steps:      st.steps,
+		TimedOut:   st.timedOut,
+		LimitHit:   st.limitHit,
+		Elapsed:    time.Since(start),
+	}, nil
+}
+
+func containsID(xs []graph.VertexID, v graph.VertexID) bool {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if xs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(xs) && xs[lo] == v
+}
+
+type unsupportedError struct {
+	matcher string
+	variant graph.Variant
+}
+
+func (e unsupportedError) Error() string {
+	return "baseline: " + e.matcher + " does not support " + e.variant.String()
+}
+
+func errUnsupported(matcher string, variant graph.Variant) error {
+	return unsupportedError{matcher, variant}
+}
+
+// IsUnsupported reports whether err marks a variant/matcher mismatch, so
+// the harness can skip the combination like the paper omits unsupported
+// cells.
+func IsUnsupported(err error) bool {
+	_, ok := err.(unsupportedError)
+	return ok
+}

@@ -1,0 +1,101 @@
+package baseline
+
+import (
+	"time"
+
+	"csce/internal/graph"
+)
+
+// Options bounds a baseline matching run.
+type Options struct {
+	// Limit stops after this many embeddings (0 = all).
+	Limit uint64
+	// TimeLimit aborts the run (0 = none). Timed-out runs report the
+	// partial count found so far with TimedOut set, following the paper's
+	// convention of charging the full time limit to failed runs.
+	TimeLimit time.Duration
+}
+
+// Result reports a baseline run.
+type Result struct {
+	Embeddings uint64
+	// Steps counts candidate extensions attempted, for pruning comparisons.
+	Steps    uint64
+	TimedOut bool
+	LimitHit bool
+	// PlanTime is the portion of Elapsed spent on plan/optimization work
+	// (significant for SymBreak, mirroring GraphPi's Finding 2 behavior).
+	PlanTime time.Duration
+	Elapsed  time.Duration
+}
+
+// Throughput returns embeddings per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Embeddings) / r.Elapsed.Seconds()
+}
+
+// Capabilities mirrors the columns of the paper's Table III.
+type Capabilities struct {
+	Name         string
+	Variants     []graph.Variant
+	VertexLabels bool
+	EdgeLabels   bool
+	Directed     bool
+	Undirected   bool
+	MaxTested    int // largest pattern size in the original paper's experiments
+}
+
+// Supports reports whether the capability matrix covers a task.
+func (c Capabilities) Supports(variant graph.Variant, directed, vertexLabeled, edgeLabeled bool) bool {
+	ok := false
+	for _, v := range c.Variants {
+		if v == variant {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return false
+	}
+	if directed && !c.Directed {
+		return false
+	}
+	if !directed && !c.Undirected {
+		return false
+	}
+	if vertexLabeled && !c.VertexLabels {
+		return false
+	}
+	if edgeLabeled && !c.EdgeLabels {
+		return false
+	}
+	return true
+}
+
+// Matcher is a baseline subgraph-matching algorithm.
+type Matcher interface {
+	Capabilities() Capabilities
+	Match(g, p *graph.Graph, variant graph.Variant, opts Options) (Result, error)
+}
+
+// All returns the baseline matchers in Table III order.
+func All() []Matcher {
+	return []Matcher{
+		NewSymBreak(),     // GraphPi
+		NewJoinWCOJ(),     // Graphflow (GF)
+		NewBacktrack(),    // GuP-family backtracking
+		NewBacktrackFSP(), // RapidMatch/VEQ-style failing-set pruning
+		NewVF3Like(),      // VF3
+	}
+}
+
+// deadline converts a TimeLimit into an absolute deadline (zero = none).
+func (o Options) deadline() time.Time {
+	if o.TimeLimit <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(o.TimeLimit)
+}

@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"time"
+
+	"csce/internal/graph"
+	"csce/internal/plan"
+)
+
+// SymBreak is the GraphPi-style matcher: it computes the pattern's
+// automorphism group, derives symmetry-breaking order constraints through a
+// stabilizer chain, searches for a matching order by exhaustively scoring
+// vertex permutations (the expensive optimization that the paper's
+// Finding 2 shows does not scale past small patterns), and finally runs a
+// constrained backtracking search. The reported embedding count is
+// multiplied by |Aut(P)| to agree with algorithms that enumerate
+// automorphic images separately, as the paper does in Section VII-B.
+type SymBreak struct {
+	// PlanBudget caps the permutation-enumeration plan search; when the
+	// budget is exhausted the best order found so far is used. The time
+	// spent is reported as Result.PlanTime either way.
+	PlanBudget time.Duration
+}
+
+// NewSymBreak returns the GraphPi-style baseline with a 30s plan budget.
+func NewSymBreak() *SymBreak { return &SymBreak{PlanBudget: 30 * time.Second} }
+
+// Capabilities mirrors GraphPi's Table III row (edge-induced, unlabeled,
+// undirected, patterns up to 7).
+func (m *SymBreak) Capabilities() Capabilities {
+	return Capabilities{
+		Name:       "SymBreak(GraphPi)",
+		Variants:   []graph.Variant{graph.EdgeInduced},
+		Directed:   false,
+		Undirected: true,
+		MaxTested:  7,
+	}
+}
+
+// Match runs the symmetry-broken search.
+func (m *SymBreak) Match(g, p *graph.Graph, variant graph.Variant, opts Options) (Result, error) {
+	start := time.Now()
+	if variant != graph.EdgeInduced {
+		return Result{Elapsed: time.Since(start)}, errUnsupported("SymBreak", variant)
+	}
+	deadline := opts.deadline()
+
+	// ---- Plan phase (GraphPi's scalability bottleneck) ----
+	planStart := time.Now()
+	auts := plan.Automorphisms(p)
+	cons := plan.SymmetryConstraints(p, auts)
+	planDeadline := planStart.Add(m.PlanBudget)
+	if !deadline.IsZero() && deadline.Before(planDeadline) {
+		planDeadline = deadline
+	}
+	order, planTimedOut := permutationOrderSearch(p, planDeadline)
+	planTime := time.Since(planStart)
+	if planTimedOut && !deadline.IsZero() && time.Now().After(deadline) {
+		return Result{TimedOut: true, PlanTime: planTime, Elapsed: time.Since(start)}, nil
+	}
+
+	// ---- Execution phase ----
+	st := &btState{
+		g: g, p: p, variant: graph.EdgeInduced, opts: opts,
+		deadline: deadline,
+		symCons:  cons,
+	}
+	st.prepare()
+	if st.order != nil {
+		st.order = order
+		st.rebindOrder()
+		st.dfs(0)
+	}
+	return Result{
+		Embeddings: st.count * uint64(len(auts)),
+		Steps:      st.steps,
+		TimedOut:   st.timedOut,
+		LimitHit:   st.limitHit,
+		PlanTime:   planTime,
+		Elapsed:    time.Since(start),
+	}, nil
+}
+
+// permutationOrderSearch emulates GraphPi's exhaustive matching-order
+// search: it scores every permutation of the pattern vertices with a
+// degree-based cost model and keeps the cheapest connected one. The
+// factorial enumeration is the point — it reproduces the optimization cost
+// blow-up of Finding 2 — so only the deadline bounds it.
+func permutationOrderSearch(p *graph.Graph, deadline time.Time) ([]graph.VertexID, bool) {
+	n := p.NumVertices()
+	best := connectivityOrder(p, func(u graph.VertexID) int { return -p.Degree(u) })
+	bestCost := orderCost(p, best)
+
+	perm := make([]graph.VertexID, n)
+	for i := range perm {
+		perm[i] = graph.VertexID(i)
+	}
+	timedOut := false
+	steps := 0
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == n {
+			if c := orderCost(p, perm); c < bestCost {
+				bestCost = c
+				copy(best, perm)
+			}
+			return true
+		}
+		for i := k; i < n; i++ {
+			steps++
+			if steps&255 == 0 && !deadline.IsZero() && time.Now().After(deadline) {
+				timedOut = true
+				return false
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+			if !rec(k + 1) {
+				return false
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return true
+	}
+	rec(0)
+	return best, timedOut
+}
+
+// orderCost estimates a matching order's cost: orders whose prefixes stay
+// connected and bind high-degree vertices early are cheaper. Disconnected
+// prefixes are heavily penalized.
+func orderCost(p *graph.Graph, order []graph.VertexID) float64 {
+	cost := 0.0
+	weight := 1.0
+	for i, u := range order {
+		back := 0
+		for j := 0; j < i; j++ {
+			if p.Adjacent(order[j], u) {
+				back++
+			}
+		}
+		if i > 0 && back == 0 {
+			cost += 1e9 // disconnected prefix
+		}
+		// Fewer backward constraints means a larger candidate fan-out.
+		weight *= float64(1+p.Degree(u)) / float64(1+back*2)
+		cost += weight
+	}
+	return cost
+}

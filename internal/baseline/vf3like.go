@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"time"
+
+	"csce/internal/graph"
+)
+
+// VF3Like is a vertex-induced (induced isomorphism) matcher in the style
+// of VF3: a static matching order chosen by label rarity and degree, plus a
+// lookahead feasibility rule that compares the unmapped-neighbor counts of
+// the pattern vertex and its candidate, pruning branches whose
+// neighborhoods can never complete.
+type VF3Like struct{}
+
+// NewVF3Like returns the VF3-style baseline.
+func NewVF3Like() *VF3Like { return &VF3Like{} }
+
+// Capabilities mirrors VF3's Table III row.
+func (m *VF3Like) Capabilities() Capabilities {
+	return Capabilities{
+		Name:         "VF3Like",
+		Variants:     []graph.Variant{graph.VertexInduced},
+		VertexLabels: true,
+		EdgeLabels:   true,
+		Directed:     true,
+		Undirected:   true,
+		MaxTested:    2000,
+	}
+}
+
+// Match enumerates induced embeddings of p in g.
+func (m *VF3Like) Match(g, p *graph.Graph, variant graph.Variant, opts Options) (Result, error) {
+	start := time.Now()
+	if variant != graph.VertexInduced {
+		return Result{Elapsed: time.Since(start)}, errUnsupported("VF3Like", variant)
+	}
+
+	// VF3-light ordering: lowest label frequency first, then highest
+	// degree, with a connected prefix.
+	labelFreq := map[graph.Label]int{}
+	for v := 0; v < g.NumVertices(); v++ {
+		labelFreq[g.Label(graph.VertexID(v))]++
+	}
+	order := connectivityOrder(p, func(u graph.VertexID) int {
+		return labelFreq[p.Label(u)]*1000 - p.Degree(u)
+	})
+
+	st := &btState{
+		g: g, p: p, variant: graph.VertexInduced, opts: opts,
+		deadline: opts.deadline(),
+	}
+	st.prepare()
+	if st.order != nil {
+		st.order = order // override with the VF3 order
+		st.rebindOrder()
+		st.dfsLookahead(0, m)
+	}
+	return Result{
+		Embeddings: st.count,
+		Steps:      st.steps,
+		TimedOut:   st.timedOut,
+		LimitHit:   st.limitHit,
+		Elapsed:    time.Since(start),
+	}, nil
+}
+
+// rebindOrder recomputes the per-depth backward neighbor lists after the
+// order was replaced.
+func (s *btState) rebindOrder() {
+	n := s.p.NumVertices()
+	pos := make([]int, n)
+	for i, u := range s.order {
+		pos[u] = i
+	}
+	s.backNbrs = make([][]graph.VertexID, n)
+	for i, u := range s.order {
+		for _, w := range s.p.UndirectedNeighbors(u) {
+			if pos[w] < i {
+				s.backNbrs[i] = append(s.backNbrs[i], w)
+			}
+		}
+	}
+}
+
+// dfsLookahead is the VF3-style search: the plain induced backtracking of
+// btState plus the unmapped-neighbor lookahead filter.
+func (s *btState) dfsLookahead(d int, m *VF3Like) {
+	if s.stop {
+		return
+	}
+	if d == len(s.order) {
+		s.count++
+		if s.opts.Limit > 0 && s.count >= s.opts.Limit {
+			s.limitHit = true
+			s.stop = true
+		}
+		return
+	}
+	u := s.order[d]
+	for _, v := range s.candidates[u] {
+		if s.stop {
+			return
+		}
+		s.steps++
+		if s.steps&1023 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			s.timedOut = true
+			s.stop = true
+			return
+		}
+		if s.variant.Injective() {
+			if _, taken := s.used[v]; taken {
+				continue
+			}
+		}
+		if !s.edgesOK(d, u, v) {
+			continue
+		}
+		if !s.lookaheadOK(u, v) {
+			continue
+		}
+		s.mapping[d] = v
+		s.assigned[u] = v
+		s.isSet[u] = true
+		s.used[v] = int(u)
+		s.dfsLookahead(d+1, m)
+		delete(s.used, v)
+		s.isSet[u] = false
+	}
+}
+
+// lookaheadOK prunes candidates whose free neighborhood is too small to
+// host the pattern vertex's unmapped neighbors.
+func (s *btState) lookaheadOK(u, v graph.VertexID) bool {
+	unmappedP := 0
+	for _, w := range s.p.UndirectedNeighbors(u) {
+		if !s.isSet[w] {
+			unmappedP++
+		}
+	}
+	freeG := 0
+	for _, x := range s.g.UndirectedNeighbors(v) {
+		if _, taken := s.used[x]; !taken {
+			freeG++
+		}
+	}
+	return freeG >= unmappedP
+}

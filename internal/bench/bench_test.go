@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func quickConfig(buf *bytes.Buffer) Config {
+	return Config{
+		Out:               buf,
+		TimeLimit:         150 * time.Millisecond,
+		PatternsPerConfig: 1,
+		Quick:             true,
+	}
+}
+
+// TestAllExperimentsRun smoke-tests every registered experiment in Quick
+// mode: it must complete without error and print its header.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := exp.Run(quickConfig(&buf)); err != nil {
+				t.Fatalf("%s: %v", exp.ID, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "==") {
+				t.Fatalf("%s printed no table header:\n%s", exp.ID, out)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig6"); !ok {
+		t.Fatal("fig6 missing")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown experiment resolved")
+	}
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment: %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	// Every paper artifact is covered.
+	for _, want := range []string{"table3", "table4", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "casestudy"} {
+		if !ids[want] {
+			t.Fatalf("experiment %s not registered", want)
+		}
+	}
+}
+
+func TestTable3ListsCSCE(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runTable3(quickConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"CSCE", "GraphPi", "VF3"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("Table III missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestTable4PrintsAllQuickDatasets(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runTable4(quickConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"DIP", "Yeast", "Human"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("Table IV missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestFig13CoversAllPlanModes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runFig13(quickConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, mode := range []string{"RM", "RI", "RI+Cluster", "CSCE"} {
+		if !strings.Contains(out, mode) {
+			t.Fatalf("Fig. 13 missing mode %s:\n%s", mode, out)
+		}
+	}
+}
+
+func TestCaseStudyShowsBothMethods(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runCaseStudy(quickConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "edge-based") || !strings.Contains(out, "clique") {
+		t.Fatalf("case study output incomplete:\n%s", out)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Out == nil || c.TimeLimit == 0 || c.PatternsPerConfig == 0 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+}

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"csce/internal/core"
+	"csce/internal/graph"
+	"csce/internal/plan"
+)
+
+// runFig12 measures SCE occurrence: the share of pattern vertices whose
+// candidates are independent of at least one earlier vertex, for the
+// edge-induced and homomorphic variants, plus the cluster-contribution
+// sub-bars (Finding 12).
+func runFig12(cfg Config) error {
+	cfg = cfg.withDefaults()
+	w := cfg.Out
+	spec := quickSpec(mustSpec("Patent"), cfg)
+	g, engine := loadEngine(spec)
+
+	sizes := []int{8, 16, 32, 64, 128, 200}
+	if cfg.Quick {
+		sizes = []int{8, 16, 32}
+	}
+	header(w, "Fig. 12: SCE occurrence on Patent patterns",
+		"PatternSize", "Variant", "SCE%", "Cluster%")
+	rng := rand.New(rand.NewSource(1200))
+	for _, size := range sizes {
+		if size >= g.NumVertices() {
+			continue
+		}
+		var patterns []*graph.Graph
+		for i := 0; i < cfg.PatternsPerConfig; i++ {
+			p, err := sampleAnyPattern(g, size, rng)
+			if err != nil {
+				fmt.Fprintf(w, "# size %d: %v (skipped)\n", size, err)
+				break
+			}
+			patterns = append(patterns, p)
+		}
+		for _, variant := range []graph.Variant{graph.EdgeInduced, graph.Homomorphic, graph.VertexInduced} {
+			var sceSum, clusterSum float64
+			n := 0
+			for _, p := range patterns {
+				pl, _, err := engine.PlanOnly(p, variant)
+				if err != nil {
+					return err
+				}
+				sceSum += pl.SCE.Ratio()
+				clusterSum += pl.SCE.ClusterRatio()
+				n++
+			}
+			if n == 0 {
+				continue
+			}
+			cluster := fmt.Sprintf("%.0f%%", 100*clusterSum/float64(n))
+			if variant == graph.Homomorphic {
+				cluster = "-" // homomorphism needs no injectivity sub-bar
+			}
+			cell(w, size, variant, fmt.Sprintf("%.0f%%", 100*sceSum/float64(n)), cluster)
+		}
+	}
+	return nil
+}
+
+// runFig13 compares query-plan quality: the same engine executes plans
+// produced by the RM heuristic, plain RI, RI with cluster tie-breaking,
+// and the full CSCE pipeline (Finding 13: CSCE's plan is best).
+func runFig13(cfg Config) error {
+	cfg = cfg.withDefaults()
+	w := cfg.Out
+	spec := quickSpec(mustSpec("Patent"), cfg)
+	g, engine := loadEngine(spec)
+
+	sizes := []int{8, 16, 24}
+	if cfg.Quick {
+		sizes = []int{8}
+	}
+	header(w, "Fig. 13: plan quality on Patent (mean total time)",
+		"PatternSize", "PlanMode", "MeanTime", "Solved")
+	for _, size := range sizes {
+		patterns, err := samplePatterns(g, size, false, cfg.PatternsPerConfig, 1300+int64(size))
+		if err != nil {
+			fmt.Fprintf(w, "# size %d: %v (skipped)\n", size, err)
+			continue
+		}
+		for _, mode := range []plan.Mode{plan.ModeRM, plan.ModeRI, plan.ModeRICluster, plan.ModeCSCE, plan.ModeCostBased} {
+			var times []time.Duration
+			solved := 0
+			for _, p := range patterns {
+				res, err := engine.Match(p, core.MatchOptions{
+					Variant:   graph.EdgeInduced,
+					Mode:      mode,
+					TimeLimit: cfg.TimeLimit,
+				})
+				if err != nil {
+					continue
+				}
+				if res.Exec.TimedOut {
+					times = append(times, cfg.TimeLimit)
+				} else {
+					times = append(times, res.Total())
+					solved++
+				}
+			}
+			cell(w, size, mode, meanDuration(times), fmt.Sprintf("%d/%d", solved, len(patterns)))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"csce/internal/core"
+	"csce/internal/dataset"
+	"csce/internal/graph"
+)
+
+// runFig14 covers the less-effective-scenario analyses: (a) the impact of
+// symmetry breaking on small-to-large DIP patterns — marginal and
+// diminishing (Finding 2, Fig. 14a) — and (b) throughput versus pattern
+// density (Fig. 14b: throughput drops on denser patterns but CSCE stays
+// ahead of plain backtracking).
+func runFig14(cfg Config) error {
+	cfg = cfg.withDefaults()
+	w := cfg.Out
+	spec := quickSpec(mustSpec("DIP"), cfg)
+	g, engine := loadEngine(spec)
+
+	// ---- (a) symmetry breaking impact ----
+	sizes := []int{3, 4, 5, 8, 9}
+	if cfg.Quick {
+		sizes = []int{3, 4, 5}
+	}
+	header(w, "Fig. 14a: symmetry breaking on DIP (CSCE with/without)",
+		"PatternSize", "Plain", "SymBreak", "PlanShare", "|Aut|")
+	rng := rand.New(rand.NewSource(1400))
+	for _, size := range sizes {
+		p, err := sampleAnyPattern(g, size, rng)
+		if err != nil {
+			fmt.Fprintf(w, "# size %d: %v (skipped)\n", size, err)
+			continue
+		}
+		plain, err := engine.Match(p, core.MatchOptions{Variant: graph.EdgeInduced, TimeLimit: cfg.TimeLimit})
+		if err != nil {
+			return err
+		}
+		symStart := time.Now()
+		sym, err := engine.Match(p, core.MatchOptions{
+			Variant:          graph.EdgeInduced,
+			TimeLimit:        cfg.TimeLimit,
+			SymmetryBreaking: true,
+		})
+		if err != nil {
+			return err
+		}
+		symTotal := time.Since(symStart)
+		planShare := "-"
+		if symTotal > 0 {
+			planShare = fmt.Sprintf("%.0f%%", 100*float64(sym.PlanTime)/float64(symTotal))
+		}
+		cell(w, size, csceTotalOrLimit(plain, cfg), csceTotalOrLimit(sym, cfg), planShare, sym.Automorphisms)
+	}
+
+	// ---- (b) throughput vs pattern density ----
+	header(w, "Fig. 14b: throughput vs pattern density (DIP, size 8)",
+		"Density", "CSCE/s", "Backtrack/s")
+	densities := []bool{false, true} // sparse, dense
+	for _, dense := range densities {
+		patterns, err := samplePatterns(g, 8, dense, cfg.PatternsPerConfig, 1450)
+		if err != nil {
+			fmt.Fprintf(w, "# dense=%v: %v (skipped)\n", dense, err)
+			continue
+		}
+		var emb, bemb uint64
+		var total, btotal time.Duration
+		for _, p := range patterns {
+			res, err := cscePoint(engine, p, graph.EdgeInduced, cfg)
+			if err != nil {
+				continue
+			}
+			emb += res.Embeddings
+			total += csceTotalOrLimit(res, cfg)
+			if br, ok := baselinePoint(backtrackMatcher, g, p, graph.EdgeInduced, cfg); ok {
+				bemb += br.Embeddings
+				if br.TimedOut {
+					btotal += cfg.TimeLimit
+				} else {
+					btotal += br.Elapsed
+				}
+			}
+		}
+		name := dataset.PatternConfig{Size: 8, Dense: dense}.Name()
+		cell(w, name, throughputOf(emb, total), throughputOf(bemb, btotal))
+	}
+	return nil
+}

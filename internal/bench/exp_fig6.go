@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"csce/internal/baseline"
+	"csce/internal/core"
+	"csce/internal/dataset"
+	"csce/internal/graph"
+)
+
+// fig6Task describes one sub-figure of Fig. 6: a dataset, the variant the
+// paper runs there, and the pattern configurations on its x-axis.
+type fig6Task struct {
+	dataset string
+	variant graph.Variant
+	// configs: (size, dense) pairs; dense is ignored for graphs too sparse
+	// to host dense samples.
+	sizes []int
+	dense bool
+}
+
+// runFig6 regenerates the total-time comparison of Fig. 6: for each
+// dataset x pattern configuration x variant, the mean end-to-end time of
+// CSCE and every baseline supporting the combination. Timed-out runs are
+// charged the time limit, like the paper.
+func runFig6(cfg Config) error {
+	cfg = cfg.withDefaults()
+	w := cfg.Out
+
+	tasks := []fig6Task{
+		{"DIP", graph.EdgeInduced, []int{4, 8}, false},           // (a)
+		{"DIP", graph.VertexInduced, []int{4, 8}, false},         // (b)
+		{"RoadCA", graph.EdgeInduced, []int{8, 16}, false},       // (c)
+		{"RoadCA", graph.VertexInduced, []int{8, 16}, false},     // (d)
+		{"Human", graph.EdgeInduced, []int{8, 16}, true},         // (e)
+		{"Yeast", graph.EdgeInduced, []int{8, 16}, true},         // (i)
+		{"HPRD", graph.EdgeInduced, []int{8, 16}, true},          // (j)
+		{"Subcategory", graph.Homomorphic, []int{4, 8}, false},   // (m)
+		{"Subcategory", graph.VertexInduced, []int{4, 8}, false}, // (n)
+		{"LiveJournal", graph.Homomorphic, []int{4, 8}, false},   // (l)
+	}
+	if cfg.Quick {
+		tasks = []fig6Task{
+			{"DIP", graph.EdgeInduced, []int{4, 6}, false},
+			{"Yeast", graph.EdgeInduced, []int{6}, true},
+		}
+	}
+
+	header(w, "Fig. 6: mean total time per algorithm (timeouts charged at limit)",
+		"Dataset", "Variant", "Pattern", "Algorithm", "MeanTime", "Solved")
+	for _, task := range tasks {
+		spec := quickSpec(mustSpec(task.dataset), cfg)
+		g, engine := loadEngine(spec)
+		for _, size := range task.sizes {
+			patterns, err := samplePatterns(g, size, task.dense, cfg.PatternsPerConfig, 600+int64(size))
+			if err != nil {
+				fmt.Fprintf(w, "# %s size %d: %v (skipped)\n", task.dataset, size, err)
+				continue
+			}
+			pname := dataset.PatternConfig{Size: size, Dense: task.dense}.Name()
+
+			// CSCE row.
+			var times []time.Duration
+			solved := 0
+			for _, p := range patterns {
+				res, err := cscePoint(engine, p, task.variant, cfg)
+				if err != nil {
+					continue
+				}
+				t := res.Total()
+				if res.Exec.TimedOut {
+					t = cfg.TimeLimit
+				} else {
+					solved++
+				}
+				times = append(times, t)
+			}
+			cell(w, task.dataset, task.variant, pname, "CSCE", meanDuration(times),
+				fmt.Sprintf("%d/%d", solved, len(patterns)))
+
+			// Baseline rows, only for supported combinations.
+			for _, m := range baseline.All() {
+				caps := m.Capabilities()
+				if !caps.Supports(task.variant, g.Directed(), g.VertexLabelCount() > 1, g.EdgeLabelCount() > 0) {
+					continue
+				}
+				var bt []time.Duration
+				bsolved := 0
+				for _, p := range patterns {
+					res, ok := baselinePoint(m, g, p, task.variant, cfg)
+					if !ok {
+						continue
+					}
+					t := res.Elapsed
+					if res.TimedOut {
+						t = cfg.TimeLimit
+					} else {
+						bsolved++
+					}
+					bt = append(bt, t)
+				}
+				if len(bt) == 0 {
+					continue
+				}
+				cell(w, task.dataset, task.variant, pname, caps.Name, meanDuration(bt),
+					fmt.Sprintf("%d/%d", bsolved, len(patterns)))
+			}
+		}
+	}
+	return nil
+}
+
+// csceTotalOrLimit is shared by several figures: total time with timeout
+// charging.
+func csceTotalOrLimit(res core.MatchResult, cfg Config) time.Duration {
+	if res.Exec.TimedOut {
+		return cfg.TimeLimit
+	}
+	return res.Total()
+}

@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"csce/internal/baseline"
+	"csce/internal/graph"
+)
+
+// runFig7 compares the edge-induced and vertex-induced variants on the
+// RoadCA analogue: embedding counts, total time, and throughput per
+// pattern size (Findings 6).
+func runFig7(cfg Config) error {
+	cfg = cfg.withDefaults()
+	w := cfg.Out
+	spec := quickSpec(mustSpec("RoadCA"), cfg)
+	g, engine := loadEngine(spec)
+
+	sizes := []int{4, 8, 16, 32}
+	if cfg.Quick {
+		sizes = []int{4, 8}
+	}
+	header(w, "Fig. 7: edge- vs vertex-induced on RoadCA",
+		"Pattern", "Variant", "Embeddings", "TotalTime", "Throughput/s")
+	for _, size := range sizes {
+		patterns, err := samplePatterns(g, size, false, cfg.PatternsPerConfig, 700+int64(size))
+		if err != nil {
+			fmt.Fprintf(w, "# size %d: %v (skipped)\n", size, err)
+			continue
+		}
+		for _, variant := range []graph.Variant{graph.EdgeInduced, graph.VertexInduced} {
+			var embeddings uint64
+			var total time.Duration
+			for _, p := range patterns {
+				res, err := cscePoint(engine, p, variant, cfg)
+				if err != nil {
+					continue
+				}
+				embeddings += res.Embeddings
+				total += csceTotalOrLimit(res, cfg)
+			}
+			throughput := 0.0
+			if total > 0 {
+				throughput = float64(embeddings) / total.Seconds()
+			}
+			cell(w, fmt.Sprintf("S%d", size), variant, embeddings, total, throughput)
+		}
+	}
+	return nil
+}
+
+// runFig8 measures edge-induced throughput on RoadCA for CSCE and every
+// baseline supporting it (Finding 8: larger patterns are harder).
+func runFig8(cfg Config) error {
+	cfg = cfg.withDefaults()
+	w := cfg.Out
+	spec := quickSpec(mustSpec("RoadCA"), cfg)
+	g, engine := loadEngine(spec)
+
+	sizes := []int{8, 16, 24, 32}
+	if cfg.Quick {
+		sizes = []int{6, 8}
+	}
+	header(w, "Fig. 8: edge-induced throughput on RoadCA",
+		"Pattern", "Algorithm", "Embeddings", "Throughput/s")
+	for _, size := range sizes {
+		patterns, err := samplePatterns(g, size, false, cfg.PatternsPerConfig, 800+int64(size))
+		if err != nil {
+			fmt.Fprintf(w, "# size %d: %v (skipped)\n", size, err)
+			continue
+		}
+		var emb uint64
+		var total time.Duration
+		for _, p := range patterns {
+			res, err := cscePoint(engine, p, graph.EdgeInduced, cfg)
+			if err != nil {
+				continue
+			}
+			emb += res.Embeddings
+			total += csceTotalOrLimit(res, cfg)
+		}
+		cell(w, fmt.Sprintf("S%d", size), "CSCE", emb, throughputOf(emb, total))
+
+		for _, m := range baseline.All() {
+			caps := m.Capabilities()
+			if !caps.Supports(graph.EdgeInduced, g.Directed(), g.VertexLabelCount() > 1, false) {
+				continue
+			}
+			var bemb uint64
+			var btotal time.Duration
+			any := false
+			for _, p := range patterns {
+				res, ok := baselinePoint(m, g, p, graph.EdgeInduced, cfg)
+				if !ok {
+					continue
+				}
+				any = true
+				bemb += res.Embeddings
+				if res.TimedOut {
+					btotal += cfg.TimeLimit
+				} else {
+					btotal += res.Elapsed
+				}
+			}
+			if any {
+				cell(w, fmt.Sprintf("S%d", size), caps.Name, bemb, throughputOf(bemb, btotal))
+			}
+		}
+	}
+	return nil
+}
+
+func throughputOf(emb uint64, total time.Duration) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return float64(emb) / total.Seconds()
+}
+
+// runFig9 regenerates the scalability-by-result-size study: DIP patterns
+// of sizes 8 and 9, arranged in ascending embedding count, with per-
+// algorithm total times (Finding 9; GraphPi's plan cost dominates).
+func runFig9(cfg Config) error {
+	cfg = cfg.withDefaults()
+	w := cfg.Out
+	spec := quickSpec(mustSpec("DIP"), cfg)
+	g, engine := loadEngine(spec)
+
+	// The paper runs sizes 8 and 9 under a 10^4-second budget; the DIP
+	// analogue yields billions of embeddings at those sizes, so with this
+	// harness's second-scale budget the same saturation regime sits at
+	// sizes 5-6 (see EXPERIMENTS.md).
+	sizes := []int{5, 6}
+	count := cfg.PatternsPerConfig * 2
+	if cfg.Quick {
+		sizes = []int{5}
+		count = 2
+	}
+	header(w, "Fig. 9: total time vs number of embeddings (DIP)",
+		"Pattern", "Embeddings", "CSCE", "Backtrack", "FSP", "JoinWCOJ", "SymBreak(plan)")
+	for _, size := range sizes {
+		patterns, err := samplePatterns(g, size, false, count, 900+int64(size))
+		if err != nil {
+			fmt.Fprintf(w, "# size %d: %v (skipped)\n", size, err)
+			continue
+		}
+		type point struct {
+			emb   uint64
+			csce  time.Duration
+			base  [4]time.Duration
+			extra string
+		}
+		var points []point
+		for _, p := range patterns {
+			var pt point
+			res, err := cscePoint(engine, p, graph.EdgeInduced, cfg)
+			if err != nil {
+				continue
+			}
+			pt.emb = res.Embeddings
+			pt.csce = csceTotalOrLimit(res, cfg)
+			ms := []baseline.Matcher{
+				baseline.NewBacktrack(), baseline.NewBacktrackFSP(),
+				baseline.NewJoinWCOJ(), baseline.NewSymBreak(),
+			}
+			for i, m := range ms {
+				r, ok := baselinePoint(m, g, p, graph.EdgeInduced, cfg)
+				if !ok {
+					continue
+				}
+				if r.TimedOut {
+					pt.base[i] = cfg.TimeLimit
+				} else {
+					pt.base[i] = r.Elapsed
+				}
+				if i == 3 {
+					pt.extra = fmtDuration(r.PlanTime)
+				}
+			}
+			points = append(points, pt)
+		}
+		sort.Slice(points, func(i, j int) bool { return points[i].emb < points[j].emb })
+		for _, pt := range points {
+			cell(w, fmt.Sprintf("P%d", size), pt.emb, pt.csce, pt.base[0], pt.base[1], pt.base[2],
+				fmt.Sprintf("%s(%s)", fmtDuration(pt.base[3]), pt.extra))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"csce/internal/baseline"
+	"csce/internal/graph"
+)
+
+// runTable3 prints the algorithm capability matrix (Table III), including
+// the CSCE row.
+func runTable3(cfg Config) error {
+	cfg = cfg.withDefaults()
+	w := cfg.Out
+	header(w, "Table III: algorithms compared",
+		"Algorithm", "Variants", "VLabels", "ELabels", "Direction", "MaxPattern")
+	row := func(name string, variants []graph.Variant, vl, el bool, dir string, maxP int) {
+		var vs []string
+		for _, v := range variants {
+			switch v {
+			case graph.EdgeInduced:
+				vs = append(vs, "E")
+			case graph.Homomorphic:
+				vs = append(vs, "H")
+			case graph.VertexInduced:
+				vs = append(vs, "V")
+			}
+		}
+		cell(w, name, strings.Join(vs, ","), yesNo(vl), yesNo(el), dir, maxP)
+	}
+	for _, m := range baseline.All() {
+		c := m.Capabilities()
+		row(c.Name, c.Variants, c.VertexLabels, c.EdgeLabels, dirString(c.Directed, c.Undirected), c.MaxTested)
+	}
+	row("CSCE (this work)", graph.Variants(), true, true, "U and D", 2000)
+	return nil
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "Yes"
+	}
+	return "No"
+}
+
+func dirString(d, u bool) string {
+	switch {
+	case d && u:
+		return "U and D"
+	case d:
+		return "D"
+	default:
+		return "U"
+	}
+}
+
+// runTable4 prints Table IV: statistics of the (synthetic analogue)
+// datasets, plus the original scale they stand in for.
+func runTable4(cfg Config) error {
+	cfg = cfg.withDefaults()
+	w := cfg.Out
+	header(w, "Table IV: dataset statistics (synthetic analogues)",
+		"Dataset", "Dir", "Vertices", "Edges", "Labels", "AvgDeg", "MaxIn", "MaxOut", "PaperScale")
+	specs := catalogFor(cfg)
+	for _, spec := range specs {
+		g := loadGraph(spec)
+		s := graph.ComputeStats(spec.Name, g)
+		cell(w, s.Name, map[bool]string{true: "D", false: "U"}[s.Directed],
+			s.VertexCount, s.EdgeCount, s.LabelCount,
+			fmt.Sprintf("%.1f", s.AvgDegree), s.MaxInDegree, s.MaxOutDegree,
+			fmt.Sprintf("%dv/%de", spec.PaperVertices, spec.PaperEdges))
+	}
+	return nil
+}

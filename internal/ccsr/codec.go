@@ -1,0 +1,250 @@
+package ccsr
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"csce/internal/graph"
+)
+
+// Binary serialization of a Store, so the offline clustering stage can run
+// once per data graph and its output be reloaded for every subsequent
+// subgraph-matching task (the red offline stage of the paper's Fig. 2).
+//
+// Layout (little endian):
+//
+//	magic "CCSR" | version u32 | directed u8 | numVertices u64 | numEdges u64
+//	vertexLabels [numVertices]u16
+//	numClusters u64, then per cluster:
+//	  key (src u16, dst u16, edge u16, directed u8) | numEdges u64
+//	  outRow rle | outCol []u32 | [inRow rle | inCol []u32]  (in* iff directed)
+//
+// where an rle is: count u64, vals [count]u32, counts [count]u32, and a
+// []u32 is: count u64 then the values.
+
+const (
+	codecMagic   = "CCSR"
+	codecVersion = 1
+)
+
+// Encode writes the store to w. Clusters with pending update overlays are
+// compacted first, so the serialized form is always overlay-free.
+func (s *Store) Encode(w io.Writer) error {
+	for _, c := range s.clusters {
+		if c.dirty() {
+			s.compact(c)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	writeU32 := func(x uint32) error { return binary.Write(bw, le, x) }
+	writeU64 := func(x uint64) error { return binary.Write(bw, le, x) }
+
+	if err := writeU32(codecVersion); err != nil {
+		return err
+	}
+	dir := byte(0)
+	if s.directed {
+		dir = 1
+	}
+	if err := bw.WriteByte(dir); err != nil {
+		return err
+	}
+	if err := writeU64(uint64(s.numVertices)); err != nil {
+		return err
+	}
+	if err := writeU64(uint64(s.numEdges)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, s.vertexLabels); err != nil {
+		return err
+	}
+	keys := s.Keys()
+	if err := writeU64(uint64(len(keys))); err != nil {
+		return err
+	}
+	writeSlice := func(xs []uint32) error {
+		if err := writeU64(uint64(len(xs))); err != nil {
+			return err
+		}
+		return binary.Write(bw, le, xs)
+	}
+	writeRLE := func(r rle) error {
+		if err := writeU64(uint64(len(r.vals))); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, le, r.vals); err != nil {
+			return err
+		}
+		return binary.Write(bw, le, r.counts)
+	}
+	for _, k := range keys {
+		c := s.clusters[k]
+		if err := binary.Write(bw, le, k.Src); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, le, k.Dst); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, le, k.Edge); err != nil {
+			return err
+		}
+		kd := byte(0)
+		if k.Directed {
+			kd = 1
+		}
+		if err := bw.WriteByte(kd); err != nil {
+			return err
+		}
+		if err := writeU64(uint64(c.NumEdges)); err != nil {
+			return err
+		}
+		if err := writeRLE(c.outRow); err != nil {
+			return err
+		}
+		if err := writeSlice(c.outCol); err != nil {
+			return err
+		}
+		if k.Directed {
+			if err := writeRLE(c.inRow); err != nil {
+				return err
+			}
+			if err := writeSlice(c.inCol); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a store previously written by Encode.
+func Decode(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("ccsr: decode magic: %w", err)
+	}
+	if string(magic) != codecMagic {
+		return nil, fmt.Errorf("ccsr: bad magic %q", magic)
+	}
+	var version uint32
+	if err := binary.Read(br, le, &version); err != nil {
+		return nil, err
+	}
+	if version != codecVersion {
+		return nil, fmt.Errorf("ccsr: unsupported version %d", version)
+	}
+	dir, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	var nv, ne uint64
+	if err := binary.Read(br, le, &nv); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, le, &ne); err != nil {
+		return nil, err
+	}
+	const maxReasonable = 1 << 32
+	if nv > maxReasonable || ne > maxReasonable {
+		return nil, fmt.Errorf("ccsr: implausible sizes %d/%d", nv, ne)
+	}
+	s := &Store{
+		directed:     dir == 1,
+		numVertices:  int(nv),
+		numEdges:     int(ne),
+		vertexLabels: make([]graph.Label, nv),
+		labelFreq:    make(map[graph.Label]int),
+		clusters:     make(map[Key]*Compressed),
+		pairIndex:    make(map[pairKey][]Key),
+	}
+	if err := binary.Read(br, le, s.vertexLabels); err != nil {
+		return nil, err
+	}
+	for _, l := range s.vertexLabels {
+		s.labelFreq[l]++
+	}
+
+	var nc uint64
+	if err := binary.Read(br, le, &nc); err != nil {
+		return nil, err
+	}
+	readSlice := func() ([]uint32, error) {
+		var n uint64
+		if err := binary.Read(br, le, &n); err != nil {
+			return nil, err
+		}
+		if n > maxReasonable {
+			return nil, fmt.Errorf("ccsr: implausible array length %d", n)
+		}
+		xs := make([]uint32, n)
+		if err := binary.Read(br, le, xs); err != nil {
+			return nil, err
+		}
+		return xs, nil
+	}
+	readRLE := func() (rle, error) {
+		var n uint64
+		if err := binary.Read(br, le, &n); err != nil {
+			return rle{}, err
+		}
+		if n > maxReasonable {
+			return rle{}, fmt.Errorf("ccsr: implausible rle length %d", n)
+		}
+		r := rle{vals: make([]uint32, n), counts: make([]uint32, n)}
+		if err := binary.Read(br, le, r.vals); err != nil {
+			return rle{}, err
+		}
+		if err := binary.Read(br, le, r.counts); err != nil {
+			return rle{}, err
+		}
+		return r, nil
+	}
+	for i := uint64(0); i < nc; i++ {
+		var k Key
+		if err := binary.Read(br, le, &k.Src); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, le, &k.Dst); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, le, &k.Edge); err != nil {
+			return nil, err
+		}
+		kd, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		k.Directed = kd == 1
+		var cne uint64
+		if err := binary.Read(br, le, &cne); err != nil {
+			return nil, err
+		}
+		c := &Compressed{Key: k, NumEdges: int(cne)}
+		if c.outRow, err = readRLE(); err != nil {
+			return nil, err
+		}
+		if c.outCol, err = readSlice(); err != nil {
+			return nil, err
+		}
+		if k.Directed {
+			if c.inRow, err = readRLE(); err != nil {
+				return nil, err
+			}
+			if c.inCol, err = readSlice(); err != nil {
+				return nil, err
+			}
+		}
+		s.clusters[k] = c
+		pk := newPairKey(k.Src, k.Dst)
+		s.pairIndex[pk] = append(s.pairIndex[pk], k)
+	}
+	return s, nil
+}

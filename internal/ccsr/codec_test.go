@@ -1,0 +1,72 @@
+package ccsr
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeNeverPanics feeds Decode mangled copies of a valid encoding
+// and arbitrary byte soup: it must return an error or a store, never
+// panic. Stores that do decode from mutated input may be semantically
+// wrong (a flipped column index is still a plausible stream) but must be
+// structurally safe to have decoded.
+func TestDecodeNeverPanics(t *testing.T) {
+	g := randomGraph(1, 60, 200, 3, 2, false)
+	var valid bytes.Buffer
+	if err := Build(g).Encode(&valid); err != nil {
+		t.Fatal(err)
+	}
+	base := valid.Bytes()
+
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("seed %d: Decode panicked: %v", seed, r)
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		var input []byte
+		if rng.Intn(2) == 0 {
+			// Mutate a valid stream: flip bits, then maybe truncate.
+			input = append([]byte(nil), base...)
+			for i := 0; i < 1+rng.Intn(8); i++ {
+				input[rng.Intn(len(input))] ^= byte(1 << rng.Intn(8))
+			}
+			if rng.Intn(2) == 0 {
+				input = input[:rng.Intn(len(input)+1)]
+			}
+		} else {
+			// Arbitrary bytes.
+			input = make([]byte, rng.Intn(256))
+			rng.Read(input)
+		}
+		_, _ = Decode(bytes.NewReader(input))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeTruncatedAtEveryPrefix exercises every truncation point of a
+// small valid stream: all must error cleanly, none may succeed except the
+// full stream.
+func TestDecodeTruncatedAtEveryPrefix(t *testing.T) {
+	g := randomGraph(2, 12, 30, 2, 1, true)
+	var valid bytes.Buffer
+	if err := Build(g).Encode(&valid); err != nil {
+		t.Fatal(err)
+	}
+	data := valid.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := Decode(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d decoded successfully", cut, len(data))
+		}
+	}
+	if _, err := Decode(bytes.NewReader(data)); err != nil {
+		t.Fatalf("full stream must decode: %v", err)
+	}
+}

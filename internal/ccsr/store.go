@@ -1,0 +1,222 @@
+package ccsr
+
+import (
+	"fmt"
+	"sort"
+
+	"csce/internal/graph"
+)
+
+// Store is the offline product of clustering a data graph: the complete set
+// G_C of compressed clusters, plus the vertex labels and label statistics
+// needed at plan time. A Store fully replaces the original graph for
+// matching purposes — per the paper, "as G_C is equivalent to G, we do not
+// keep G".
+type Store struct {
+	directed     bool
+	numVertices  int
+	vertexLabels []graph.Label
+	labelFreq    map[graph.Label]int
+	clusters     map[Key]*Compressed
+	pairIndex    map[pairKey][]Key // unordered label pair -> clusters, for (ux,uy)*-lookups
+	numEdges     int
+}
+
+// Build clusters every edge of g into its isomorphism class and compresses
+// each cluster. Time is O(|E| log |E|) from the per-cluster sorts, matching
+// the paper's analysis.
+func Build(g *graph.Graph) *Store {
+	s := &Store{
+		directed:     g.Directed(),
+		numVertices:  g.NumVertices(),
+		vertexLabels: append([]graph.Label(nil), g.Labels()...),
+		labelFreq:    make(map[graph.Label]int),
+		clusters:     make(map[Key]*Compressed),
+		pairIndex:    make(map[pairKey][]Key),
+		numEdges:     g.NumEdges(),
+	}
+	for _, l := range s.vertexLabels {
+		s.labelFreq[l]++
+	}
+
+	byKey := make(map[Key][]pair)
+	g.Edges(func(v, w graph.VertexID, el graph.EdgeLabel) {
+		key := NewKey(g.Label(v), g.Label(w), el, g.Directed())
+		if g.Directed() {
+			byKey[key] = append(byKey[key], pair{v, w})
+			return
+		}
+		// Undirected: store both orientations in the single CSR. The
+		// canonical key may have swapped the label pair; orientation of the
+		// stored pairs is per-vertex, so no swap is needed here.
+		byKey[key] = append(byKey[key], pair{v, w}, pair{w, v})
+	})
+
+	for key, pairs := range byKey {
+		s.clusters[key] = makeCompressed(key, pairs, s.numVertices)
+		pk := newPairKey(key.Src, key.Dst)
+		s.pairIndex[pk] = append(s.pairIndex[pk], key)
+	}
+	for _, keys := range s.pairIndex {
+		sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+	}
+	return s
+}
+
+// pair is one stored edge orientation.
+type pair struct{ a, b graph.VertexID }
+
+// makeCompressed builds a compressed cluster from its pair list. For an
+// undirected key the list must already contain both orientations.
+func makeCompressed(key Key, pairs []pair, numVertices int) *Compressed {
+	n := uint32(numVertices)
+	c := &Compressed{Key: key}
+	if key.Directed {
+		c.NumEdges = len(pairs)
+	} else {
+		c.NumEdges = len(pairs) / 2
+	}
+
+	// Outgoing side: rows keyed by the first element of each pair.
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+	outStart := make([]uint32, n+1)
+	outCol := make([]uint32, len(pairs))
+	for i, p := range pairs {
+		outCol[i] = uint32(p.b)
+	}
+	fillRowStarts(outStart, pairs, func(p pair) graph.VertexID { return p.a })
+	c.outRow = compressRLE(outStart)
+	c.outCol = outCol
+
+	if key.Directed {
+		// Incoming side: rows keyed by destination.
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].b != pairs[j].b {
+				return pairs[i].b < pairs[j].b
+			}
+			return pairs[i].a < pairs[j].a
+		})
+		inStart := make([]uint32, n+1)
+		inCol := make([]uint32, len(pairs))
+		for i, p := range pairs {
+			inCol[i] = uint32(p.a)
+		}
+		fillRowStarts(inStart, pairs, func(p pair) graph.VertexID { return p.b })
+		c.inRow = compressRLE(inStart)
+		c.inCol = inCol
+	}
+	return c
+}
+
+// fillRowStarts computes CSR row starts for pairs sorted by rowOf.
+func fillRowStarts[P any](rowStart []uint32, pairs []P, rowOf func(P) graph.VertexID) {
+	n := len(rowStart) - 1
+	cur := 0
+	for v := 0; v < n; v++ {
+		rowStart[v] = uint32(cur)
+		for cur < len(pairs) && int(rowOf(pairs[cur])) == v {
+			cur++
+		}
+	}
+	rowStart[n] = uint32(cur)
+}
+
+func keyLess(a, b Key) bool {
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	if a.Dst != b.Dst {
+		return a.Dst < b.Dst
+	}
+	if a.Edge != b.Edge {
+		return a.Edge < b.Edge
+	}
+	return !a.Directed && b.Directed
+}
+
+// Directed reports whether the clustered graph is directed.
+func (s *Store) Directed() bool { return s.directed }
+
+// NumVertices returns the clustered graph's vertex count.
+func (s *Store) NumVertices() int { return s.numVertices }
+
+// NumEdges returns the clustered graph's edge count (undirected edges
+// counted once).
+func (s *Store) NumEdges() int { return s.numEdges }
+
+// NumClusters returns |G_C|.
+func (s *Store) NumClusters() int { return len(s.clusters) }
+
+// VertexLabel returns the label of data vertex v.
+func (s *Store) VertexLabel(v graph.VertexID) graph.Label { return s.vertexLabels[v] }
+
+// LabelFrequency returns the number of data vertices with label l.
+func (s *Store) LabelFrequency(l graph.Label) int { return s.labelFreq[l] }
+
+// ClusterSize returns the number of edges in the identified cluster, or 0
+// if the cluster does not exist. This is the |I_C| statistic the GCF and
+// LDSF tie-breaking rules consume; it never decompresses anything.
+func (s *Store) ClusterSize(k Key) int {
+	if c, ok := s.clusters[k]; ok {
+		return c.NumEdges
+	}
+	return 0
+}
+
+// EdgeClusterSize returns the size of the cluster matching an edge between
+// vertex labels src and dst with the given edge label, honoring the store's
+// directedness.
+func (s *Store) EdgeClusterSize(src, dst graph.Label, el graph.EdgeLabel) int {
+	return s.ClusterSize(NewKey(src, dst, el, s.directed))
+}
+
+// PairClusterKeys returns the identifiers of all clusters holding edges
+// between vertex labels a and b, in either direction and with any edge
+// label — the paper's (ux,uy)*-clusters.
+func (s *Store) PairClusterKeys(a, b graph.Label) []Key {
+	return s.pairIndex[newPairKey(a, b)]
+}
+
+// CompressedBytes returns the total at-rest footprint of all clusters.
+func (s *Store) CompressedBytes() int {
+	total := 4 * len(s.vertexLabels) / 2 // labels are uint16
+	for _, c := range s.clusters {
+		total += c.Bytes()
+	}
+	return total
+}
+
+// Keys returns all cluster identifiers in deterministic order.
+func (s *Store) Keys() []Key {
+	keys := make([]Key, 0, len(s.clusters))
+	for k := range s.clusters {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+	return keys
+}
+
+// decompress builds the matchable form of cluster k. Clusters with
+// pending update overlays are compacted first so the CSR arrays always
+// reflect the current graph; row-start arrays are padded to cover vertices
+// added after the base was built.
+func (s *Store) decompress(k Key) (*Cluster, error) {
+	c, ok := s.clusters[k]
+	if !ok {
+		return nil, fmt.Errorf("ccsr: no cluster %v", k)
+	}
+	if c.dirty() {
+		s.compact(c)
+	}
+	out := &CSR{rowStart: padRowStarts(c.outRow.decompress(), s.numVertices), col: c.outCol}
+	cl := &Cluster{Key: k, NumEdges: c.NumEdges, Out: out}
+	if k.Directed {
+		cl.In = &CSR{rowStart: padRowStarts(c.inRow.decompress(), s.numVertices), col: c.inCol}
+	}
+	return cl, nil
+}

@@ -1,0 +1,218 @@
+package ccsr
+
+import (
+	"fmt"
+	"sort"
+
+	"csce/internal/graph"
+)
+
+// Incremental maintenance of the clustered index. The paper positions CCSR
+// against graph-database storage (Kùzu's CSR adjacency indices, Section
+// II), where updates are a core requirement; this file adds them without
+// giving up the compressed at-rest layout: each cluster keeps small delta
+// overlays (inserted and deleted edge pairs) that decompression merges
+// with the base arrays, and a cluster is compacted — its base rebuilt —
+// once the overlay grows past a fraction of its size.
+//
+// Update semantics match Build exactly: a mutated store is always
+// equivalent to Build applied to the mutated graph (asserted by the
+// property tests in update_test.go).
+
+// deltaCompactionFraction triggers compaction once the overlay exceeds
+// this fraction of the base size (or deltaCompactionMin, whichever is
+// larger).
+const (
+	deltaCompactionFraction = 8 // base/8
+	deltaCompactionMin      = 64
+)
+
+// AddVertex appends a vertex with label l to the clustered graph and
+// returns its ID. The new vertex has no edges; cluster row indices are
+// extended lazily at decompression time.
+func (s *Store) AddVertex(l graph.Label) graph.VertexID {
+	s.vertexLabels = append(s.vertexLabels, l)
+	s.labelFreq[l]++
+	s.numVertices++
+	return graph.VertexID(s.numVertices - 1)
+}
+
+// InsertEdge adds an edge between existing vertices. For an undirected
+// store the edge is symmetric. Inserting an edge that already exists (same
+// endpoints, direction, and label) is an error, as is a self-loop.
+func (s *Store) InsertEdge(src, dst graph.VertexID, el graph.EdgeLabel) error {
+	if err := s.checkEndpoints(src, dst); err != nil {
+		return err
+	}
+	if s.hasEdge(src, dst, el) {
+		return fmt.Errorf("ccsr: edge (%d,%d,e%d) already present", src, dst, el)
+	}
+	key := NewKey(s.vertexLabels[src], s.vertexLabels[dst], el, s.directed)
+	c, ok := s.clusters[key]
+	if !ok {
+		c = &Compressed{Key: key}
+		// Empty base: an all-zero row-start array compresses to one run.
+		c.outRow = compressRLE(make([]uint32, s.numVertices+1))
+		if key.Directed {
+			c.inRow = compressRLE(make([]uint32, s.numVertices+1))
+		}
+		s.clusters[key] = c
+		pk := newPairKey(key.Src, key.Dst)
+		s.pairIndex[pk] = insertKeySorted(s.pairIndex[pk], key)
+	}
+	// Re-inserting a base edge that carries a tombstone cancels the
+	// tombstone instead of stacking an insert on top of it, keeping every
+	// pair in at most one overlay.
+	if removePair(&c.delPairs, pair{src, dst}) {
+		if !s.directed {
+			removePair(&c.delPairs, pair{dst, src})
+		}
+	} else {
+		c.addPairs = append(c.addPairs, pair{src, dst})
+		if !s.directed {
+			c.addPairs = append(c.addPairs, pair{dst, src})
+		}
+	}
+	c.NumEdges++
+	s.numEdges++
+	s.maybeCompact(c)
+	return nil
+}
+
+// DeleteEdge removes an existing edge (same endpoints, direction, label).
+func (s *Store) DeleteEdge(src, dst graph.VertexID, el graph.EdgeLabel) error {
+	if err := s.checkEndpoints(src, dst); err != nil {
+		return err
+	}
+	key := NewKey(s.vertexLabels[src], s.vertexLabels[dst], el, s.directed)
+	c, ok := s.clusters[key]
+	if !ok || !s.hasEdge(src, dst, el) {
+		return fmt.Errorf("ccsr: edge (%d,%d,e%d) not present", src, dst, el)
+	}
+	// If the edge is still in the insert overlay, cancel it there;
+	// otherwise record a tombstone.
+	if removePair(&c.addPairs, pair{src, dst}) {
+		if !s.directed {
+			removePair(&c.addPairs, pair{dst, src})
+		}
+	} else {
+		c.delPairs = append(c.delPairs, pair{src, dst})
+		if !s.directed {
+			c.delPairs = append(c.delPairs, pair{dst, src})
+		}
+	}
+	c.NumEdges--
+	s.numEdges--
+	s.maybeCompact(c)
+	return nil
+}
+
+// hasEdge reports whether the store currently holds the edge, consulting
+// base arrays and overlays.
+func (s *Store) hasEdge(src, dst graph.VertexID, el graph.EdgeLabel) bool {
+	key := NewKey(s.vertexLabels[src], s.vertexLabels[dst], el, s.directed)
+	c, ok := s.clusters[key]
+	if !ok {
+		return false
+	}
+	p := pair{src, dst}
+	for _, d := range c.delPairs {
+		if d == p {
+			return false
+		}
+	}
+	for _, a := range c.addPairs {
+		if a == p {
+			return true
+		}
+	}
+	return baseHasPair(c, p, s.numVertices)
+}
+
+// baseHasPair checks the compressed base arrays for one orientation.
+func baseHasPair(c *Compressed, p pair, numVertices int) bool {
+	rowStart := c.outRow.decompress()
+	rowStart = padRowStarts(rowStart, numVertices)
+	lo, hi := rowStart[p.a], rowStart[p.a+1]
+	row := c.outCol[lo:hi]
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= uint32(p.b) })
+	return i < len(row) && row[i] == uint32(p.b)
+}
+
+func (s *Store) checkEndpoints(src, dst graph.VertexID) error {
+	if int(src) >= s.numVertices || int(dst) >= s.numVertices {
+		return fmt.Errorf("ccsr: vertex out of range (have %d vertices)", s.numVertices)
+	}
+	if src == dst {
+		return fmt.Errorf("ccsr: self-loop on vertex %d is not allowed", src)
+	}
+	return nil
+}
+
+// maybeCompact rebuilds the base arrays when the overlay is large.
+func (s *Store) maybeCompact(c *Compressed) {
+	overlay := len(c.addPairs) + len(c.delPairs)
+	threshold := len(c.outCol)/deltaCompactionFraction + deltaCompactionMin
+	if overlay < threshold {
+		return
+	}
+	s.compact(c)
+}
+
+// compact merges the overlays of c into fresh base arrays.
+func (s *Store) compact(c *Compressed) {
+	pairs := c.mergedPairs(s.numVertices)
+	*c = *makeCompressed(c.Key, pairs, s.numVertices)
+}
+
+// mergedPairs materializes the cluster's current pair list.
+func (c *Compressed) mergedPairs(numVertices int) []pair {
+	rowStart := padRowStarts(c.outRow.decompress(), numVertices)
+	dead := make(map[pair]bool, len(c.delPairs))
+	for _, d := range c.delPairs {
+		dead[d] = true
+	}
+	est := len(c.outCol) + len(c.addPairs) - len(c.delPairs)
+	if est < 0 {
+		est = 0
+	}
+	pairs := make([]pair, 0, est)
+	for v := 0; v < numVertices && v+1 < len(rowStart); v++ {
+		for _, w := range c.outCol[rowStart[v]:rowStart[v+1]] {
+			p := pair{graph.VertexID(v), w}
+			if !dead[p] {
+				pairs = append(pairs, p)
+			}
+		}
+	}
+	pairs = append(pairs, c.addPairs...)
+	return pairs
+}
+
+// padRowStarts extends a decompressed row-start array to cover vertices
+// added after the base was built.
+func padRowStarts(rowStart []uint32, numVertices int) []uint32 {
+	for len(rowStart) < numVertices+1 {
+		rowStart = append(rowStart, rowStart[len(rowStart)-1])
+	}
+	return rowStart
+}
+
+func removePair(ps *[]pair, p pair) bool {
+	for i, x := range *ps {
+		if x == p {
+			(*ps)[i] = (*ps)[len(*ps)-1]
+			*ps = (*ps)[:len(*ps)-1]
+			return true
+		}
+	}
+	return false
+}
+
+func insertKeySorted(keys []Key, k Key) []Key {
+	i := sort.Search(len(keys), func(i int) bool { return !keyLess(keys[i], k) })
+	keys = append(keys, Key{})
+	copy(keys[i+1:], keys[i:])
+	keys[i] = k
+	return keys
+}

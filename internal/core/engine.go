@@ -1,0 +1,209 @@
+// Package core is the CSCE engine: the paper's primary contribution
+// assembled end to end. An Engine owns the offline product of clustering a
+// data graph (the CCSR store, Section IV); Match runs the online pipeline
+// of Fig. 2 — cluster selection (Algorithm 1), plan optimization with GCF,
+// the dependency DAG, and LDSF (Section VI), and the pipelined
+// worst-case-optimal join execution with SCE candidate reuse (Section V) —
+// for any of the three subgraph-matching variants.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"csce/internal/ccsr"
+	"csce/internal/exec"
+	"csce/internal/graph"
+	"csce/internal/plan"
+)
+
+// Engine holds the clustered data graph. Build it once per data graph and
+// reuse it across matching tasks; the paper's offline/online split exists
+// exactly so clustering is not repeated per task.
+type Engine struct {
+	store *ccsr.Store
+	names *graph.LabelTable
+}
+
+// NewEngine clusters g into CCSR form. The original graph is not retained:
+// the store is equivalent to it for matching purposes.
+func NewEngine(g *graph.Graph) *Engine {
+	return &Engine{store: ccsr.Build(g), names: g.Names}
+}
+
+// Load reads an engine previously written with Save.
+func Load(r io.Reader) (*Engine, error) {
+	store, err := ccsr.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{store: store}, nil
+}
+
+// Save serializes the clustered data graph.
+func (e *Engine) Save(w io.Writer) error { return e.store.Encode(w) }
+
+// Store exposes the underlying CCSR store (plan inspection, statistics).
+func (e *Engine) Store() *ccsr.Store { return e.store }
+
+// Names returns the label table of the originating graph, if known.
+// Patterns should be parsed with it so label names align.
+func (e *Engine) Names() *graph.LabelTable { return e.names }
+
+// InsertEdge adds an edge to the clustered data graph (incremental CCSR
+// maintenance; the engine remains equivalent to re-clustering the mutated
+// graph). For an undirected engine the edge is symmetric.
+func (e *Engine) InsertEdge(src, dst graph.VertexID, el graph.EdgeLabel) error {
+	return e.store.InsertEdge(src, dst, el)
+}
+
+// DeleteEdge removes an existing edge from the clustered data graph.
+func (e *Engine) DeleteEdge(src, dst graph.VertexID, el graph.EdgeLabel) error {
+	return e.store.DeleteEdge(src, dst, el)
+}
+
+// AddVertex appends an isolated vertex with the given label and returns
+// its ID.
+func (e *Engine) AddVertex(l graph.Label) graph.VertexID { return e.store.AddVertex(l) }
+
+// MatchOptions configures one matching task.
+type MatchOptions struct {
+	// Variant selects edge-induced (default), vertex-induced, or
+	// homomorphic matching.
+	Variant graph.Variant
+	// Mode selects the plan-optimization ablation; the default ModeCSCE is
+	// the full pipeline.
+	Mode plan.Mode
+	// Limit stops after this many embeddings (0 = all).
+	Limit uint64
+	// TimeLimit bounds the execution stage (0 = none).
+	TimeLimit time.Duration
+	// OnEmbedding receives each embedding, indexed by pattern vertex ID.
+	// Return false to stop. Disables factorized counting.
+	OnEmbedding func(mapping []graph.VertexID) bool
+	// SymmetryBreaking derives f(a)<f(b) constraints from the pattern's
+	// automorphism group, so each unordered instance is found exactly once.
+	// Embeddings then counts instances, not mappings. (CSCE itself does not
+	// apply this by default — Finding 2 — but the Fig. 14a ablation and the
+	// clique case study need it.)
+	SymmetryBreaking bool
+	// DisableSCECache and DisableFactorization switch off the SCE
+	// optimizations for ablation runs.
+	DisableSCECache      bool
+	DisableFactorization bool
+	// Workers > 1 runs the execution stage in parallel by partitioning the
+	// first vertex's candidates (an extension; the paper's evaluation is
+	// single-threaded). Counts are exact; OnEmbedding is serialized.
+	Workers int
+	// Profile collects a per-level execution profile (MatchResult.Profile).
+	// Ignored when Workers > 1.
+	Profile bool
+}
+
+// MatchResult reports a matching task with the stage timings the paper's
+// experiments break out (reading/decompression, optimization, execution).
+type MatchResult struct {
+	// Embeddings found (mappings; instances when SymmetryBreaking is set).
+	Embeddings uint64
+	// Plan is the optimized plan, including SCE statistics (Fig. 12).
+	Plan *plan.Plan
+	// Automorphisms is |Aut(P)| when SymmetryBreaking was used, else 0.
+	Automorphisms int
+
+	// ReadTime covers ReadCSR cluster selection and decompression.
+	ReadTime time.Duration
+	// PlanTime covers GCF + DAG + LDSF (+ automorphisms if requested).
+	PlanTime time.Duration
+	// ExecTime covers the join execution.
+	ExecTime time.Duration
+
+	// ClustersRead and ViewBytes quantify CCSR overhead (Fig. 11).
+	ClustersRead int
+	ViewBytes    int
+
+	// Exec carries the detailed execution counters.
+	Exec exec.Stats
+	// Profile is the per-level execution profile when requested.
+	Profile *exec.Profile
+}
+
+// Total returns the end-to-end time, the paper's primary metric.
+func (r MatchResult) Total() time.Duration { return r.ReadTime + r.PlanTime + r.ExecTime }
+
+// Throughput returns embeddings per second of total time (Fig. 7/8).
+func (r MatchResult) Throughput() float64 {
+	if r.Total() <= 0 {
+		return 0
+	}
+	return float64(r.Embeddings) / r.Total().Seconds()
+}
+
+// Match finds all embeddings of pattern p under the given options.
+func (e *Engine) Match(p *graph.Graph, opts MatchOptions) (MatchResult, error) {
+	var res MatchResult
+
+	readStart := time.Now()
+	view, err := e.store.ReadCSR(p, opts.Variant)
+	if err != nil {
+		return res, fmt.Errorf("core: read clusters: %w", err)
+	}
+	res.ReadTime = time.Since(readStart)
+	res.ClustersRead = view.NumClusters()
+	res.ViewBytes = view.DecompressedBytes()
+
+	planStart := time.Now()
+	pl, err := plan.Optimize(p, e.store, opts.Variant, opts.Mode)
+	if err != nil {
+		return res, fmt.Errorf("core: optimize: %w", err)
+	}
+	execOpts := exec.Options{
+		Limit:                opts.Limit,
+		TimeLimit:            opts.TimeLimit,
+		OnEmbedding:          opts.OnEmbedding,
+		DisableSCECache:      opts.DisableSCECache,
+		DisableFactorization: opts.DisableFactorization,
+	}
+	if opts.SymmetryBreaking {
+		auts := plan.Automorphisms(p)
+		execOpts.SymmetryConstraints = plan.SymmetryConstraints(p, auts)
+		res.Automorphisms = len(auts)
+	}
+	res.PlanTime = time.Since(planStart)
+	res.Plan = pl
+
+	var st exec.Stats
+	switch {
+	case opts.Workers > 1:
+		st, err = exec.RunParallel(view, pl, execOpts, opts.Workers)
+	case opts.Profile:
+		var prof exec.Profile
+		st, prof, err = exec.RunWithProfile(view, pl, execOpts)
+		res.Profile = &prof
+	default:
+		st, err = exec.Run(view, pl, execOpts)
+	}
+	if err != nil {
+		return res, fmt.Errorf("core: execute: %w", err)
+	}
+	res.Exec = st
+	res.ExecTime = st.Elapsed
+	res.Embeddings = st.Embeddings
+	return res, nil
+}
+
+// Count is a convenience wrapper counting all embeddings of p under a
+// variant with default options.
+func (e *Engine) Count(p *graph.Graph, variant graph.Variant) (uint64, error) {
+	res, err := e.Match(p, MatchOptions{Variant: variant})
+	return res.Embeddings, err
+}
+
+// PlanOnly runs just the optimization pipeline — the Fig. 10 scalability
+// experiment measures this stage in isolation for patterns up to 2000
+// vertices.
+func (e *Engine) PlanOnly(p *graph.Graph, variant graph.Variant) (*plan.Plan, time.Duration, error) {
+	start := time.Now()
+	pl, err := plan.Optimize(p, e.store, variant, plan.ModeCSCE)
+	return pl, time.Since(start), err
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"csce/internal/graph"
+)
+
+func TestBuildHigherOrderTrianglesInK4(t *testing.T) {
+	g := graph.Clique(4, 0)
+	e := NewEngine(g)
+	p := graph.Clique(3, 0)
+
+	// K4 contains C(4,3) = 4 triangles; every vertex pair lies in exactly
+	// 2 of them.
+	weights, instances, err := e.BuildHigherOrder(p, HigherOrderOptions{
+		Variant:              graph.EdgeInduced,
+		CountAutomorphicOnce: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if instances != 4 {
+		t.Fatalf("instances = %d, want 4", instances)
+	}
+	if len(weights) != 6 {
+		t.Fatalf("weighted pairs = %d, want 6", len(weights))
+	}
+	for pr, w := range weights {
+		if w != 2 {
+			t.Fatalf("pair %v weight = %d, want 2", pr, w)
+		}
+	}
+	if weights.Weight(2, 0) != 2 || weights.Weight(0, 2) != 2 {
+		t.Fatal("Weight must be orientation independent")
+	}
+
+	// Without deduplication every mapping counts: weights scale by
+	// |Aut(K3)| = 6.
+	all, mappings, err := e.BuildHigherOrder(p, HigherOrderOptions{Variant: graph.EdgeInduced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mappings != 24 {
+		t.Fatalf("mappings = %d, want 24", mappings)
+	}
+	for pr, w := range all {
+		if w != 12 {
+			t.Fatalf("pair %v mapping weight = %d, want 12", pr, w)
+		}
+	}
+}
+
+func TestBuildHigherOrderRejectsHomomorphic(t *testing.T) {
+	e := NewEngine(graph.Clique(4, 0))
+	if _, _, err := e.BuildHigherOrder(graph.Clique(3, 0), HigherOrderOptions{Variant: graph.Homomorphic}); err == nil {
+		t.Fatal("homomorphic weights must be rejected")
+	}
+}
+
+func TestHigherOrderGraph(t *testing.T) {
+	// Two triangles sharing no vertices plus a bridge edge: the triangle
+	// higher-order graph keeps only intra-triangle pairs; the bridge
+	// vanishes.
+	b := graph.NewBuilder(false)
+	b.AddVertices(6, 0)
+	for _, e := range [][2]graph.VertexID{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}} {
+		b.AddEdge(e[0], e[1], 0)
+	}
+	g := b.MustBuild()
+	e := NewEngine(g)
+	gp, weights, err := e.HigherOrderGraph(graph.Clique(3, 0), HigherOrderOptions{
+		Variant:              graph.EdgeInduced,
+		CountAutomorphicOnce: true,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.NumVertices() != 6 {
+		t.Fatalf("G_P has %d vertices, want 6", gp.NumVertices())
+	}
+	if gp.NumEdges() != 6 {
+		t.Fatalf("G_P has %d edges, want the 6 intra-triangle pairs", gp.NumEdges())
+	}
+	if gp.HasEdge(2, 3) {
+		t.Fatal("the bridge pair is in no triangle and must be dropped")
+	}
+	if weights.Weight(0, 1) != 1 {
+		t.Fatalf("triangle pair weight = %d, want 1", weights.Weight(0, 1))
+	}
+	// A min-weight threshold above every weight empties G_P.
+	gp2, _, err := e.HigherOrderGraph(graph.Clique(3, 0), HigherOrderOptions{
+		Variant:              graph.EdgeInduced,
+		CountAutomorphicOnce: true,
+	}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp2.NumEdges() != 0 {
+		t.Fatal("threshold must drop light pairs")
+	}
+}

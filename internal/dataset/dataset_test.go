@@ -1,0 +1,204 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"csce/internal/graph"
+)
+
+func TestCatalogShapes(t *testing.T) {
+	for _, spec := range Catalog() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			g := spec.Generate()
+			if g.Directed() != spec.Directed {
+				t.Fatalf("directedness mismatch")
+			}
+			// Size within 35% of target (generators are stochastic).
+			if lo, hi := spec.Vertices*65/100, spec.Vertices*135/100; g.NumVertices() < lo || g.NumVertices() > hi {
+				t.Fatalf("vertices = %d, target %d", g.NumVertices(), spec.Vertices)
+			}
+			if lo, hi := spec.TargetEdges*6/10, spec.TargetEdges*14/10; g.NumEdges() < lo || g.NumEdges() > hi {
+				t.Fatalf("edges = %d, target %d", g.NumEdges(), spec.TargetEdges)
+			}
+			if spec.VertexLabels > 1 {
+				got := g.VertexLabelCount()
+				if got < spec.VertexLabels/2 || got > spec.VertexLabels {
+					t.Fatalf("label count = %d, want about %d", got, spec.VertexLabels)
+				}
+			} else if g.VertexLabelCount() != 1 {
+				t.Fatalf("unlabeled dataset has %d labels", g.VertexLabelCount())
+			}
+		})
+	}
+}
+
+func TestGenerationIsDeterministic(t *testing.T) {
+	spec, _ := ByName("Yeast")
+	a, b := spec.Generate(), spec.Generate()
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed must generate identical sizes")
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		oa, ob := a.Out(graph.VertexID(v)), b.Out(graph.VertexID(v))
+		if len(oa) != len(ob) {
+			t.Fatalf("vertex %d adjacency differs", v)
+		}
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatalf("vertex %d adjacency differs at %d", v, i)
+			}
+		}
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	spec, _ := ByName("Patent")
+	g := spec.Generate()
+	s := graph.ComputeStats("Patent", g)
+	if s.MaxOutDegree < int(8*s.AvgDegree) {
+		t.Fatalf("power-law graph must have a heavy tail: max %d avg %.1f",
+			s.MaxOutDegree, s.AvgDegree)
+	}
+}
+
+func TestRoadDegreesAreFlat(t *testing.T) {
+	spec, _ := ByName("RoadCA")
+	g := spec.Generate()
+	s := graph.ComputeStats("RoadCA", g)
+	if s.MaxOutDegree > 8 {
+		t.Fatalf("road network max degree %d is too high", s.MaxOutDegree)
+	}
+	if s.AvgDegree < 1.5 || s.AvgDegree > 4 {
+		t.Fatalf("road network avg degree %.2f out of range", s.AvgDegree)
+	}
+}
+
+func TestCommunityGroundTruth(t *testing.T) {
+	spec := EmailEU()
+	g, membership := spec.GenerateWithCommunities()
+	if len(membership) != g.NumVertices() {
+		t.Fatal("membership length mismatch")
+	}
+	// Intra-community edges must dominate.
+	intra, inter := 0, 0
+	g.Edges(func(a, b graph.VertexID, _ graph.EdgeLabel) {
+		if membership[a] == membership[b] {
+			intra++
+		} else {
+			inter++
+		}
+	})
+	if intra <= inter {
+		t.Fatalf("planted partition too weak: intra=%d inter=%d", intra, inter)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("DIP"); !ok {
+		t.Fatal("DIP missing")
+	}
+	if _, ok := ByName("EMAIL-EU"); !ok {
+		t.Fatal("EMAIL-EU missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown dataset resolved")
+	}
+	if len(Names()) != len(Catalog()) {
+		t.Fatal("Names incomplete")
+	}
+}
+
+func TestWithLabels(t *testing.T) {
+	spec, _ := ByName("Patent")
+	relabeled := spec.WithLabels(200)
+	if relabeled.VertexLabels != 200 {
+		t.Fatal("label override lost")
+	}
+	g := relabeled.Generate()
+	if got := g.VertexLabelCount(); got < 100 {
+		t.Fatalf("relabeled graph has %d labels, want near 200", got)
+	}
+}
+
+func TestSamplePatternProperties(t *testing.T) {
+	spec, _ := ByName("Yeast")
+	g := spec.Generate()
+	rng := rand.New(rand.NewSource(42))
+	for _, size := range []int{4, 8, 16} {
+		for _, dense := range []bool{false, true} {
+			p, err := SamplePattern(g, size, dense, rng)
+			if err != nil {
+				t.Fatalf("size %d dense=%v: %v", size, dense, err)
+			}
+			if p.NumVertices() != size {
+				t.Fatalf("pattern size %d, want %d", p.NumVertices(), size)
+			}
+			if !graph.IsConnected(p) {
+				t.Fatal("pattern must be connected")
+			}
+			avg := graph.AvgDegreeOf(p)
+			if dense && avg <= 2 {
+				t.Fatalf("dense pattern has avg degree %.2f", avg)
+			}
+			if !dense && avg > 2 {
+				t.Fatalf("sparse pattern has avg degree %.2f", avg)
+			}
+			// Sampled patterns are subgraphs: every pattern label exists in g.
+			for v := 0; v < p.NumVertices(); v++ {
+				if g.LabelFrequency(p.Label(graph.VertexID(v))) == 0 {
+					t.Fatal("pattern label not present in data graph")
+				}
+			}
+		}
+	}
+}
+
+func TestSamplePatternsDeterministic(t *testing.T) {
+	spec, _ := ByName("Yeast")
+	g := spec.Generate()
+	cfg := PatternConfig{Size: 8, Dense: true, Count: 3, Seed: 7}
+	a, err := SamplePatterns(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SamplePatterns(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].NumEdges() != b[i].NumEdges() {
+			t.Fatal("same seed must sample identical patterns")
+		}
+	}
+	if cfg.Name() != "D8" {
+		t.Fatalf("config name = %q", cfg.Name())
+	}
+	if (PatternConfig{Size: 16}).Name() != "S16" {
+		t.Fatal("sparse naming broken")
+	}
+}
+
+func TestSamplePatternErrors(t *testing.T) {
+	small := graph.Clique(3, 0)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := SamplePattern(small, 10, false, rng); err == nil {
+		t.Fatal("oversized pattern must fail")
+	}
+	if _, err := SamplePattern(small, 1, false, rng); err == nil {
+		t.Fatal("trivial size must fail")
+	}
+}
+
+func TestCliquePattern(t *testing.T) {
+	spec := EmailEU()
+	g := spec.Generate()
+	p := CliquePattern(g, 8)
+	if p.NumVertices() != 8 || p.NumEdges() != 28 {
+		t.Fatalf("8-clique shape wrong: %d/%d", p.NumVertices(), p.NumEdges())
+	}
+	if g.LabelFrequency(p.Label(0)) == 0 {
+		t.Fatal("clique label must exist in the data graph")
+	}
+}

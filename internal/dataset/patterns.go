@@ -1,0 +1,237 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"csce/internal/graph"
+)
+
+// Pattern sampling follows the protocol the paper adopts from RapidMatch,
+// VEQ and GuP: patterns are connected subgraphs sampled from the data
+// graph itself, classified as dense (average degree > 2) or sparse
+// otherwise, and named D<size> / S<size>.
+
+// PatternConfig selects what to sample.
+type PatternConfig struct {
+	Size  int
+	Dense bool
+	// Count is how many patterns per configuration (the paper averages 10).
+	Count int
+	Seed  int64
+}
+
+// Name returns the paper-style configuration name, e.g. "D8" or "S16".
+func (c PatternConfig) Name() string {
+	k := "S"
+	if c.Dense {
+		k = "D"
+	}
+	return fmt.Sprintf("%s%d", k, c.Size)
+}
+
+// SamplePattern extracts one connected pattern of the given size from g:
+// a random walk (with restarts into the collected frontier) gathers the
+// vertex set, then either the full induced subgraph (dense) or a sparse
+// skeleton of it (spanning tree plus at most size/4 extra edges) becomes
+// the pattern. Returns an error when g is too small or the walk cannot
+// reach the requested size.
+func SamplePattern(g *graph.Graph, size int, dense bool, rng *rand.Rand) (*graph.Graph, error) {
+	if size < 2 {
+		return nil, fmt.Errorf("dataset: pattern size %d too small", size)
+	}
+	if g.NumVertices() < size {
+		return nil, fmt.Errorf("dataset: data graph smaller than pattern")
+	}
+	for attempt := 0; attempt < 64; attempt++ {
+		var vs []graph.VertexID
+		var ok bool
+		if dense {
+			vs, ok = denseSample(g, size, rng)
+		} else {
+			vs, ok = walkSample(g, size, rng)
+		}
+		if !ok {
+			continue
+		}
+		sub, _ := graph.InducedSubgraph(g, vs)
+		if !dense {
+			sub = sparsify(sub, rng)
+		}
+		if !graph.IsConnected(sub) {
+			continue
+		}
+		avg := graph.AvgDegreeOf(sub)
+		if dense && avg <= 2 {
+			continue
+		}
+		if !dense && avg > 2 {
+			continue
+		}
+		return sub, nil
+	}
+	return nil, fmt.Errorf("dataset: could not sample a %s pattern of size %d",
+		map[bool]string{true: "dense", false: "sparse"}[dense], size)
+}
+
+// SamplePatterns draws cfg.Count patterns deterministically.
+func SamplePatterns(g *graph.Graph, cfg PatternConfig) ([]*graph.Graph, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	count := cfg.Count
+	if count == 0 {
+		count = 10
+	}
+	out := make([]*graph.Graph, 0, count)
+	for i := 0; i < count; i++ {
+		p, err := SamplePattern(g, cfg.Size, cfg.Dense, rng)
+		if err != nil {
+			return nil, fmt.Errorf("%s pattern %d: %w", cfg.Name(), i, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// walkSample random-walks from a random seed vertex, restarting into the
+// collected set when stuck, until size distinct vertices are gathered.
+func walkSample(g *graph.Graph, size int, rng *rand.Rand) ([]graph.VertexID, bool) {
+	start := graph.VertexID(rng.Intn(g.NumVertices()))
+	in := map[graph.VertexID]bool{start: true}
+	order := []graph.VertexID{start}
+	cur := start
+	for steps := 0; len(order) < size && steps < size*200; steps++ {
+		ns := g.UndirectedNeighbors(cur)
+		if len(ns) == 0 {
+			cur = order[rng.Intn(len(order))]
+			continue
+		}
+		next := ns[rng.Intn(len(ns))]
+		if !in[next] {
+			in[next] = true
+			order = append(order, next)
+		}
+		if rng.Float64() < 0.25 {
+			cur = order[rng.Intn(len(order))] // restart inside the sample
+		} else {
+			cur = next
+		}
+	}
+	return order, len(order) == size
+}
+
+// denseSample greedily grows a vertex set from a high-degree seed, always
+// adding the frontier vertex with the most edges into the current set
+// (random among ties), which lands in locally dense regions so induced
+// subgraphs exceed the dense threshold (avg degree > 2).
+func denseSample(g *graph.Graph, size int, rng *rand.Rand) ([]graph.VertexID, bool) {
+	start := graph.VertexID(rng.Intn(g.NumVertices()))
+	for tries := 0; tries < 12; tries++ {
+		cand := graph.VertexID(rng.Intn(g.NumVertices()))
+		if g.Degree(cand) > g.Degree(start) {
+			start = cand
+		}
+	}
+	in := map[graph.VertexID]bool{start: true}
+	set := []graph.VertexID{start}
+	// edgesInto counts, per frontier vertex, its adjacency into the set.
+	edgesInto := map[graph.VertexID]int{}
+	addFrontier := func(v graph.VertexID) {
+		for _, w := range g.UndirectedNeighbors(v) {
+			if !in[w] {
+				edgesInto[w]++
+			}
+		}
+	}
+	addFrontier(start)
+	for len(set) < size {
+		if len(edgesInto) == 0 {
+			return nil, false
+		}
+		bestScore := 0
+		for _, c := range edgesInto {
+			if c > bestScore {
+				bestScore = c
+			}
+		}
+		var top []graph.VertexID
+		for v, c := range edgesInto {
+			if c == bestScore {
+				top = append(top, v)
+			}
+		}
+		// Map iteration order is random; sort so the rng choice is the only
+		// source of randomness and sampling stays seed-deterministic.
+		sort.Slice(top, func(i, j int) bool { return top[i] < top[j] })
+		pick := top[rng.Intn(len(top))]
+		delete(edgesInto, pick)
+		in[pick] = true
+		set = append(set, pick)
+		addFrontier(pick)
+	}
+	return set, true
+}
+
+// sparsify reduces a connected graph to a random spanning tree plus at
+// most one extra edge, keeping the result within the sparse classification
+// (average degree <= 2).
+func sparsify(g *graph.Graph, rng *rand.Rand) *graph.Graph {
+	n := g.NumVertices()
+	type edge struct {
+		a, b graph.VertexID
+		l    graph.EdgeLabel
+	}
+	var edges []edge
+	g.Edges(func(a, b graph.VertexID, l graph.EdgeLabel) {
+		edges = append(edges, edge{a, b, l})
+	})
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	b := graph.NewBuilder(g.Directed())
+	b.SetNames(g.Names)
+	for v := 0; v < n; v++ {
+		b.AddVertex(g.Label(graph.VertexID(v)))
+	}
+	var leftovers []edge
+	for _, e := range edges {
+		ra, rb := find(int(e.a)), find(int(e.b))
+		if ra != rb {
+			parent[ra] = rb
+			b.AddEdge(e.a, e.b, e.l)
+		} else {
+			leftovers = append(leftovers, e)
+		}
+	}
+	// Sparse means average degree <= 2, i.e. |E| <= |V|: the spanning
+	// tree's n-1 edges leave room for exactly one extra edge.
+	if len(leftovers) > 0 {
+		b.AddEdge(leftovers[0].a, leftovers[0].b, leftovers[0].l)
+	}
+	return b.MustBuild()
+}
+
+// CliquePattern returns the k-clique pattern over the data graph's most
+// common vertex label, the shape used by the higher-order clustering case
+// study (8-cliques on EMAIL-EU).
+func CliquePattern(g *graph.Graph, k int) *graph.Graph {
+	best, bestCount := graph.Label(0), -1
+	for v := 0; v < g.NumVertices(); v++ {
+		l := g.Label(graph.VertexID(v))
+		if c := g.LabelFrequency(l); c > bestCount {
+			best, bestCount = l, c
+		}
+	}
+	return graph.Clique(k, best)
+}

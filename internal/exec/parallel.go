@@ -1,0 +1,134 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"csce/internal/ccsr"
+	"csce/internal/graph"
+	"csce/internal/plan"
+)
+
+// RunParallel is the multi-goroutine variant of Run: the depth-0 candidate
+// pool is split into contiguous chunks, each searched by an independent
+// engine instance over the shared (read-only) cluster view. The paper's
+// evaluation is single-threaded; this is the natural Go extension for
+// multi-core machines and is exact — counts equal Run's.
+//
+// Semantics notes:
+//   - OnEmbedding callbacks are serialized by a mutex, so they may observe
+//     embeddings in any order but never concurrently.
+//   - Limit is enforced cooperatively across workers; like Run with
+//     factorization, the final count may overshoot slightly because
+//     workers check the shared counter between emissions.
+//   - Per-worker SCE caches are independent, so CandidateReuses may be
+//     lower than a single-threaded run's.
+func RunParallel(view *ccsr.View, pl *plan.Plan, opts Options, workers int) (Stats, error) {
+	if workers <= 1 {
+		return Run(view, pl, opts)
+	}
+
+	// Build a prototype engine to materialize the depth-0 pool (and to
+	// fail fast on structural problems).
+	proto, err := newEngine(view, pl, opts)
+	if err != nil {
+		return Stats{}, err
+	}
+	if proto == nil {
+		return Stats{}, nil
+	}
+	pool := proto.levels[0].pool
+	if len(pool) == 0 {
+		return Stats{}, nil
+	}
+	if workers > len(pool) {
+		workers = len(pool)
+	}
+
+	var (
+		mu       sync.Mutex // serializes OnEmbedding
+		total    atomic.Uint64
+		stopFlag atomic.Bool
+	)
+	sharedOpts := opts
+	if opts.OnEmbedding != nil {
+		userCB := opts.OnEmbedding
+		sharedOpts.OnEmbedding = func(m []graph.VertexID) bool {
+			mu.Lock()
+			defer mu.Unlock()
+			if stopFlag.Load() {
+				return false
+			}
+			if !userCB(m) {
+				stopFlag.Store(true)
+				return false
+			}
+			return true
+		}
+	}
+	// Workers watch the shared embedding count for the limit; each keeps
+	// its own local Limit disabled and uses a periodic check instead.
+	perWorker := make([]Stats, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	chunk := (len(pool) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(pool) {
+			hi = len(pool)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			workerOpts := sharedOpts
+			workerOpts.Limit = 0 // the shared counter enforces the limit
+			e, err := newEngine(view, pl, workerOpts)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			if e == nil {
+				return
+			}
+			e.levels[0].pool = pool[lo:hi]
+			e.shared = &sharedState{total: &total, stop: &stopFlag, limit: opts.Limit}
+			start := time.Now()
+			e.run()
+			e.stats.Elapsed = time.Since(start)
+			perWorker[w] = e.stats
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	var out Stats
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return out, errs[w]
+		}
+		s := perWorker[w]
+		out.Embeddings += s.Embeddings
+		out.Steps += s.Steps
+		out.CandidateBuilds += s.CandidateBuilds
+		out.CandidateReuses += s.CandidateReuses
+		out.NECShares += s.NECShares
+		out.FactorizedLevels += s.FactorizedLevels
+		out.TimedOut = out.TimedOut || s.TimedOut
+		out.LimitHit = out.LimitHit || s.LimitHit
+		if s.Elapsed > out.Elapsed {
+			out.Elapsed = s.Elapsed // wall clock = slowest worker
+		}
+	}
+	return out, nil
+}
+
+// sharedState coordinates workers of a parallel run.
+type sharedState struct {
+	total *atomic.Uint64
+	stop  *atomic.Bool
+	limit uint64
+}

@@ -1,0 +1,142 @@
+package exec
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"csce/internal/ccsr"
+	"csce/internal/graph"
+	"csce/internal/plan"
+)
+
+func parallelFixture(t testing.TB, seed int64) (*ccsr.View, *plan.Plan) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := randomGraph(rng, 60, 240, 3, 1, seed%2 == 0)
+	p := randomConnectedPattern(rng, 4, 3, 1, seed%2 == 0)
+	store := ccsr.Build(g)
+	pl, err := plan.Optimize(p, store, graph.EdgeInduced, plan.ModeCSCE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := store.ReadCSR(p, graph.EdgeInduced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return view, pl
+}
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		view, pl := parallelFixture(t, seed)
+		seq, err := Run(view, pl, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 7} {
+			par, err := RunParallel(view, pl, Options{}, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Embeddings != seq.Embeddings {
+				t.Fatalf("seed %d workers %d: parallel %d, sequential %d",
+					seed, workers, par.Embeddings, seq.Embeddings)
+			}
+		}
+	}
+}
+
+func TestRunParallelSingleWorkerDelegates(t *testing.T) {
+	view, pl := parallelFixture(t, 3)
+	a, err := Run(view, pl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunParallel(view, pl, Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Embeddings != b.Embeddings {
+		t.Fatal("workers=1 must behave exactly like Run")
+	}
+}
+
+func TestRunParallelCallbackSerialized(t *testing.T) {
+	view, pl := parallelFixture(t, 5)
+	var mu sync.Mutex
+	inCallback := false
+	var count uint64
+	_, err := RunParallel(view, pl, Options{
+		OnEmbedding: func(m []graph.VertexID) bool {
+			mu.Lock()
+			if inCallback {
+				t.Error("callback reentered concurrently")
+			}
+			inCallback = true
+			mu.Unlock()
+
+			mu.Lock()
+			inCallback = false
+			count++
+			mu.Unlock()
+			return true
+		},
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Run(view, pl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != seq.Embeddings {
+		t.Fatalf("callback saw %d embeddings, want %d", count, seq.Embeddings)
+	}
+}
+
+func TestRunParallelLimitStops(t *testing.T) {
+	view, pl := parallelFixture(t, 7)
+	seq, err := Run(view, pl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Embeddings < 50 {
+		t.Skip("fixture too small for a meaningful limit test")
+	}
+	par, err := RunParallel(view, pl, Options{Limit: 20, DisableFactorization: true}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.LimitHit {
+		t.Fatalf("limit not reported: %+v", par)
+	}
+	// Cooperative enforcement may overshoot by at most ~workers.
+	if par.Embeddings < 20 || par.Embeddings > 20+8 {
+		t.Fatalf("limited parallel run found %d embeddings", par.Embeddings)
+	}
+}
+
+func TestRunParallelEmptyResult(t *testing.T) {
+	g := graph.MustParse("t undirected\nv 0 A\nv 1 B\ne 0 1\n")
+	p, err := graph.ParseStringWith("t undirected\nv 0 A\nv 1 C\ne 0 1\n", g.Names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := ccsr.Build(g)
+	pl, err := plan.Optimize(p, store, graph.EdgeInduced, plan.ModeCSCE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := store.ReadCSR(p, graph.EdgeInduced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := RunParallel(view, pl, Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Embeddings != 0 {
+		t.Fatalf("expected empty result, got %d", st.Embeddings)
+	}
+}

@@ -1,0 +1,67 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"csce/internal/graph"
+)
+
+// LevelProfile is the per-matching-order-position breakdown of one run —
+// the PROFILE counterpart to a query plan, showing where the search spent
+// its work and how much the SCE machinery saved at each depth.
+type LevelProfile struct {
+	// Vertex is the pattern vertex matched at this position.
+	Vertex graph.VertexID
+	// Steps counts candidate extensions attempted at this depth.
+	Steps uint64
+	// CandidateBuilds and CandidateReuses split candidate-set requests at
+	// this depth into fresh intersections and SCE cache hits.
+	CandidateBuilds uint64
+	CandidateReuses uint64
+	// NECShares counts candidate lists borrowed from an equivalent level.
+	NECShares uint64
+	// CandidateTotal sums the sizes of candidate sets built here, so
+	// CandidateTotal/CandidateBuilds is the mean fresh fan-out.
+	CandidateTotal uint64
+	// Factorized counts how often this level was folded into a product.
+	Factorized uint64
+}
+
+// Profile is the per-level execution profile of one run.
+type Profile struct {
+	Levels  []LevelProfile
+	Elapsed time.Duration
+}
+
+// String renders the profile as an aligned table.
+func (p Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %-7s %-12s %-10s %-10s %-10s %-10s %-10s\n",
+		"pos", "vertex", "steps", "builds", "reuses", "nec", "avgCands", "factorized")
+	for i, lv := range p.Levels {
+		avg := "-"
+		if lv.CandidateBuilds > 0 {
+			avg = fmt.Sprintf("%.1f", float64(lv.CandidateTotal)/float64(lv.CandidateBuilds))
+		}
+		fmt.Fprintf(&b, "%-5d u%-6d %-12d %-10d %-10d %-10d %-10s %-10d\n",
+			i, lv.Vertex, lv.Steps, lv.CandidateBuilds, lv.CandidateReuses,
+			lv.NECShares, avg, lv.Factorized)
+	}
+	return b.String()
+}
+
+// profiler accumulates per-depth counters; attached to an engine when
+// profiling is requested.
+type profiler struct {
+	levels []LevelProfile
+}
+
+func newProfiler(e *engine) *profiler {
+	p := &profiler{levels: make([]LevelProfile, e.n)}
+	for d := range e.levels {
+		p.levels[d].Vertex = e.levels[d].u
+	}
+	return p
+}

@@ -1,0 +1,32 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders g in Graphviz format with symbolic labels, for inspection
+// and documentation. Undirected graphs use "graph"/"--", directed ones
+// "digraph"/"->"; non-zero edge labels become edge annotations.
+func DOT(name string, g *Graph) string {
+	var b strings.Builder
+	kind, arrow := "graph", "--"
+	if g.Directed() {
+		kind, arrow = "digraph", "->"
+	}
+	fmt.Fprintf(&b, "%s %q {\n", kind, name)
+	b.WriteString("  node [shape=circle, fontsize=10];\n")
+	for v := 0; v < g.NumVertices(); v++ {
+		fmt.Fprintf(&b, "  v%d [label=%q];\n", v,
+			fmt.Sprintf("v%d:%s", v, g.Names.VertexName(g.Label(VertexID(v)))))
+	}
+	g.Edges(func(a, c VertexID, l EdgeLabel) {
+		if l == 0 {
+			fmt.Fprintf(&b, "  v%d %s v%d;\n", a, arrow, c)
+		} else {
+			fmt.Fprintf(&b, "  v%d %s v%d [label=%q];\n", a, arrow, c, g.Names.EdgeName(l))
+		}
+	})
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,350 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// paperExampleG builds the data graph G of the paper's Fig. 1 (vertices
+// v1..v10 as IDs 0..9; labels A,B,C,D). Edges follow the running example:
+// v1 has outgoing neighbors v2, v6 and neighbors v3, v10 (label C) and v7
+// (label D); the two isomorphism clusters of Fig. 4 are reproduced by the
+// cluster tests in package ccsr.
+func paperExampleG(t testing.TB) *Graph {
+	t.Helper()
+	const text = `
+t directed
+v 0 A
+v 1 B
+v 2 C
+v 3 A
+v 4 B
+v 5 B
+v 6 D
+v 7 C
+v 8 A
+v 9 C
+e 0 1
+e 0 5
+e 0 2
+e 0 9
+e 6 0
+e 3 4
+e 3 2
+e 1 2
+e 4 7
+e 8 7
+e 8 9
+`
+	g, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("parse example: %v", err)
+	}
+	return g
+}
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(false)
+	a := b.AddVertex(1)
+	c := b.AddVertex(2)
+	d := b.AddVertex(1)
+	b.AddEdge(a, c, 0)
+	b.AddEdge(d, c, 5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("got %d vertices %d edges, want 3 and 2", g.NumVertices(), g.NumEdges())
+	}
+	if g.Directed() {
+		t.Fatal("graph should be undirected")
+	}
+	if g.Degree(c) != 2 || g.Degree(a) != 1 {
+		t.Fatalf("degrees wrong: deg(c)=%d deg(a)=%d", g.Degree(c), g.Degree(a))
+	}
+	if !g.HasEdge(c, a) || !g.HasEdge(a, c) {
+		t.Fatal("undirected edge must be visible from both sides")
+	}
+	if l, ok := g.EdgeLabelOf(d, c); !ok || l != 5 {
+		t.Fatalf("edge label = %d,%v want 5,true", l, ok)
+	}
+	if g.LabelFrequency(1) != 2 || g.LabelFrequency(2) != 1 {
+		t.Fatal("label frequencies wrong")
+	}
+}
+
+func TestBuilderRejectsSelfLoop(t *testing.T) {
+	b := NewBuilder(true)
+	v := b.AddVertex(0)
+	b.AddEdge(v, v, 0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("self-loop should be rejected")
+	}
+}
+
+func TestBuilderRejectsDanglingEdge(t *testing.T) {
+	b := NewBuilder(true)
+	v := b.AddVertex(0)
+	b.AddEdge(v, 7, 0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("edge to undeclared vertex should be rejected")
+	}
+}
+
+func TestBuilderCollapsesDuplicateEdges(t *testing.T) {
+	b := NewBuilder(true)
+	a := b.AddVertex(0)
+	c := b.AddVertex(0)
+	b.AddEdge(a, c, 3)
+	b.AddEdge(a, c, 3)
+	g := b.MustBuild()
+	if g.NumEdges() != 1 {
+		t.Fatalf("duplicate edge not collapsed: %d edges", g.NumEdges())
+	}
+}
+
+func TestDirectedAdjacency(t *testing.T) {
+	g := paperExampleG(t)
+	if !g.HasEdge(0, 1) {
+		t.Fatal("expected edge v1->v2")
+	}
+	if g.HasEdge(1, 0) {
+		t.Fatal("reverse direction must not exist")
+	}
+	if !g.Adjacent(1, 0) {
+		t.Fatal("Adjacent ignores direction")
+	}
+	if got := g.InDegree(2); got != 3 {
+		t.Fatalf("in-degree of v3 = %d, want 3", got)
+	}
+	if got := g.OutDegree(0); got != 4 {
+		t.Fatalf("out-degree of v1 = %d, want 4", got)
+	}
+	// Degree counts distinct neighbors once.
+	if got := g.Degree(0); got != 5 {
+		t.Fatalf("degree of v1 = %d, want 5", got)
+	}
+}
+
+func TestHeterogeneous(t *testing.T) {
+	if !paperExampleG(t).Heterogeneous() {
+		t.Fatal("example graph has 4 vertex labels and must be heterogeneous")
+	}
+	uni := NewBuilder(false)
+	uni.AddVertices(3, 0)
+	uni.AddEdge(0, 1, 0)
+	g := uni.MustBuild()
+	if g.Heterogeneous() {
+		t.Fatal("single-label graph must be homogeneous")
+	}
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	g := paperExampleG(t)
+	var buf bytes.Buffer
+	if err := Format(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed size: %d/%d vs %d/%d",
+			g2.NumVertices(), g2.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		a, b := g.Out(VertexID(v)), g2.Out(VertexID(v))
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d adjacency size changed", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d adjacency changed at %d: %v vs %v", v, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing header":   "v 0 A\n",
+		"sparse ids":       "t directed\nv 0 A\nv 2 B\n",
+		"duplicate vertex": "t directed\nv 0 A\nv 0 B\nv 1 C\n",
+		"bad record":       "t directed\nx 1 2\n",
+		"bad type":         "t sideways\n",
+		"dangling edge":    "t directed\nv 0 A\ne 0 3\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseString(text); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestParseEdgeLabels(t *testing.T) {
+	g, err := ParseString("t directed\nv 0 A\nv 1 B\ne 0 1 knows\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeLabelCount() != 1 {
+		t.Fatalf("edge label count = %d, want 1", g.EdgeLabelCount())
+	}
+	l, ok := g.EdgeLabelOf(0, 1)
+	if !ok || g.Names.EdgeName(l) != "knows" {
+		t.Fatalf("edge label lost: %v %v", l, ok)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := paperExampleG(t)
+	s := ComputeStats("fig1", g)
+	if s.VertexCount != 10 || s.EdgeCount != 11 {
+		t.Fatalf("stats size wrong: %+v", s)
+	}
+	if s.LabelCount != 4 {
+		t.Fatalf("label count = %d, want 4", s.LabelCount)
+	}
+	if s.MaxOutDegree != 4 || s.MaxInDegree != 3 {
+		t.Fatalf("max degrees wrong: %+v", s)
+	}
+	if !strings.Contains(s.String(), "fig1") {
+		t.Fatal("String() must include the dataset name")
+	}
+	// Unlabeled graphs report 0 labels like Table IV.
+	b := NewBuilder(false)
+	b.AddVertices(4, 0)
+	b.AddEdge(0, 1, 0)
+	if got := ComputeStats("u", b.MustBuild()).LabelCount; got != 0 {
+		t.Fatalf("unlabeled LabelCount = %d, want 0", got)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := paperExampleG(t)
+	sub, back := InducedSubgraph(g, []VertexID{0, 1, 2})
+	if sub.NumVertices() != 3 {
+		t.Fatalf("subgraph has %d vertices", sub.NumVertices())
+	}
+	// v1->v2, v1->v3, v2->v3 are all inside {v1,v2,v3}.
+	if sub.NumEdges() != 3 {
+		t.Fatalf("induced subgraph has %d edges, want 3", sub.NumEdges())
+	}
+	if back[0] != 0 || back[1] != 1 || back[2] != 2 {
+		t.Fatalf("back-mapping wrong: %v", back)
+	}
+	if sub.Label(0) != g.Label(0) {
+		t.Fatal("labels must be preserved")
+	}
+}
+
+func TestEdgeSubgraph(t *testing.T) {
+	g := paperExampleG(t)
+	sub, back := EdgeSubgraph(g, [][3]uint32{{0, 1, 0}, {1, 2, 0}})
+	if sub.NumVertices() != 3 || sub.NumEdges() != 2 {
+		t.Fatalf("edge subgraph %d/%d, want 3/2", sub.NumVertices(), sub.NumEdges())
+	}
+	if back[0] != 0 || back[1] != 1 || back[2] != 2 {
+		t.Fatalf("back-mapping wrong: %v", back)
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	if !IsConnected(paperExampleG(t)) {
+		t.Fatal("example graph is connected")
+	}
+	b := NewBuilder(false)
+	b.AddVertices(4, 0)
+	b.AddEdge(0, 1, 0)
+	if IsConnected(b.MustBuild()) {
+		t.Fatal("graph with isolated vertices is not connected")
+	}
+	if !IsConnected(Clique(5, 0)) || !IsConnected(Path(4)) || !IsConnected(Cycle(6)) {
+		t.Fatal("clique/path/cycle constructors must build connected graphs")
+	}
+}
+
+func TestCliquePathCycleShapes(t *testing.T) {
+	c := Clique(5, 3)
+	if c.NumEdges() != 10 {
+		t.Fatalf("K5 has %d edges, want 10", c.NumEdges())
+	}
+	for v := 0; v < 5; v++ {
+		if c.Label(VertexID(v)) != 3 || c.Degree(VertexID(v)) != 4 {
+			t.Fatal("clique labels/degrees wrong")
+		}
+	}
+	p := Path(5, 1, 2)
+	if p.NumEdges() != 4 || p.Label(0) != 1 || p.Label(1) != 2 || p.Label(2) != 1 {
+		t.Fatal("path shape wrong")
+	}
+	cy := Cycle(4)
+	if cy.NumEdges() != 4 || cy.Degree(0) != 2 {
+		t.Fatal("cycle shape wrong")
+	}
+}
+
+func TestVerticesWithLabel(t *testing.T) {
+	g := paperExampleG(t)
+	names := g.Names
+	aLabel := names.Vertex("A")
+	got := g.VerticesWithLabel(aLabel)
+	want := []VertexID{0, 3, 8}
+	if len(got) != len(want) {
+		t.Fatalf("A vertices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("A vertices = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEdgesIterationCountsUndirectedOnce(t *testing.T) {
+	g := Clique(4, 0)
+	count := 0
+	g.Edges(func(v, w VertexID, l EdgeLabel) {
+		if v >= w {
+			t.Fatalf("undirected iteration must have v < w, got (%d,%d)", v, w)
+		}
+		count++
+	})
+	if count != 6 {
+		t.Fatalf("iterated %d edges, want 6", count)
+	}
+}
+
+func TestUndirectedNeighborsDirected(t *testing.T) {
+	g := paperExampleG(t)
+	ns := g.UndirectedNeighbors(0) // v1: out v2,v3,v6,v10; in v7
+	want := []VertexID{1, 2, 5, 6, 9}
+	if len(ns) != len(want) {
+		t.Fatalf("neighbors of v1 = %v, want %v", ns, want)
+	}
+	for i := range want {
+		if ns[i] != want[i] {
+			t.Fatalf("neighbors of v1 = %v, want %v", ns, want)
+		}
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := paperExampleG(t)
+	dot := DOT("fig1", g)
+	if !strings.HasPrefix(dot, "digraph") || !strings.Contains(dot, "->") {
+		t.Fatalf("directed DOT malformed:\n%s", dot)
+	}
+	if !strings.Contains(dot, "v0:A") {
+		t.Fatal("labels missing from DOT")
+	}
+	und := DOT("clique", Clique(3, 0))
+	if !strings.HasPrefix(und, "graph") || !strings.Contains(und, "--") {
+		t.Fatalf("undirected DOT malformed:\n%s", und)
+	}
+	labeled, _ := ParseString("t undirected\nv 0 A\nv 1 B\ne 0 1 rel\n")
+	if !strings.Contains(DOT("l", labeled), "rel") {
+		t.Fatal("edge labels missing from DOT")
+	}
+}

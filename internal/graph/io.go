@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format understood by Parse/Format is a small superset of the
+// edge-list format used by the subgraph-matching literature:
+//
+//	# comment
+//	t directed|undirected
+//	v <id> <vertexLabel>
+//	e <src> <dst> [edgeLabel]
+//
+// Vertex IDs must be dense starting at 0 but may appear in any order.
+// Labels are arbitrary tokens interned through a LabelTable, so both
+// numeric ("7") and symbolic ("Person") labels work.
+
+// Parse reads a graph in the text format from r with a fresh label table.
+func Parse(r io.Reader) (*Graph, error) { return ParseWith(r, NewLabelTable()) }
+
+// ParseWith reads a graph in the text format from r, interning labels into
+// the supplied table. A pattern graph must be parsed with its data graph's
+// table so that equal label names map to equal label values.
+func ParseWith(r io.Reader, names *LabelTable) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+
+	directed := false
+	sawHeader := false
+	type rawVertex struct {
+		id    int
+		label Label
+	}
+	var vertices []rawVertex
+	type rawEdge struct {
+		src, dst int
+		label    EdgeLabel
+	}
+	var edges []rawEdge
+	maxID := -1
+
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "t":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: want \"t directed|undirected\"", lineNo)
+			}
+			switch fields[1] {
+			case "directed":
+				directed = true
+			case "undirected":
+				directed = false
+			default:
+				return nil, fmt.Errorf("graph: line %d: unknown graph type %q", lineNo, fields[1])
+			}
+			sawHeader = true
+		case "v":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: want \"v id label\"", lineNo)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil || id < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad vertex id %q", lineNo, fields[1])
+			}
+			vertices = append(vertices, rawVertex{id, names.Vertex(fields[2])})
+			if id > maxID {
+				maxID = id
+			}
+		case "e":
+			if len(fields) != 3 && len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: want \"e src dst [label]\"", lineNo)
+			}
+			src, err1 := strconv.Atoi(fields[1])
+			dst, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || src < 0 || dst < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad edge endpoints", lineNo)
+			}
+			var el EdgeLabel
+			if len(fields) == 4 {
+				el = names.Edge(fields[3])
+			}
+			edges = append(edges, rawEdge{src, dst, el})
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("graph: missing \"t directed|undirected\" header")
+	}
+	if len(vertices) != maxID+1 {
+		return nil, fmt.Errorf("graph: vertex ids not dense: %d declarations, max id %d", len(vertices), maxID)
+	}
+
+	b := NewBuilder(directed)
+	b.SetNames(names)
+	b.AddVertices(maxID+1, 0)
+	seen := make([]bool, maxID+1)
+	for _, v := range vertices {
+		if seen[v.id] {
+			return nil, fmt.Errorf("graph: vertex %d declared twice", v.id)
+		}
+		seen[v.id] = true
+		b.SetVertexLabel(VertexID(v.id), v.label)
+	}
+	for _, e := range edges {
+		if e.src > maxID || e.dst > maxID {
+			return nil, fmt.Errorf("graph: edge (%d,%d) references undeclared vertex", e.src, e.dst)
+		}
+		b.AddEdge(VertexID(e.src), VertexID(e.dst), e.label)
+	}
+	return b.Build()
+}
+
+// ParseString parses a graph from an in-memory string; convenient for tests
+// and examples.
+func ParseString(s string) (*Graph, error) { return Parse(strings.NewReader(s)) }
+
+// ParseStringWith parses a graph from a string, sharing the label table.
+func ParseStringWith(s string, names *LabelTable) (*Graph, error) {
+	return ParseWith(strings.NewReader(s), names)
+}
+
+// MustParse is ParseString but panics on error.
+func MustParse(s string) *Graph {
+	g, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Format writes g to w in the text format read by Parse.
+func Format(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	kind := "undirected"
+	if g.Directed() {
+		kind = "directed"
+	}
+	fmt.Fprintf(bw, "t %s\n", kind)
+	for v := 0; v < g.NumVertices(); v++ {
+		fmt.Fprintf(bw, "v %d %s\n", v, g.Names.VertexName(g.Label(VertexID(v))))
+	}
+	var err error
+	g.Edges(func(v, w2 VertexID, l EdgeLabel) {
+		if l == 0 {
+			_, err = fmt.Fprintf(bw, "e %d %d\n", v, w2)
+		} else {
+			_, err = fmt.Fprintf(bw, "e %d %d %s\n", v, w2, g.Names.EdgeName(l))
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}

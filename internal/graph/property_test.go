@@ -1,0 +1,260 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// genGraph derives a random graph from a seed; used by the quick-check
+// properties below.
+func genGraph(seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	directed := rng.Intn(2) == 0
+	n := 2 + rng.Intn(30)
+	b := NewBuilder(directed)
+	for i := 0; i < n; i++ {
+		b.AddVertex(Label(rng.Intn(4)))
+	}
+	m := rng.Intn(4 * n)
+	for i := 0; i < m; i++ {
+		v, w := rng.Intn(n), rng.Intn(n)
+		if v != w {
+			b.AddEdge(VertexID(v), VertexID(w), EdgeLabel(rng.Intn(3)))
+		}
+	}
+	return b.MustBuild()
+}
+
+// TestPropertyAdjacencySortedDedup: every adjacency list is sorted by
+// (To, Label) with no duplicates — the invariant the CSR builders and the
+// intersection kernels rely on.
+func TestPropertyAdjacencySortedDedup(t *testing.T) {
+	f := func(seed int64) bool {
+		g := genGraph(seed)
+		check := func(ns []Neighbor) bool {
+			for i := 1; i < len(ns); i++ {
+				prev, cur := ns[i-1], ns[i]
+				if cur.To < prev.To || (cur.To == prev.To && cur.Label <= prev.Label) {
+					return false
+				}
+			}
+			return true
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if !check(g.Out(VertexID(v))) || !check(g.In(VertexID(v))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyUndirectedSymmetry: on undirected graphs, adjacency is
+// symmetric and In == Out.
+func TestPropertyUndirectedSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		g := genGraph(seed)
+		if g.Directed() {
+			return true
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			vid := VertexID(v)
+			for _, n := range g.Out(vid) {
+				if !g.HasEdgeLabeled(n.To, vid, n.Label) {
+					return false
+				}
+			}
+			if len(g.In(vid)) != len(g.Out(vid)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDegreeSums: the handshake lemma — out-degrees sum to the
+// directed edge count; undirected degrees sum to twice the edge count.
+func TestPropertyDegreeSums(t *testing.T) {
+	f := func(seed int64) bool {
+		g := genGraph(seed)
+		outSum, inSum := 0, 0
+		for v := 0; v < g.NumVertices(); v++ {
+			outSum += g.OutDegree(VertexID(v))
+			inSum += g.InDegree(VertexID(v))
+		}
+		if g.Directed() {
+			return outSum == g.NumEdges() && inSum == g.NumEdges()
+		}
+		return outSum == 2*g.NumEdges() && inSum == outSum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyFormatParseIdentity: Format then Parse reproduces the graph
+// up to label interning order — vertex IDs, directedness, edge counts, and
+// the *named* labels of every vertex and adjacency entry are preserved
+// (Parse re-interns names in first-seen order, so raw label values may
+// permute).
+func TestPropertyFormatParseIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		g := genGraph(seed)
+		var buf bytes.Buffer
+		if err := Format(&buf, g); err != nil {
+			return false
+		}
+		g2, err := Parse(&buf)
+		if err != nil {
+			return false
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() ||
+			g2.Directed() != g.Directed() {
+			return false
+		}
+		namedRow := func(gr *Graph, v VertexID) []string {
+			var out []string
+			for _, n := range gr.Out(v) {
+				name := "" // edge label 0 is the unlabeled NULL on both sides
+				if n.Label != 0 {
+					name = gr.Names.EdgeName(n.Label)
+				}
+				out = append(out, fmt.Sprintf("%d:%s", n.To, name))
+			}
+			sort.Strings(out)
+			return out
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			vid := VertexID(v)
+			if g.Names.VertexName(g.Label(vid)) != g2.Names.VertexName(g2.Label(vid)) {
+				return false
+			}
+			a, b := namedRow(g, vid), namedRow(g2, vid)
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyEdgesIterationCount: the Edges iterator visits exactly
+// NumEdges edges.
+func TestPropertyEdgesIterationCount(t *testing.T) {
+	f := func(seed int64) bool {
+		g := genGraph(seed)
+		count := 0
+		g.Edges(func(v, w VertexID, l EdgeLabel) { count++ })
+		return count == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyInducedSubgraphIsSubset: induced subgraphs preserve labels
+// and contain exactly the original edges among the chosen vertices.
+func TestPropertyInducedSubgraphIsSubset(t *testing.T) {
+	f := func(seed int64) bool {
+		g := genGraph(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0x5ad))
+		k := 1 + rng.Intn(g.NumVertices())
+		perm := rng.Perm(g.NumVertices())[:k]
+		vs := make([]VertexID, k)
+		for i, x := range perm {
+			vs[i] = VertexID(x)
+		}
+		sub, back := InducedSubgraph(g, vs)
+		if sub.NumVertices() != k {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			if sub.Label(VertexID(i)) != g.Label(back[i]) {
+				return false
+			}
+		}
+		// Every subgraph edge exists in g between the mapped endpoints.
+		ok := true
+		sub.Edges(func(a, b VertexID, l EdgeLabel) {
+			if !g.HasEdgeLabeled(back[a], back[b], l) {
+				ok = false
+			}
+		})
+		if !ok {
+			return false
+		}
+		// Count edges of g inside the vertex set; must equal sub's count.
+		in := map[VertexID]bool{}
+		for _, v := range vs {
+			in[v] = true
+		}
+		want := 0
+		g.Edges(func(a, b VertexID, l EdgeLabel) {
+			if in[a] && in[b] {
+				want++
+			}
+		})
+		return want == sub.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyParseNeverPanics feeds the text parser mutated valid files
+// and arbitrary strings: errors are fine, panics are not.
+func TestPropertyParseNeverPanics(t *testing.T) {
+	var base bytes.Buffer
+	if err := Format(&base, genGraph(3)); err != nil {
+		t.Fatal(err)
+	}
+	valid := base.String()
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("seed %d: Parse panicked: %v", seed, r)
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		var input string
+		if rng.Intn(2) == 0 {
+			b := []byte(valid)
+			for i := 0; i < 1+rng.Intn(6); i++ {
+				b[rng.Intn(len(b))] = byte(rng.Intn(128))
+			}
+			input = string(b[:rng.Intn(len(b)+1)])
+		} else {
+			b := make([]byte, rng.Intn(200))
+			for i := range b {
+				b[i] = byte(rng.Intn(128))
+			}
+			input = string(b)
+		}
+		_, _ = ParseString(input)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// here we only pin the graph text reader.

@@ -1,0 +1,71 @@
+package graph
+
+import "fmt"
+
+// Stats summarizes a graph with the columns of the paper's Table IV.
+type Stats struct {
+	Name         string
+	Directed     bool
+	VertexCount  int
+	EdgeCount    int
+	LabelCount   int // distinct vertex labels; 0 means unlabeled per Table IV
+	AvgDegree    float64
+	MaxInDegree  int
+	MaxOutDegree int
+}
+
+// ComputeStats gathers Table IV statistics for g. Per the paper, an
+// unlabeled graph (one distinct label) reports LabelCount 0, and each
+// undirected edge counts once toward EdgeCount and twice toward degrees.
+func ComputeStats(name string, g *Graph) Stats {
+	s := Stats{
+		Name:        name,
+		Directed:    g.Directed(),
+		VertexCount: g.NumVertices(),
+		EdgeCount:   g.NumEdges(),
+		LabelCount:  g.VertexLabelCount(),
+	}
+	if s.LabelCount == 1 {
+		s.LabelCount = 0
+	}
+	var totalDeg int
+	for v := 0; v < g.NumVertices(); v++ {
+		id := VertexID(v)
+		in, out := g.InDegree(id), g.OutDegree(id)
+		if in > s.MaxInDegree {
+			s.MaxInDegree = in
+		}
+		if out > s.MaxOutDegree {
+			s.MaxOutDegree = out
+		}
+		totalDeg += g.Degree(id)
+	}
+	if g.NumVertices() > 0 {
+		s.AvgDegree = float64(totalDeg) / float64(g.NumVertices())
+	}
+	return s
+}
+
+// String renders the stats as one Table IV row.
+func (s Stats) String() string {
+	dir := "U"
+	if s.Directed {
+		dir = "D"
+	}
+	return fmt.Sprintf("%-14s %s %9d %10d %5d %6.1f %7d %7d",
+		s.Name, dir, s.VertexCount, s.EdgeCount, s.LabelCount, s.AvgDegree, s.MaxInDegree, s.MaxOutDegree)
+}
+
+// AvgDegreeOf returns the average degree of g (sum of per-vertex degrees
+// over |V|), the density measure the paper uses to split dense (>2) from
+// sparse patterns.
+func AvgDegreeOf(g *Graph) float64 {
+	if g.NumVertices() == 0 {
+		return 0
+	}
+	total := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		total += g.Degree(VertexID(v))
+	}
+	return float64(total) / float64(g.NumVertices())
+}

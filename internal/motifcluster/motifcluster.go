@@ -1,0 +1,157 @@
+// Package motifcluster reproduces the paper's case study (Section VII-G):
+// higher-order graph clustering of an EMAIL-EU-style communication network.
+// Members of a research institution are clustered by department using
+// either raw email edges or 8-clique motif weights; the paper reports the
+// motif-based clustering improving the pairwise F1 score (0.398 -> 0.515)
+// while CSCE makes the 8-clique enumeration fast.
+package motifcluster
+
+import (
+	"fmt"
+	"time"
+
+	"csce/internal/core"
+	"csce/internal/dataset"
+	"csce/internal/graph"
+)
+
+// Result summarizes one clustering comparison.
+type Result struct {
+	// EdgeF1 and MotifF1 are pairwise F1 scores against ground truth for
+	// edge-based and k-clique-based clustering.
+	EdgeF1, MotifF1 float64
+	// EdgeClusters and MotifClusters count the produced clusters.
+	EdgeClusters, MotifClusters int
+	// CliqueInstances is the number of distinct k-clique instances found.
+	CliqueInstances uint64
+	// CliqueTime is the enumeration time (the paper's 11.57s -> 0.39s
+	// headline is about this stage).
+	CliqueTime time.Duration
+}
+
+// Run clusters g by both weightings and scores them against truth.
+// k is the clique size (8 in the paper).
+func Run(g *graph.Graph, truth []int, k int) (Result, error) {
+	var res Result
+	if len(truth) != g.NumVertices() {
+		return res, fmt.Errorf("motifcluster: truth length %d != vertices %d", len(truth), g.NumVertices())
+	}
+
+	// Edge-based clustering: label propagation on unit edge weights.
+	edgeWeights := make(map[[2]graph.VertexID]float64)
+	g.Edges(func(a, b graph.VertexID, _ graph.EdgeLabel) {
+		edgeWeights[pairKey(a, b)] = 1
+	})
+	edgeLabels := propagate(g, edgeWeights)
+	res.EdgeF1 = PairwiseF1(edgeLabels, truth)
+	res.EdgeClusters = countClusters(edgeLabels)
+
+	// Motif weights: for every k-clique instance, every vertex pair inside
+	// it gains weight — the higher-order graph G_P of the paper's
+	// introduction, with symmetry breaking so each instance counts once.
+	engine := core.NewEngine(g)
+	pattern := dataset.CliquePattern(g, k)
+	start := time.Now()
+	pairWeights, instances, err := engine.BuildHigherOrder(pattern, core.HigherOrderOptions{
+		Variant:              graph.EdgeInduced,
+		CountAutomorphicOnce: true,
+	})
+	if err != nil {
+		return res, fmt.Errorf("motifcluster: clique enumeration: %w", err)
+	}
+	res.CliqueTime = time.Since(start)
+	res.CliqueInstances = instances
+	motifWeights := make(map[[2]graph.VertexID]float64, len(pairWeights))
+	for pr, w := range pairWeights {
+		motifWeights[pr] = float64(w)
+	}
+
+	motifLabels := propagate(g, motifWeights)
+	res.MotifF1 = PairwiseF1(motifLabels, truth)
+	res.MotifClusters = countClusters(motifLabels)
+	return res, nil
+}
+
+func pairKey(a, b graph.VertexID) [2]graph.VertexID {
+	if b < a {
+		a, b = b, a
+	}
+	return [2]graph.VertexID{a, b}
+}
+
+// propagate is deterministic weighted label propagation: every vertex
+// starts in its own cluster; for a fixed number of rounds each vertex (in
+// ID order) adopts the label with the highest incident weight sum,
+// breaking ties toward the smaller label.
+func propagate(g *graph.Graph, weights map[[2]graph.VertexID]float64) []int {
+	n := g.NumVertices()
+	labels := make([]int, n)
+	for v := range labels {
+		labels[v] = v
+	}
+	for round := 0; round < 12; round++ {
+		changed := false
+		for v := 0; v < n; v++ {
+			vid := graph.VertexID(v)
+			score := map[int]float64{}
+			for _, w := range g.UndirectedNeighbors(vid) {
+				wt := weights[pairKey(vid, w)]
+				if wt > 0 {
+					score[labels[w]] += wt
+				}
+			}
+			bestLabel, bestScore := labels[v], 0.0
+			for l, s := range score {
+				if s > bestScore || (s == bestScore && l < bestLabel) {
+					bestLabel, bestScore = l, s
+				}
+			}
+			if bestScore > 0 && bestLabel != labels[v] {
+				labels[v] = bestLabel
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return labels
+}
+
+func countClusters(labels []int) int {
+	seen := map[int]bool{}
+	for _, l := range labels {
+		seen[l] = true
+	}
+	return len(seen)
+}
+
+// PairwiseF1 scores a clustering against ground truth over all vertex
+// pairs: precision and recall of "same cluster" predictions.
+func PairwiseF1(pred, truth []int) float64 {
+	if len(pred) != len(truth) {
+		panic("motifcluster: length mismatch")
+	}
+	var tp, fp, fn float64
+	n := len(pred)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			samePred := pred[i] == pred[j]
+			sameTruth := truth[i] == truth[j]
+			switch {
+			case samePred && sameTruth:
+				tp++
+			case samePred && !sameTruth:
+				fp++
+			case !samePred && sameTruth:
+				fn++
+			}
+		}
+	}
+	if tp == 0 {
+		return 0
+	}
+	precision := tp / (tp + fp)
+	recall := tp / (tp + fn)
+	return 2 * precision * recall / (precision + recall)
+}

@@ -1,0 +1,42 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"csce/internal/graph"
+)
+
+// DOT renders the plan's dependency DAG H in Graphviz format for
+// inspection: vertices are annotated with their matching-order position
+// and label, pattern-edge dependencies are solid, vertex-induced negation
+// dependencies dashed. Paste into `dot -Tsvg` to visualize a plan.
+func (pl *Plan) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph H {\n")
+	b.WriteString("  rankdir=TB;\n")
+	b.WriteString("  node [shape=circle, fontsize=10];\n")
+	fmt.Fprintf(&b, "  label=%q;\n", fmt.Sprintf("plan %s / %s", pl.Mode, pl.Variant))
+
+	pos := make([]int, pl.Pattern.NumVertices())
+	for i, u := range pl.Order {
+		pos[u] = i
+	}
+	names := pl.Pattern.Names
+	for u := 0; u < pl.Pattern.NumVertices(); u++ {
+		label := names.VertexName(pl.Pattern.Label(graph.VertexID(u)))
+		fmt.Fprintf(&b, "  u%d [label=%q];\n", u,
+			fmt.Sprintf("u%d:%s\n#%d", u, label, pos[u]))
+	}
+	for u := 0; u < pl.DAG.N(); u++ {
+		for _, w := range pl.DAG.Out(u) {
+			style := "solid"
+			if !pl.Pattern.Adjacent(graph.VertexID(u), graph.VertexID(w)) {
+				style = "dashed" // negation dependency
+			}
+			fmt.Fprintf(&b, "  u%d -> u%d [style=%s];\n", u, w, style)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

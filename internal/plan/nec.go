@@ -1,0 +1,87 @@
+package plan
+
+import (
+	"csce/internal/graph"
+)
+
+// NEC computes TurboISO-style neighborhood equivalence classes over the
+// pattern vertices: u and w are equivalent when they share a label and have
+// identical labeled neighborhoods once each other is excluded (so the ends
+// of a triangle's base are equivalent, for example). Equivalent vertices
+// have identical candidate sets under every partial embedding, so the
+// executor and the reports can share their candidates.
+//
+// The result maps every vertex to its class; classes are returned as
+// vertex groups sorted by smallest member.
+func NEC(p *graph.Graph) [][]graph.VertexID {
+	n := p.NumVertices()
+	classOf := make([]int, n)
+	for i := range classOf {
+		classOf[i] = -1
+	}
+	var classes [][]graph.VertexID
+	for u := 0; u < n; u++ {
+		if classOf[u] != -1 {
+			continue
+		}
+		id := len(classes)
+		classOf[u] = id
+		group := []graph.VertexID{graph.VertexID(u)}
+		for w := u + 1; w < n; w++ {
+			if classOf[w] == -1 && necEquivalent(p, graph.VertexID(u), graph.VertexID(w)) {
+				classOf[w] = id
+				group = append(group, graph.VertexID(w))
+			}
+		}
+		classes = append(classes, group)
+	}
+	return classes
+}
+
+// necEquivalent reports whether u and w are neighborhood-equivalent.
+func necEquivalent(p *graph.Graph, u, w graph.VertexID) bool {
+	if p.Label(u) != p.Label(w) {
+		return false
+	}
+	// Mutual adjacency must be symmetric under swapping u and w: either no
+	// edges between them, or edges in both directions with equal labels.
+	luw, okUW := p.EdgeLabelOf(u, w)
+	lwu, okWU := p.EdgeLabelOf(w, u)
+	if p.Directed() {
+		if okUW != okWU {
+			return false
+		}
+		if okUW && luw != lwu {
+			return false
+		}
+	}
+	if !sameNeighborsExcluding(p.Out(u), p.Out(w), u, w) {
+		return false
+	}
+	if p.Directed() && !sameNeighborsExcluding(p.In(u), p.In(w), u, w) {
+		return false
+	}
+	return true
+}
+
+// sameNeighborsExcluding compares two sorted labeled neighbor lists,
+// skipping entries that point at u or w themselves.
+func sameNeighborsExcluding(a, b []graph.Neighbor, u, w graph.VertexID) bool {
+	i, j := 0, 0
+	for {
+		for i < len(a) && (a[i].To == u || a[i].To == w) {
+			i++
+		}
+		for j < len(b) && (b[j].To == u || b[j].To == w) {
+			j++
+		}
+		if i == len(a) || j == len(b) {
+			return i == len(a) && j == len(b)
+		}
+		if a[i] != b[j] {
+			return false
+		}
+		i++
+		j++
+	}
+}

@@ -1,0 +1,211 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"csce/internal/ccsr"
+	"csce/internal/graph"
+)
+
+// genDAG derives a random DAG (edges always low -> high) from a seed.
+func genDAG(seed int64) *DAG {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(24)
+	d := NewDAG(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(3) == 0 {
+				d.AddEdge(i, j)
+			}
+		}
+	}
+	return d
+}
+
+// TestPropertyDescendantMonotonicity: a parent's descendant count is
+// strictly greater than each child's contribution — desc(u) >= desc(c)+1
+// is not guaranteed when children overlap, but desc(u) >= desc(c) always
+// holds, and desc(u) >= outdegree(u).
+func TestPropertyDescendantMonotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		d := genDAG(seed)
+		sizes := d.DescendantSizes()
+		for u := 0; u < d.N(); u++ {
+			if sizes[u] < len(d.Out(u)) {
+				return false
+			}
+			for _, c := range d.Out(u) {
+				if sizes[u] < sizes[c] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyGeneratePlanTopological: for random DAGs with any
+// descendant-size vector, GeneratePlan emits a topological order covering
+// every vertex. (H vertices map onto a star pattern of the right size so
+// the tie-breakers have something to chew on.)
+func TestPropertyGeneratePlanTopological(t *testing.T) {
+	f := func(seed int64) bool {
+		d := genDAG(seed)
+		b := graph.NewBuilder(false)
+		b.AddVertices(d.N(), 0)
+		for v := 1; v < d.N(); v++ {
+			b.AddEdge(0, graph.VertexID(v), 0)
+		}
+		p := b.MustBuild()
+		order := GeneratePlan(d, d.DescendantSizes(), nil, p)
+		if len(order) != d.N() {
+			return false
+		}
+		return d.IsTopologicalOrder(order)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyNECIsEquivalenceRelation: NEC classes partition the vertex
+// set, and any two members of a class are pairwise necEquivalent
+// (transitivity of the grouping).
+func TestPropertyNECIsEquivalenceRelation(t *testing.T) {
+	f := func(seed int64) bool {
+		p := randomConnectedPattern(seed, 4+absMod(seed, 6), 3, absMod(seed, 2) == 0)
+		classes := NEC(p)
+		seen := make([]bool, p.NumVertices())
+		for _, class := range classes {
+			for _, v := range class {
+				if seen[v] {
+					return false // overlap
+				}
+				seen[v] = true
+			}
+			for i := 0; i < len(class); i++ {
+				for j := i + 1; j < len(class); j++ {
+					if !necEquivalent(p, class[i], class[j]) {
+						return false
+					}
+				}
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false // not a cover
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyAutomorphismsFormAGroup: the automorphism set contains the
+// identity, is closed under composition, and every element preserves
+// adjacency exactly.
+func TestPropertyAutomorphismsFormAGroup(t *testing.T) {
+	f := func(seed int64) bool {
+		p := randomConnectedPattern(seed, 3+absMod(seed, 4), 2, false)
+		auts := Automorphisms(p)
+		n := p.NumVertices()
+		key := func(perm []graph.VertexID) string {
+			b := make([]byte, n)
+			for i, v := range perm {
+				b[i] = byte(v)
+			}
+			return string(b)
+		}
+		set := map[string]bool{}
+		for _, a := range auts {
+			set[key(a)] = true
+		}
+		id := make([]graph.VertexID, n)
+		for i := range id {
+			id[i] = graph.VertexID(i)
+		}
+		if !set[key(id)] {
+			return false
+		}
+		// Closure under composition.
+		for _, a := range auts {
+			for _, b := range auts {
+				comp := make([]graph.VertexID, n)
+				for i := range comp {
+					comp[i] = a[b[i]]
+				}
+				if !set[key(comp)] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyOptimizeOrderIsAlwaysValid: for random patterns, data
+// graphs, variants and modes, the optimized order is a permutation, a TO
+// of its DAG, and keeps a connected prefix.
+func TestPropertyOptimizeOrderIsAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		directed := rng.Intn(2) == 0
+		gb := graph.NewBuilder(directed)
+		n := 10 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			gb.AddVertex(graph.Label(rng.Intn(3)))
+		}
+		for i := 0; i < 4*n; i++ {
+			v, w := rng.Intn(n), rng.Intn(n)
+			if v != w {
+				gb.AddEdge(graph.VertexID(v), graph.VertexID(w), 0)
+			}
+		}
+		store := ccsr.Build(gb.MustBuild())
+		p := randomConnectedPattern(seed^0x77, 3+rng.Intn(6), 3, directed)
+		variant := graph.Variants()[rng.Intn(3)]
+		mode := []Mode{ModeCSCE, ModeRI, ModeRICluster, ModeRM, ModeCostBased}[rng.Intn(5)]
+		pl, err := Optimize(p, store, variant, mode)
+		if err != nil {
+			return false
+		}
+		if len(pl.Order) != p.NumVertices() || !pl.DAG.IsTopologicalOrder(pl.Order) {
+			return false
+		}
+		for j := 1; j < len(pl.Order); j++ {
+			connected := false
+			for i := 0; i < j; i++ {
+				if p.Adjacent(pl.Order[i], pl.Order[j]) {
+					connected = true
+					break
+				}
+			}
+			if !connected {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// absMod returns |seed| mod k, safe for negative quick-generated seeds.
+func absMod(seed int64, k int64) int {
+	m := seed % k
+	if m < 0 {
+		m += k
+	}
+	return int(m)
+}

@@ -1,0 +1,103 @@
+package plan
+
+import (
+	"csce/internal/graph"
+)
+
+// Automorphisms enumerates Aut(P): all label- and adjacency-preserving
+// bijections of the pattern onto itself (exact arc structure, i.e. induced
+// self-isomorphisms). Exponential in the worst case, which is precisely why
+// symmetry breaking does not scale to large patterns (Finding 2).
+func Automorphisms(p *graph.Graph) [][]graph.VertexID {
+	n := p.NumVertices()
+	perm := make([]graph.VertexID, n)
+	used := make([]bool, n)
+	var out [][]graph.VertexID
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]graph.VertexID(nil), perm...))
+			return
+		}
+		uk := graph.VertexID(k)
+		for v := 0; v < n; v++ {
+			vk := graph.VertexID(v)
+			if used[v] || p.Label(vk) != p.Label(uk) || p.Degree(vk) != p.Degree(uk) {
+				continue
+			}
+			ok := true
+			for w := 0; w < k && ok; w++ {
+				ww := graph.VertexID(w)
+				if !equalEdgeLabels(patternArcLabels(p, ww, uk), patternArcLabels(p, perm[w], vk)) {
+					ok = false
+				}
+				if ok && p.Directed() && !equalEdgeLabels(patternArcLabels(p, uk, ww), patternArcLabels(p, vk, perm[w])) {
+					ok = false
+				}
+			}
+			if !ok {
+				continue
+			}
+			perm[k] = vk
+			used[v] = true
+			rec(k + 1)
+			used[v] = false
+		}
+	}
+	rec(0)
+	return out
+}
+
+// SymmetryConstraints derives f(a) < f(b) constraints from the
+// automorphism group via a pointwise stabilizer chain: each orbit of the
+// current stabilizer pins its smallest member below the rest, then the
+// group is restricted to maps fixing that member. Every Aut-orbit of
+// embeddings contains exactly one embedding satisfying all constraints.
+func SymmetryConstraints(p *graph.Graph, auts [][]graph.VertexID) [][2]graph.VertexID {
+	var cons [][2]graph.VertexID
+	current := auts
+	n := p.NumVertices()
+	for u := 0; u < n && len(current) > 1; u++ {
+		uid := graph.VertexID(u)
+		orbit := map[graph.VertexID]bool{}
+		for _, sigma := range current {
+			orbit[sigma[u]] = true
+		}
+		for w := range orbit {
+			if w != uid {
+				cons = append(cons, [2]graph.VertexID{uid, w})
+			}
+		}
+		var stab [][]graph.VertexID
+		for _, sigma := range current {
+			if sigma[u] == uid {
+				stab = append(stab, sigma)
+			}
+		}
+		current = stab
+	}
+	return cons
+}
+
+// patternArcLabels returns the sorted labels of all arcs a -> b in p.
+func patternArcLabels(p *graph.Graph, a, b graph.VertexID) []graph.EdgeLabel {
+	var out []graph.EdgeLabel
+	for _, nb := range p.Out(a) {
+		if nb.To == b {
+			out = append(out, nb.Label)
+		}
+	}
+	return out
+}
+
+func equalEdgeLabels(a, b []graph.EdgeLabel) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

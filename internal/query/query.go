@@ -1,0 +1,265 @@
+// Package query parses a small Cypher-inspired pattern language into
+// pattern graphs, the query front-end style of the graph databases the
+// paper positions CSCE against (M-Cypher, Graphflow, Kùzu):
+//
+//	MATCH (a:Person)-[:knows]->(b:Person), (b)-[:knows]->(c:Person), (a)--(c)
+//
+// Nodes are written (var:Label) — the variable may be omitted for
+// anonymous nodes, and the label may be omitted only when the data graph
+// is unlabeled. Edges are -[:label]-> (directed), <-[:label]- (reverse),
+// or -[:label]- (undirected), with the bracket part optional: -->, <--,
+// and -- denote unlabeled edges. Labels are interned through the data
+// graph's LabelTable so names align with the data.
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"csce/internal/graph"
+)
+
+// Query is a parsed pattern.
+type Query struct {
+	// Pattern is the pattern graph, one vertex per distinct variable (or
+	// anonymous node) in order of first appearance.
+	Pattern *graph.Graph
+	// Vars names each pattern vertex: the variable written in the query,
+	// or "_N" for anonymous nodes.
+	Vars []string
+}
+
+// Parse compiles a MATCH query against a data graph's label table and
+// directedness. Every node of a labeled graph must carry a label; edges
+// follow the data graph's directedness (undirected graphs reject directed
+// arrows).
+func Parse(q string, names *graph.LabelTable, directed bool) (*Query, error) {
+	p := &parser{
+		input:    q,
+		names:    names,
+		directed: directed,
+		varIndex: map[string]graph.VertexID{},
+		builder:  graph.NewBuilder(directed),
+	}
+	p.builder.SetNames(names)
+	if err := p.parse(); err != nil {
+		return nil, err
+	}
+	pattern, err := p.builder.Build()
+	if err != nil {
+		return nil, fmt.Errorf("query: %w", err)
+	}
+	return &Query{Pattern: pattern, Vars: p.vars}, nil
+}
+
+type parser struct {
+	input    string
+	pos      int
+	names    *graph.LabelTable
+	directed bool
+
+	builder  *graph.Builder
+	varIndex map[string]graph.VertexID
+	vars     []string
+	labels   []graph.Label // mirrors builder vertex labels, for redeclaration checks
+	anon     int
+}
+
+func (p *parser) parse() error {
+	p.skipSpace()
+	if !p.eatKeyword("MATCH") {
+		return p.errorf("expected MATCH")
+	}
+	for {
+		if err := p.parsePath(); err != nil {
+			return err
+		}
+		p.skipSpace()
+		if !p.eat(',') {
+			break
+		}
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return p.errorf("trailing input %q", p.input[p.pos:])
+	}
+	return nil
+}
+
+// parsePath parses node (edge node)*.
+func (p *parser) parsePath() error {
+	left, err := p.parseNode()
+	if err != nil {
+		return err
+	}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.input) || (p.peek() != '-' && p.peek() != '<') {
+			return nil
+		}
+		dir, label, err := p.parseEdge()
+		if err != nil {
+			return err
+		}
+		right, err := p.parseNode()
+		if err != nil {
+			return err
+		}
+		switch dir {
+		case dirForward:
+			if !p.directed {
+				return p.errorf("directed edge in a query against an undirected graph")
+			}
+			p.builder.AddEdge(left, right, label)
+		case dirBackward:
+			if !p.directed {
+				return p.errorf("directed edge in a query against an undirected graph")
+			}
+			p.builder.AddEdge(right, left, label)
+		default:
+			if p.directed {
+				return p.errorf("undirected edge in a query against a directed graph")
+			}
+			p.builder.AddEdge(left, right, label)
+		}
+		left = right
+	}
+}
+
+type edgeDir int
+
+const (
+	dirForward edgeDir = iota
+	dirBackward
+	dirUndirected
+)
+
+// parseEdge parses -[:label]->, <-[:label]-, -->, <--, -[:l]-, or --.
+func (p *parser) parseEdge() (edgeDir, graph.EdgeLabel, error) {
+	p.skipSpace()
+	backward := false
+	if p.eat('<') {
+		backward = true
+	}
+	if !p.eat('-') {
+		return 0, 0, p.errorf("expected edge")
+	}
+	var label graph.EdgeLabel
+	if p.eat('[') {
+		if p.eat(':') {
+			name := p.ident()
+			if name == "" {
+				return 0, 0, p.errorf("expected edge label after ':'")
+			}
+			label = p.names.Edge(name)
+		}
+		if !p.eat(']') {
+			return 0, 0, p.errorf("expected ']'")
+		}
+	}
+	if !p.eat('-') {
+		return 0, 0, p.errorf("expected '-' to close edge")
+	}
+	forward := p.eat('>')
+	switch {
+	case backward && forward:
+		return 0, 0, p.errorf("edge cannot point both ways")
+	case backward:
+		return dirBackward, label, nil
+	case forward:
+		return dirForward, label, nil
+	default:
+		return dirUndirected, label, nil
+	}
+}
+
+// parseNode parses (var:Label), (var), (:Label), or ().
+func (p *parser) parseNode() (graph.VertexID, error) {
+	p.skipSpace()
+	if !p.eat('(') {
+		return 0, p.errorf("expected '('")
+	}
+	name := p.ident()
+	var labelName string
+	if p.eat(':') {
+		labelName = p.ident()
+		if labelName == "" {
+			return 0, p.errorf("expected label after ':'")
+		}
+	}
+	if !p.eat(')') {
+		return 0, p.errorf("expected ')'")
+	}
+
+	if name == "" {
+		p.anon++
+		name = fmt.Sprintf("_%d", p.anon)
+	}
+	if v, ok := p.varIndex[name]; ok {
+		if labelName != "" && p.names.Vertex(labelName) != p.labelOf(v) {
+			return 0, p.errorf("variable %s redeclared with a different label", name)
+		}
+		return v, nil
+	}
+	labeled := p.names.NumVertexLabels() > 0
+	if labelName == "" && labeled {
+		return 0, p.errorf("node %s needs a label (the data graph is labeled)", name)
+	}
+	var l graph.Label
+	if labelName != "" {
+		l = p.names.Vertex(labelName)
+	}
+	v := p.builder.AddVertex(l)
+	p.varIndex[name] = v
+	p.vars = append(p.vars, name)
+	p.labels = append(p.labels, l)
+	return v, nil
+}
+
+// labelOf retrieves the label already assigned to pattern vertex v.
+func (p *parser) labelOf(v graph.VertexID) graph.Label { return p.labels[v] }
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.input) && unicode.IsSpace(rune(p.input[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte { return p.input[p.pos] }
+
+func (p *parser) eat(c byte) bool {
+	p.skipSpace()
+	if p.pos < len(p.input) && p.input[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) eatKeyword(kw string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(strings.ToUpper(p.input[p.pos:]), kw) {
+		p.pos += len(kw)
+		return true
+	}
+	return false
+}
+
+func (p *parser) ident() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.input) {
+		c := rune(p.input[p.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return p.input[start:p.pos]
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("query: position %d: %s", p.pos, fmt.Sprintf(format, args...))
+}

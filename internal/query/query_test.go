@@ -1,0 +1,211 @@
+package query
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"csce/internal/core"
+	"csce/internal/graph"
+)
+
+func labeledGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.ParseString(`
+t directed
+v 0 Person
+v 1 Person
+v 2 Person
+v 3 Post
+e 0 1 knows
+e 1 2 knows
+e 0 2 knows
+e 0 3 wrote
+e 1 3 likes
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestParseTrianglePath(t *testing.T) {
+	g := labeledGraph(t)
+	q, err := Parse("MATCH (a:Person)-[:knows]->(b:Person)-[:knows]->(c:Person), (a)-[:knows]->(c)",
+		g.Names, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Pattern.NumVertices() != 3 || q.Pattern.NumEdges() != 3 {
+		t.Fatalf("pattern shape %d/%d, want 3/3", q.Pattern.NumVertices(), q.Pattern.NumEdges())
+	}
+	if len(q.Vars) != 3 || q.Vars[0] != "a" || q.Vars[1] != "b" || q.Vars[2] != "c" {
+		t.Fatalf("vars = %v", q.Vars)
+	}
+	// End to end: exactly one knows-triangle (0,1,2).
+	engine := core.NewEngine(g)
+	n, err := engine.Count(q.Pattern, graph.Homomorphic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("triangle query matched %d times, want 1", n)
+	}
+}
+
+func TestParseReverseAndShorthand(t *testing.T) {
+	g := labeledGraph(t)
+	q, err := Parse("MATCH (p:Post)<-[:wrote]-(a:Person)", g.Names, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edge must point Person -> Post.
+	if q.Pattern.OutDegree(1) != 1 || q.Pattern.InDegree(0) != 1 {
+		t.Fatalf("reverse arrow mis-parsed")
+	}
+	engine := core.NewEngine(g)
+	n, err := engine.Count(q.Pattern, graph.Homomorphic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("wrote query matched %d, want 1", n)
+	}
+
+	// Shorthand --> with no label matches only unlabeled edges: none here.
+	q2, err := Parse("MATCH (a:Person)-->(b:Person)", g.Names, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := engine.Count(q2.Pattern, graph.Homomorphic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != 0 {
+		t.Fatalf("unlabeled shorthand matched %d labeled edges, want 0", n2)
+	}
+}
+
+func TestParseUndirected(t *testing.T) {
+	names := graph.NewLabelTable()
+	q, err := Parse("MATCH ()--()--()", names, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Pattern.Directed() || q.Pattern.NumVertices() != 3 || q.Pattern.NumEdges() != 2 {
+		t.Fatalf("undirected path mis-parsed: %d/%d", q.Pattern.NumVertices(), q.Pattern.NumEdges())
+	}
+	if q.Vars[0] != "_1" || q.Vars[2] != "_3" {
+		t.Fatalf("anonymous vars = %v", q.Vars)
+	}
+}
+
+func TestParseSharedVariables(t *testing.T) {
+	names := graph.NewLabelTable()
+	q, err := Parse("MATCH (a)--(b), (b)--(c), (c)--(a)", names, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Pattern.NumVertices() != 3 || q.Pattern.NumEdges() != 3 {
+		t.Fatalf("triangle via shared vars mis-parsed: %d/%d",
+			q.Pattern.NumVertices(), q.Pattern.NumEdges())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	g := labeledGraph(t)
+	cases := map[string]string{
+		"missing MATCH":       "(a:Person)-->(b:Person)",
+		"unlabeled node":      "MATCH (a)-->(b:Person)",
+		"double arrow":        "MATCH (a:Person)<-[:x]->(b:Person)",
+		"unclosed node":       "MATCH (a:Person",
+		"unclosed bracket":    "MATCH (a:Person)-[:knows->(b:Person)",
+		"trailing junk":       "MATCH (a:Person)-[:knows]->(b:Person) RETURN a",
+		"label redeclaration": "MATCH (a:Person)-[:knows]->(b:Person), (a:Post)-[:likes]->(b)",
+		"empty label":         "MATCH (a:)-->(b:Person)",
+		"undirected edge":     "MATCH (a:Person)-[:knows]-(b:Person)",
+		"self loop":           "MATCH (a:Person)-[:knows]->(a)",
+	}
+	for name, qs := range cases {
+		if _, err := Parse(qs, g.Names, true); err == nil {
+			t.Errorf("%s: expected error for %q", name, qs)
+		}
+	}
+	// Directed arrow against an undirected graph.
+	if _, err := Parse("MATCH (a)-->(b)", graph.NewLabelTable(), false); err == nil {
+		t.Error("directed arrow must fail on an undirected graph")
+	}
+}
+
+func TestParseKeywordCaseInsensitive(t *testing.T) {
+	names := graph.NewLabelTable()
+	if _, err := Parse("match (a)--(b)", names, false); err != nil {
+		t.Fatalf("lowercase match: %v", err)
+	}
+}
+
+func TestQueryEndToEndVariableBinding(t *testing.T) {
+	g := labeledGraph(t)
+	engine := core.NewEngine(g)
+	q, err := Parse("MATCH (a:Person)-[:wrote]->(p:Post), (b:Person)-[:likes]->(p)", g.Names, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	_, err = engine.Match(q.Pattern, core.MatchOptions{
+		Variant: graph.EdgeInduced,
+		OnEmbedding: func(m []graph.VertexID) bool {
+			var sb strings.Builder
+			for i, name := range q.Vars {
+				if i > 0 {
+					sb.WriteByte(' ')
+				}
+				sb.WriteString(name)
+				sb.WriteByte('=')
+				sb.WriteByte('v')
+				sb.WriteByte('0' + byte(m[i]))
+			}
+			got = append(got, sb.String())
+			return true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "a=v0 p=v3 b=v1" {
+		t.Fatalf("bindings = %v", got)
+	}
+}
+
+// TestParseNeverPanics feeds the MATCH parser arbitrary and mutated query
+// strings: it must error, not panic.
+func TestParseNeverPanics(t *testing.T) {
+	names := graph.NewLabelTable()
+	names.Vertex("A")
+	valid := "MATCH (a:A)-[:r]->(b:A), (b)-[:r]->(a)"
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		var input string
+		if i%2 == 0 {
+			b := []byte(valid)
+			for j := 0; j < 1+rng.Intn(5); j++ {
+				b[rng.Intn(len(b))] = byte(32 + rng.Intn(95))
+			}
+			input = string(b[:rng.Intn(len(b)+1)])
+		} else {
+			b := make([]byte, rng.Intn(120))
+			for j := range b {
+				b[j] = byte(32 + rng.Intn(95))
+			}
+			input = string(b)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("input %q panicked: %v", input, r)
+				}
+			}()
+			_, _ = Parse(input, names, true)
+		}()
+	}
+}
