@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test race vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-heavy packages (server, executor) re-run under the
+# race detector; part of the tier-1 check.
+race:
+	$(GO) test -race ./internal/server/... ./internal/exec/... ./cmd/csced/...
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet test race

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func writeTempGraph(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tiny.graph")
+	data := "t undirected\n" +
+		"v 0 A\nv 1 A\nv 2 A\nv 3 B\n" +
+		"e 0 1\ne 1 2\ne 0 2\ne 2 3\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDaemonServesAndDrains(t *testing.T) {
+	path := writeTempGraph(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var out, errOut bytes.Buffer
+	started := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-graph", "tiny=" + path}, &out, &errOut, started)
+	}()
+
+	var addr string
+	select {
+	case addr = <-started:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v\n%s", err, errOut.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not start")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	// Triangle of A-labeled vertices: 6 ordered embeddings in the data.
+	pattern := "t undirected\nv 0 A\nv 1 A\nv 2 A\ne 0 1\ne 1 2\ne 0 2\n"
+	mresp, err := http.Post(base+"/v1/graphs/tiny/match", "text/plain", strings.NewReader(pattern))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("match status %d: %s", mresp.StatusCode, body)
+	}
+	if got := strings.Count(string(body), "\n"); got != 7 { // 6 embeddings + summary
+		t.Fatalf("expected 6 embeddings + summary, got %d lines:\n%s", got, body)
+	}
+	if !strings.Contains(string(body), `"done":true`) {
+		t.Fatalf("missing summary line:\n%s", body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v\n%s", err, errOut.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain and exit")
+	}
+	if !strings.Contains(out.String(), "csced: bye") {
+		t.Fatalf("missing shutdown log:\n%s", out.String())
+	}
+}
+
+func TestDaemonErrors(t *testing.T) {
+	ctx := context.Background()
+	var out, errOut bytes.Buffer
+	if err := run(ctx, nil, &out, &errOut, nil); err == nil {
+		t.Fatal("no graphs must error")
+	}
+	if err := run(ctx, []string{"-graph", "bad"}, &out, &errOut, nil); err == nil {
+		t.Fatal("malformed -graph must error")
+	}
+	if err := run(ctx, []string{"-graph", "g=/does/not/exist"}, &out, &errOut, nil); err == nil {
+		t.Fatal("missing file must error")
+	}
+	if err := run(ctx, []string{"-dataset", "nope"}, &out, &errOut, nil); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}

@@ -18,10 +18,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"time"
 
 	"csce"
@@ -49,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		modeName    = fs.String("mode", "csce", "plan mode: csce, ri, ri+cluster, rm, cost")
 		limit       = fs.Uint64("limit", 0, "stop after this many embeddings (0 = all)")
 		timeLimit   = fs.Duration("time", 0, "execution time limit (0 = none)")
+		timeout     = fs.Duration("timeout", 0, "overall deadline via cooperative cancellation; Ctrl-C also cancels (0 = none)")
 		workers     = fs.Int("workers", 1, "parallel workers for execution")
 		printAll    = fs.Bool("print", false, "print each embedding")
 		symBreak    = fs.Bool("symbreak", false, "apply symmetry breaking (count instances, not mappings)")
@@ -153,6 +156,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		SymmetryBreaking: *symBreak,
 		Profile:          *showProfile,
 	}
+	// Cooperative cancellation: the same code path the csced daemon uses
+	// for per-query timeouts and client disconnects. Ctrl-C stops the
+	// search gracefully and still prints the partial counts.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opts.Context = ctx
 	if *printAll {
 		opts.OnEmbedding = func(m []graph.VertexID) bool {
 			for u, v := range m {
@@ -194,6 +208,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "exec: steps=%d candidate builds=%d reuses=%d nec-shares=%d factorized=%d timedout=%v\n",
 		res.Exec.Steps, res.Exec.CandidateBuilds, res.Exec.CandidateReuses,
 		res.Exec.NECShares, res.Exec.FactorizedLevels, res.Exec.TimedOut)
+	if res.Exec.Cancelled {
+		fmt.Fprintln(stdout, "search cancelled (timeout or interrupt); counts are partial")
+	}
 	return nil
 }
 

@@ -2,10 +2,12 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 const testData = `t undirected
@@ -146,5 +148,52 @@ func TestProfileAndDotFlags(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "builds") {
 		t.Fatal("-profile output missing")
+	}
+}
+
+func TestTimeoutCancelsSearch(t *testing.T) {
+	// A clique-6 pattern in K40 has ~2.8e9 mappings; only cancellation can
+	// end the run quickly. -timeout goes through the same context path the
+	// csced daemon uses for per-query deadlines.
+	dir := t.TempDir()
+	var data, pattern strings.Builder
+	data.WriteString("t undirected\n")
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&data, "v %d A\n", i)
+	}
+	for i := 0; i < 40; i++ {
+		for j := i + 1; j < 40; j++ {
+			fmt.Fprintf(&data, "e %d %d\n", i, j)
+		}
+	}
+	pattern.WriteString("t undirected\n")
+	for i := 0; i < 6; i++ {
+		fmt.Fprintf(&pattern, "v %d A\n", i)
+	}
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			fmt.Fprintf(&pattern, "e %d %d\n", i, j)
+		}
+	}
+	dataPath := filepath.Join(dir, "k40.graph")
+	patternPath := filepath.Join(dir, "k6.graph")
+	if err := os.WriteFile(dataPath, []byte(data.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(patternPath, []byte(pattern.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut bytes.Buffer
+	start := time.Now()
+	err := run([]string{"-data", dataPath, "-pattern", patternPath, "-timeout", "50ms", "-workers", "2"}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("-timeout did not stop the search (took %v)", elapsed)
+	}
+	if !strings.Contains(out.String(), "search cancelled") {
+		t.Fatalf("missing cancellation notice:\n%s", out.String())
 	}
 }

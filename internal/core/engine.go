@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -75,10 +76,25 @@ type MatchOptions struct {
 	// Mode selects the plan-optimization ablation; the default ModeCSCE is
 	// the full pipeline.
 	Mode plan.Mode
-	// Limit stops after this many embeddings (0 = all).
+	// Limit stops after this many embeddings (0 = all); exact in both the
+	// serial and parallel execution paths.
 	Limit uint64
 	// TimeLimit bounds the execution stage (0 = none).
 	TimeLimit time.Duration
+	// Context, when non-nil, cancels the task cooperatively: it is checked
+	// between the read/plan/execute stages and polled inside the
+	// backtracking loop, so a timeout or client disconnect stops the search
+	// instead of burning cores. Cancellation during execution is graceful —
+	// Match returns the partial result with Exec.Cancelled set and a nil
+	// error; a context that is already dead before execution starts returns
+	// the context's error.
+	Context context.Context
+	// PreparedPlan, when non-nil, skips the optimization stage and executes
+	// this plan directly. It must have been produced by plan.Optimize (or
+	// plan.FromOrder) for the same pattern, store, and variant — the serving
+	// layer's plan cache uses this to amortize GCF/DAG/LDSF across repeated
+	// patterns.
+	PreparedPlan *plan.Plan
 	// OnEmbedding receives each embedding, indexed by pattern vertex ID.
 	// Return false to stop. Disables factorized counting.
 	OnEmbedding func(mapping []graph.VertexID) bool
@@ -143,6 +159,11 @@ func (r MatchResult) Throughput() float64 {
 func (e *Engine) Match(p *graph.Graph, opts MatchOptions) (MatchResult, error) {
 	var res MatchResult
 
+	if opts.Context != nil {
+		if err := opts.Context.Err(); err != nil {
+			return res, err
+		}
+	}
 	readStart := time.Now()
 	view, err := e.store.ReadCSR(p, opts.Variant)
 	if err != nil {
@@ -153,13 +174,18 @@ func (e *Engine) Match(p *graph.Graph, opts MatchOptions) (MatchResult, error) {
 	res.ViewBytes = view.DecompressedBytes()
 
 	planStart := time.Now()
-	pl, err := plan.Optimize(p, e.store, opts.Variant, opts.Mode)
-	if err != nil {
-		return res, fmt.Errorf("core: optimize: %w", err)
+	pl := opts.PreparedPlan
+	if pl == nil {
+		var err error
+		pl, err = plan.Optimize(p, e.store, opts.Variant, opts.Mode)
+		if err != nil {
+			return res, fmt.Errorf("core: optimize: %w", err)
+		}
 	}
 	execOpts := exec.Options{
 		Limit:                opts.Limit,
 		TimeLimit:            opts.TimeLimit,
+		Ctx:                  opts.Context,
 		OnEmbedding:          opts.OnEmbedding,
 		DisableSCECache:      opts.DisableSCECache,
 		DisableFactorization: opts.DisableFactorization,

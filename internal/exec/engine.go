@@ -78,6 +78,7 @@ type engine struct {
 
 	stats    Stats
 	deadline time.Time
+	done     <-chan struct{} // Options.Ctx.Done(); nil when uncancellable
 	stop     bool
 
 	// shared coordinates the workers of a RunParallel invocation; nil for
@@ -107,6 +108,9 @@ func newEngine(view *ccsr.View, pl *plan.Plan, opts Options) (*engine, error) {
 	}
 	if opts.TimeLimit > 0 {
 		e.deadline = time.Now().Add(opts.TimeLimit)
+	}
+	if opts.Ctx != nil {
+		e.done = opts.Ctx.Done()
 	}
 
 	depthOf := make([]int, p.NumVertices())
@@ -449,6 +453,9 @@ func collectParents(lv *level) []int {
 
 // run drives the search from depth 0.
 func (e *engine) run() {
+	if e.cancelled() {
+		return // already-dead context: do zero work
+	}
 	e.match(0, 1)
 }
 
@@ -510,7 +517,7 @@ func (e *engine) match(d int, factor uint64) {
 			e.prof.levels[d].Steps++
 		}
 		if e.stats.Steps&1023 == 0 {
-			if e.overDeadline() {
+			if e.overDeadline() || e.cancelled() {
 				return
 			}
 			if e.shared != nil && e.shared.stop.Load() {
@@ -537,26 +544,51 @@ func (e *engine) match(d int, factor uint64) {
 	}
 }
 
-// emit accounts one (possibly factorized) embedding.
+// emit accounts one (possibly factorized) embedding. The limit is enforced
+// exactly: the factor is clamped to the remaining budget *before* it is
+// counted, and in parallel runs the budget lives in a shared counter whose
+// slots are reserved with CompareAndSwap, so no worker can push the total
+// past the limit between check and emission.
 func (e *engine) emit(factor uint64) {
+	switch {
+	case e.shared != nil && e.shared.limit > 0:
+		for {
+			cur := e.shared.total.Load()
+			if cur >= e.shared.limit {
+				e.shared.stop.Store(true)
+				e.stop = true
+				return
+			}
+			take := factor
+			if cur+take >= e.shared.limit {
+				take = e.shared.limit - cur
+			}
+			if e.shared.total.CompareAndSwap(cur, cur+take) {
+				factor = take
+				if cur+take == e.shared.limit {
+					e.stats.LimitHit = true
+					e.shared.stop.Store(true)
+					e.stop = true
+				}
+				break
+			}
+		}
+	case e.shared != nil:
+		e.shared.total.Add(factor)
+	case e.opts.Limit > 0:
+		if remaining := e.opts.Limit - e.stats.Embeddings; factor >= remaining {
+			factor = remaining
+			e.stats.LimitHit = true
+			e.stop = true
+		}
+	}
 	e.stats.Embeddings += factor
 	if e.opts.OnEmbedding != nil {
+		// A callback disables factorization, so factor is 1 here and the
+		// reservation above admitted exactly this embedding.
 		if !e.opts.OnEmbedding(e.byVert) {
 			e.stop = true
-			return
 		}
-	}
-	if e.shared != nil {
-		if newTotal := e.shared.total.Add(factor); e.shared.limit > 0 && newTotal >= e.shared.limit {
-			e.stats.LimitHit = true
-			e.shared.stop.Store(true)
-			e.stop = true
-		}
-		return
-	}
-	if e.opts.Limit > 0 && e.stats.Embeddings >= e.opts.Limit {
-		e.stats.LimitHit = true
-		e.stop = true
 	}
 }
 
@@ -672,6 +704,23 @@ func (e *engine) symOK(lv *level, v graph.VertexID) bool {
 		}
 	}
 	return true
+}
+
+// cancelled polls the context's done channel (non-blocking). It is called
+// on entry and every ~1k extension steps, so cancellation latency is
+// bounded by a short burst of in-memory work, never by the search size.
+func (e *engine) cancelled() bool {
+	if e.done == nil {
+		return false
+	}
+	select {
+	case <-e.done:
+		e.stats.Cancelled = true
+		e.stop = true
+		return true
+	default:
+		return false
+	}
 }
 
 func (e *engine) overDeadline() bool {

@@ -20,6 +20,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -31,11 +32,20 @@ import (
 // Options controls one matching run.
 type Options struct {
 	// Limit stops the search once this many embeddings were found
-	// (0 = unlimited). With factorized counting the final count may
-	// overshoot the limit.
+	// (0 = unlimited). The limit is exact in both the serial and parallel
+	// paths: a factorized level's multiplicative factor is clamped to the
+	// remaining budget, and parallel workers reserve slots on the shared
+	// counter before emitting.
 	Limit uint64
 	// TimeLimit aborts the search after the given duration (0 = none).
 	TimeLimit time.Duration
+	// Ctx, when non-nil, cancels the search cooperatively: the backtracking
+	// loop polls Ctx.Done() every ~1k extension steps and stops with
+	// Stats.Cancelled set. Cancellation is graceful — partial statistics are
+	// returned with a nil error, mirroring TimeLimit — so callers decide
+	// whether a cut-short search is a failure. This is what lets a serving
+	// layer stop burning cores when a client disconnects.
+	Ctx context.Context
 	// OnEmbedding, when non-nil, receives every embedding as a slice
 	// indexed by pattern vertex ID (valid only during the call). Returning
 	// false stops the search. Setting a callback disables factorized
@@ -77,6 +87,8 @@ type Stats struct {
 	FactorizedLevels uint64
 	// TimedOut is set when TimeLimit aborted the search.
 	TimedOut bool
+	// Cancelled is set when Options.Ctx aborted the search.
+	Cancelled bool
 	// LimitHit is set when Limit stopped the search.
 	LimitHit bool
 	// Elapsed is the wall-clock matching time.

@@ -19,9 +19,11 @@ import (
 // Semantics notes:
 //   - OnEmbedding callbacks are serialized by a mutex, so they may observe
 //     embeddings in any order but never concurrently.
-//   - Limit is enforced cooperatively across workers; like Run with
-//     factorization, the final count may overshoot slightly because
-//     workers check the shared counter between emissions.
+//   - Limit is exact: workers reserve slots on a shared counter with
+//     CompareAndSwap before emitting, so the total never exceeds the limit
+//     (factorized factors are clamped to the remaining budget).
+//   - Cancellation via Options.Ctx is cooperative: every worker polls the
+//     context and the merged Stats carries Cancelled.
 //   - Per-worker SCE caches are independent, so CandidateReuses may be
 //     lower than a single-threaded run's.
 func RunParallel(view *ccsr.View, pl *plan.Plan, opts Options, workers int) (Stats, error) {
@@ -54,13 +56,20 @@ func RunParallel(view *ccsr.View, pl *plan.Plan, opts Options, workers int) (Sta
 	sharedOpts := opts
 	if opts.OnEmbedding != nil {
 		userCB := opts.OnEmbedding
+		// cbStopped (not stopFlag) gates delivery: stopFlag is also set by
+		// the limit reservation, and an embedding whose slot was already
+		// reserved must still reach the consumer or the exact limit would
+		// undercount. Only a false return from the user callback suppresses
+		// further deliveries.
+		cbStopped := false
 		sharedOpts.OnEmbedding = func(m []graph.VertexID) bool {
 			mu.Lock()
 			defer mu.Unlock()
-			if stopFlag.Load() {
+			if cbStopped {
 				return false
 			}
 			if !userCB(m) {
+				cbStopped = true
 				stopFlag.Store(true)
 				return false
 			}
@@ -118,6 +127,7 @@ func RunParallel(view *ccsr.View, pl *plan.Plan, opts Options, workers int) (Sta
 		out.NECShares += s.NECShares
 		out.FactorizedLevels += s.FactorizedLevels
 		out.TimedOut = out.TimedOut || s.TimedOut
+		out.Cancelled = out.Cancelled || s.Cancelled
 		out.LimitHit = out.LimitHit || s.LimitHit
 		if s.Elapsed > out.Elapsed {
 			out.Elapsed = s.Elapsed // wall clock = slowest worker

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by admit when the wait queue is at capacity;
+// the HTTP layer maps it to 429 Too Many Requests.
+var ErrQueueFull = errors.New("server: match queue full")
+
+// admission is the overload valve: at most `slots` matches execute
+// concurrently, at most `queueDepth` more wait for a slot, and everything
+// beyond that is rejected immediately. Rejection — not unbounded queueing —
+// is what keeps a saturated daemon degrading gracefully instead of
+// accumulating goroutines and candidate buffers until it OOMs.
+type admission struct {
+	slots      chan struct{}
+	queueDepth int64
+	waiting    atomic.Int64
+	running    atomic.Int64
+	rejected   atomic.Uint64
+}
+
+func newAdmission(slots, queueDepth int) *admission {
+	if slots < 1 {
+		slots = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &admission{
+		slots:      make(chan struct{}, slots),
+		queueDepth: int64(queueDepth),
+	}
+}
+
+// admit blocks until a slot is free, the queue is full (ErrQueueFull), or
+// the caller's context dies (its error). On nil return the caller holds a
+// slot and must release() it.
+func (a *admission) admit(ctx context.Context) error {
+	// Fast path: free slot, no queueing.
+	select {
+	case a.slots <- struct{}{}:
+		a.running.Add(1)
+		return nil
+	default:
+	}
+	if a.waiting.Add(1) > a.queueDepth {
+		a.waiting.Add(-1)
+		a.rejected.Add(1)
+		return ErrQueueFull
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		a.running.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() {
+	a.running.Add(-1)
+	<-a.slots
+}
+
+// inFlight returns the number of matches currently executing.
+func (a *admission) inFlight() int64 { return a.running.Load() }
+
+// queued returns the number of admitted-but-waiting matches.
+func (a *admission) queued() int64 { return a.waiting.Load() }
+
+// rejectedTotal returns how many queries the valve has turned away.
+func (a *admission) rejectedTotal() uint64 { return a.rejected.Load() }

@@ -1,0 +1,44 @@
+package server
+
+import "sync/atomic"
+
+// metrics holds the daemon's monotonic counters. Everything is a plain
+// atomic so the hot path never takes a lock; /metrics renders a snapshot
+// as expvar-style JSON, and gauges (in-flight, queue depth, cache size)
+// are read from their owning components at render time.
+type metrics struct {
+	// Query outcomes. queriesTotal counts every POST that reached the match
+	// handler; exactly one outcome counter moves per query.
+	queriesTotal      atomic.Uint64
+	queriesOK         atomic.Uint64
+	queriesRejected   atomic.Uint64 // admission queue full (HTTP 429)
+	queriesCancelled  atomic.Uint64 // client disconnect mid-search
+	queriesTimedOut   atomic.Uint64 // per-query timeout fired
+	queriesBadRequest atomic.Uint64 // unparseable pattern / params / 404s
+	queriesErrored    atomic.Uint64 // internal errors
+
+	// Work volume.
+	embeddingsEmitted atomic.Uint64 // NDJSON embedding lines streamed
+	execSteps         atomic.Uint64 // candidate extensions across all queries
+	candidateReuses   atomic.Uint64 // SCE cache hits across all queries
+	execMicros        atomic.Uint64 // summed execution-stage wall time (µs)
+	planMicros        atomic.Uint64 // summed plan-stage wall time (µs); cache hits contribute ~0
+}
+
+// snapshot returns the counter block of the /metrics document.
+func (m *metrics) snapshot() map[string]any {
+	return map[string]any{
+		"queries_total":       m.queriesTotal.Load(),
+		"queries_ok":          m.queriesOK.Load(),
+		"queries_rejected":    m.queriesRejected.Load(),
+		"queries_cancelled":   m.queriesCancelled.Load(),
+		"queries_timed_out":   m.queriesTimedOut.Load(),
+		"queries_bad_request": m.queriesBadRequest.Load(),
+		"queries_errored":     m.queriesErrored.Load(),
+		"embeddings_emitted":  m.embeddingsEmitted.Load(),
+		"exec_steps":          m.execSteps.Load(),
+		"candidate_reuses":    m.candidateReuses.Load(),
+		"exec_micros":         m.execMicros.Load(),
+		"plan_micros":         m.planMicros.Load(),
+	}
+}

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"csce/internal/graph"
+	"csce/internal/plan"
+)
+
+// planCache is a bounded LRU of optimized plans keyed by (graph name,
+// variant, plan mode, pattern signature). GCF + DAG + LDSF optimization is
+// pure pattern/store analysis, so a repeated pattern can skip the whole
+// plan stage; the cached *plan.Plan is read-only during execution and safe
+// to share across concurrent queries.
+//
+// A cached plan stays valid across delta updates to the store (the order
+// is structural), but its cluster-statistics tie-breaks may drift from
+// optimal; the snapshot-swap roadmap item will version the cache.
+type planCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type planCacheEntry struct {
+	key string
+	pl  *plan.Plan
+}
+
+// newPlanCache returns a cache holding up to capacity plans; capacity <= 0
+// disables caching (every lookup misses, puts are dropped).
+func newPlanCache(capacity int) *planCache {
+	return &planCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+func (c *planCache) get(key string) (*plan.Plan, bool) {
+	if c.cap <= 0 {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*planCacheEntry).pl, true
+}
+
+func (c *planCache) put(key string, pl *plan.Plan) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*planCacheEntry).pl = pl
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&planCacheEntry{key: key, pl: pl})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*planCacheEntry).key)
+	}
+}
+
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// planKey serializes the identity of a plan: graph name, variant, mode,
+// and the pattern's exact structure (directedness, vertex labels, labeled
+// edge list in deterministic adjacency order). Two textually different
+// requests with the same parsed pattern share a key; isomorphic but
+// differently numbered patterns intentionally do not — canonical-form
+// hashing is not worth its cost at serving time.
+func planKey(graphName string, variant graph.Variant, mode plan.Mode, p *graph.Graph) string {
+	var b strings.Builder
+	b.Grow(64 + 8*p.NumVertices() + 12*p.NumEdges())
+	b.WriteString(graphName)
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(int(variant)))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(int(mode)))
+	b.WriteByte('|')
+	if p.Directed() {
+		b.WriteByte('d')
+	} else {
+		b.WriteByte('u')
+	}
+	b.WriteByte('|')
+	for v := 0; v < p.NumVertices(); v++ {
+		b.WriteString(strconv.Itoa(int(p.Label(graph.VertexID(v)))))
+		b.WriteByte(',')
+	}
+	b.WriteByte('|')
+	p.Edges(func(src, dst graph.VertexID, el graph.EdgeLabel) {
+		b.WriteString(strconv.Itoa(int(src)))
+		b.WriteByte('-')
+		b.WriteString(strconv.Itoa(int(dst)))
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(int(el)))
+		b.WriteByte(';')
+	})
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"csce/internal/core"
+	"csce/internal/graph"
+)
+
+// Entry is one resident dataset: a clustered engine plus the label table
+// patterns must be parsed with. The engine's CCSR store is immutable under
+// matching, so a single Entry safely serves any number of concurrent
+// queries.
+type Entry struct {
+	Name     string
+	Engine   *core.Engine
+	Names    *graph.LabelTable
+	Vertices int
+	Edges    int
+	Clusters int
+	Directed bool
+	LoadedAt time.Time
+
+	queries atomic.Uint64 // matches served against this graph
+}
+
+// Queries returns how many match queries this graph has served.
+func (e *Entry) Queries() uint64 { return e.queries.Load() }
+
+// Registry maps dataset names to resident engines. Adding a graph is rare
+// (startup, admin); lookups are per-query, so reads take an RLock.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*Entry)}
+}
+
+// Add registers an engine under a name. The label table is taken from the
+// engine; NumericLabels can synthesize one for purely numeric graphs. Add
+// fails on duplicate names — replacing a live graph is a snapshot-swap
+// problem left to the delta-maintenance roadmap item.
+func (r *Registry) Add(name string, engine *core.Engine) (*Entry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("server: graph name must be non-empty")
+	}
+	st := engine.Store()
+	e := &Entry{
+		Name:     name,
+		Engine:   engine,
+		Names:    engine.Names(),
+		Vertices: st.NumVertices(),
+		Edges:    st.NumEdges(),
+		Clusters: st.NumClusters(),
+		Directed: st.Directed(),
+		LoadedAt: time.Now(),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[name]; dup {
+		return nil, fmt.Errorf("server: graph %q already registered", name)
+	}
+	r.entries[name] = e
+	return e, nil
+}
+
+// Get returns the entry for a name.
+func (r *Registry) Get(name string) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// List returns all entries sorted by name.
+func (r *Registry) List() []*Entry {
+	r.mu.RLock()
+	out := make([]*Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered graphs.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// NumericLabels builds an identity label table for a graph whose labels
+// are numeric (the synthetic dataset generators): vertex label name "7"
+// interns to Label(7), edge label name "3" to EdgeLabel(3), so patterns
+// posted in the text format can name labels by their numbers. Attach it to
+// the graph before building the engine.
+func NumericLabels(g *graph.Graph) *graph.LabelTable {
+	t := graph.NewLabelTable()
+	maxV := graph.Label(0)
+	for _, l := range g.Labels() {
+		if l > maxV {
+			maxV = l
+		}
+	}
+	for l := graph.Label(0); l <= maxV; l++ {
+		t.Vertex(strconv.Itoa(int(l)))
+	}
+	maxE := graph.EdgeLabel(0)
+	g.Edges(func(_, _ graph.VertexID, el graph.EdgeLabel) {
+		if el > maxE {
+			maxE = el
+		}
+	})
+	// Edge label 0 is pre-interned as the empty name (unlabeled edges).
+	for el := graph.EdgeLabel(1); el <= maxE; el++ {
+		t.Edge(strconv.Itoa(int(el)))
+	}
+	return t
+}

@@ -1,0 +1,469 @@
+// Package server is the concurrent match-serving subsystem: a long-lived
+// daemon core that amortizes the offline CCSR clustering across many
+// concurrent queries. It owns a registry of resident engines, an admission
+// valve that sheds overload with 429s instead of queueing unboundedly, an
+// LRU plan cache that lets repeated patterns skip GCF/DAG/LDSF
+// optimization, and JSON metrics for all of it.
+//
+// The cancellation contract: every query runs under a context derived from
+// the HTTP request with a per-query timeout. The context is threaded
+// through core.MatchOptions into the backtracking executor, which polls it
+// every ~1k extension steps — so a client disconnect or a timeout stops
+// the search within microseconds of in-memory work instead of burning a
+// core until the enumeration finishes. Cancellation mid-stream is
+// graceful: the response ends with a summary line marked cancelled.
+//
+// Resident engines are treated as strictly read-only: concurrent matching
+// against an immutable CCSR store is lock-free by construction, and live
+// graph updates (delta maintenance + snapshot swap) are a roadmap item.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"csce/internal/core"
+	"csce/internal/graph"
+	"csce/internal/plan"
+)
+
+// Config sizes the daemon. The zero value is usable: New fills defaults.
+type Config struct {
+	// Addr is the listen address (default "127.0.0.1:8372"; use ":0" to
+	// pick a free port, which Start reports).
+	Addr string
+	// MatchSlots bounds concurrently executing matches (default 4).
+	MatchSlots int
+	// QueueDepth bounds matches waiting for a slot; beyond it requests get
+	// 429 (default 2×MatchSlots).
+	QueueDepth int
+	// MaxLimit is the hard cap on embeddings streamed per query; requests
+	// without a limit, or above the cap, are clamped (default 10000).
+	MaxLimit uint64
+	// DefaultTimeout applies when a request has no timeout_ms (default 5s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps timeout_ms (default 60s).
+	MaxTimeout time.Duration
+	// MaxExecWorkers caps the per-query workers parameter (default 4).
+	MaxExecWorkers int
+	// PlanCacheSize bounds the LRU of optimized plans (default 256;
+	// negative disables caching).
+	PlanCacheSize int
+	// MaxPatternBytes bounds the request body (default 1 MiB).
+	MaxPatternBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:8372"
+	}
+	if c.MatchSlots <= 0 {
+		c.MatchSlots = 4
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 2 * c.MatchSlots
+	}
+	if c.MaxLimit == 0 {
+		c.MaxLimit = 10000
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxExecWorkers <= 0 {
+		c.MaxExecWorkers = 4
+	}
+	if c.PlanCacheSize == 0 {
+		c.PlanCacheSize = 256
+	}
+	if c.MaxPatternBytes <= 0 {
+		c.MaxPatternBytes = 1 << 20
+	}
+	return c
+}
+
+// Server is the daemon core. Build with New, register graphs through
+// Registry, then Start/Shutdown (or mount Handler in a test server).
+type Server struct {
+	cfg      Config
+	reg      *Registry
+	adm      *admission
+	plans    *planCache
+	metrics  metrics
+	started  time.Time
+	draining atomic.Bool
+
+	mu    sync.Mutex // guards http/listener lifecycle
+	http  *http.Server
+	ln    net.Listener
+	names sync.Mutex // serializes pattern parsing into shared label tables
+}
+
+// New builds a server; cfg fields at their zero value take defaults.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		reg:     NewRegistry(),
+		adm:     newAdmission(cfg.MatchSlots, cfg.QueueDepth),
+		plans:   newPlanCache(cfg.PlanCacheSize),
+		started: time.Now(),
+	}
+	return s
+}
+
+// Registry exposes the graph registry for loading datasets.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler returns the daemon's HTTP mux (also useful under httptest).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/graphs/{name}/match", s.handleMatch)
+	mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// Start listens on cfg.Addr and serves in a background goroutine. It
+// returns the bound address (resolving ":0") once the listener is live.
+func (s *Server) Start() (string, error) {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.http = &http.Server{Handler: s.Handler()}
+	srv := s.http
+	s.mu.Unlock()
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Shutdown drains gracefully: new work is refused (healthz reports
+// draining), in-flight queries run to completion, and if the context
+// expires first the listener is closed, which cancels the remaining
+// queries' contexts and lets cooperative cancellation stop their searches.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	srv := s.http
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		return srv.Close()
+	}
+	return nil
+}
+
+// matchParams are the knobs of one match query, parsed and clamped.
+type matchParams struct {
+	variant graph.Variant
+	mode    plan.Mode
+	limit   uint64
+	timeout time.Duration
+	workers int
+}
+
+func (s *Server) parseMatchParams(r *http.Request) (matchParams, error) {
+	q := r.URL.Query()
+	p := matchParams{
+		variant: graph.EdgeInduced,
+		mode:    plan.ModeCSCE,
+		limit:   s.cfg.MaxLimit,
+		timeout: s.cfg.DefaultTimeout,
+		workers: 1,
+	}
+	switch v := q.Get("variant"); v {
+	case "", "edge":
+		p.variant = graph.EdgeInduced
+	case "vertex":
+		p.variant = graph.VertexInduced
+	case "homo":
+		p.variant = graph.Homomorphic
+	default:
+		return p, fmt.Errorf("unknown variant %q (edge, vertex, homo)", v)
+	}
+	switch m := q.Get("mode"); m {
+	case "", "csce":
+		p.mode = plan.ModeCSCE
+	case "ri":
+		p.mode = plan.ModeRI
+	case "ri+cluster":
+		p.mode = plan.ModeRICluster
+	case "rm":
+		p.mode = plan.ModeRM
+	case "cost":
+		p.mode = plan.ModeCostBased
+	default:
+		return p, fmt.Errorf("unknown plan mode %q (csce, ri, ri+cluster, rm, cost)", m)
+	}
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			return p, fmt.Errorf("bad limit %q", raw)
+		}
+		if n == 0 || n > s.cfg.MaxLimit {
+			n = s.cfg.MaxLimit
+		}
+		p.limit = n
+	}
+	if raw := q.Get("timeout_ms"); raw != "" {
+		ms, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || ms < 0 {
+			return p, fmt.Errorf("bad timeout_ms %q", raw)
+		}
+		d := time.Duration(ms) * time.Millisecond
+		if d == 0 || d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+		p.timeout = d
+	}
+	if raw := q.Get("workers"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			return p, fmt.Errorf("bad workers %q", raw)
+		}
+		if n > s.cfg.MaxExecWorkers {
+			n = s.cfg.MaxExecWorkers
+		}
+		p.workers = n
+	}
+	return p, nil
+}
+
+// parsePattern reads the request body in the edge-list text format,
+// interning labels through the graph's table. Interning mutates the shared
+// table, so parses are serialized; matching itself never touches it.
+func (s *Server) parsePattern(r *http.Request, w http.ResponseWriter, ent *Entry) (*graph.Graph, error) {
+	s.names.Lock()
+	defer s.names.Unlock()
+	names := ent.Names
+	if names == nil {
+		names = graph.NewLabelTable()
+	}
+	return graph.ParseWith(http.MaxBytesReader(w, r.Body, s.cfg.MaxPatternBytes), names)
+}
+
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	s.metrics.queriesTotal.Add(1)
+	name := r.PathValue("name")
+	ent, ok := s.reg.Get(name)
+	if !ok {
+		s.metrics.queriesBadRequest.Add(1)
+		jsonError(w, http.StatusNotFound, fmt.Sprintf("unknown graph %q", name))
+		return
+	}
+	params, err := s.parseMatchParams(r)
+	if err != nil {
+		s.metrics.queriesBadRequest.Add(1)
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	p, err := s.parsePattern(r, w, ent)
+	if err != nil {
+		s.metrics.queriesBadRequest.Add(1)
+		jsonError(w, http.StatusBadRequest, fmt.Sprintf("parse pattern: %v", err))
+		return
+	}
+	if p.Directed() != ent.Directed {
+		s.metrics.queriesBadRequest.Add(1)
+		jsonError(w, http.StatusBadRequest, fmt.Sprintf("pattern directedness does not match graph %q", ent.Name))
+		return
+	}
+
+	if err := s.adm.admit(r.Context()); err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			s.metrics.queriesRejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			jsonError(w, http.StatusTooManyRequests, "match queue full, retry later")
+			return
+		}
+		// The client went away while queued; nobody is reading the reply.
+		s.metrics.queriesCancelled.Add(1)
+		jsonError(w, http.StatusServiceUnavailable, "cancelled while queued")
+		return
+	}
+	defer s.adm.release()
+	ent.queries.Add(1)
+
+	// Plan cache: repeated patterns skip GCF/DAG/LDSF entirely.
+	planStart := time.Now()
+	key := planKey(ent.Name, params.variant, params.mode, p)
+	pl, cacheHit := s.plans.get(key)
+	if !cacheHit {
+		pl, err = plan.Optimize(p, ent.Engine.Store(), params.variant, params.mode)
+		if err != nil {
+			s.metrics.queriesBadRequest.Add(1)
+			jsonError(w, http.StatusUnprocessableEntity, fmt.Sprintf("optimize: %v", err))
+			return
+		}
+		s.plans.put(key, pl)
+	}
+	s.metrics.planMicros.Add(uint64(time.Since(planStart).Microseconds()))
+
+	ctx, cancel := context.WithTimeout(r.Context(), params.timeout)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	var (
+		emitted    uint64
+		writeErr   error
+		lineBuf    []byte
+		streamDead bool
+	)
+	onEmbedding := func(m []graph.VertexID) bool {
+		lineBuf = append(lineBuf[:0], `{"embedding":[`...)
+		for i, v := range m {
+			if i > 0 {
+				lineBuf = append(lineBuf, ',')
+			}
+			lineBuf = strconv.AppendUint(lineBuf, uint64(v), 10)
+		}
+		lineBuf = append(lineBuf, ']', '}', '\n')
+		if _, err := w.Write(lineBuf); err != nil {
+			writeErr = err
+			streamDead = true
+			return false
+		}
+		emitted++
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	res, matchErr := ent.Engine.Match(p, core.MatchOptions{
+		Variant:      params.variant,
+		Mode:         params.mode,
+		Limit:        params.limit,
+		Workers:      params.workers,
+		Context:      ctx,
+		PreparedPlan: pl,
+		OnEmbedding:  onEmbedding,
+	})
+	s.metrics.embeddingsEmitted.Add(emitted)
+	s.metrics.execSteps.Add(res.Exec.Steps)
+	s.metrics.candidateReuses.Add(res.Exec.CandidateReuses)
+	s.metrics.execMicros.Add(uint64(res.ExecTime.Microseconds()))
+
+	// Classify the outcome. A context error surfaced as matchErr means the
+	// deadline or disconnect hit before execution started; mid-search
+	// cancellation is reported through Exec.Cancelled with a nil error.
+	timedOut := errors.Is(ctx.Err(), context.DeadlineExceeded)
+	cancelled := res.Exec.Cancelled || errors.Is(matchErr, context.Canceled) ||
+		errors.Is(matchErr, context.DeadlineExceeded) || streamDead
+	if matchErr != nil && !cancelled {
+		s.metrics.queriesErrored.Add(1)
+		jsonError(w, http.StatusInternalServerError, fmt.Sprintf("match: %v", matchErr))
+		return
+	}
+	switch {
+	case timedOut:
+		s.metrics.queriesTimedOut.Add(1)
+	case cancelled:
+		s.metrics.queriesCancelled.Add(1)
+	default:
+		s.metrics.queriesOK.Add(1)
+	}
+	if streamDead && writeErr != nil {
+		return // client is gone; no point writing a summary
+	}
+
+	summary := map[string]any{
+		"done":             true,
+		"graph":            ent.Name,
+		"embeddings":       res.Embeddings,
+		"limit":            params.limit,
+		"limit_hit":        res.Exec.LimitHit,
+		"cancelled":        cancelled,
+		"timed_out":        timedOut,
+		"plan_cache":       map[bool]string{true: "hit", false: "miss"}[cacheHit],
+		"read_ms":          float64(res.ReadTime.Microseconds()) / 1e3,
+		"plan_ms":          float64(res.PlanTime.Microseconds()) / 1e3,
+		"exec_ms":          float64(res.ExecTime.Microseconds()) / 1e3,
+		"steps":            res.Exec.Steps,
+		"candidate_reuses": res.Exec.CandidateReuses,
+	}
+	line, _ := json.Marshal(summary)
+	if _, err := w.Write(append(line, '\n')); err == nil && flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	type graphInfo struct {
+		Name     string    `json:"name"`
+		Vertices int       `json:"vertices"`
+		Edges    int       `json:"edges"`
+		Clusters int       `json:"clusters"`
+		Directed bool      `json:"directed"`
+		LoadedAt time.Time `json:"loaded_at"`
+		Queries  uint64    `json:"queries"`
+	}
+	entries := s.reg.List()
+	out := make([]graphInfo, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, graphInfo{
+			Name:     e.Name,
+			Vertices: e.Vertices,
+			Edges:    e.Edges,
+			Clusters: e.Clusters,
+			Directed: e.Directed,
+			LoadedAt: e.LoadedAt,
+			Queries:  e.Queries(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": out})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	doc := s.metrics.snapshot()
+	doc["plan_cache_size"] = s.plans.len()
+	doc["plan_cache_hits"] = s.plans.hits.Load()
+	doc["plan_cache_misses"] = s.plans.misses.Load()
+	doc["in_flight"] = s.adm.inFlight()
+	doc["queued"] = s.adm.queued()
+	doc["match_slots"] = s.cfg.MatchSlots
+	doc["queue_depth"] = s.cfg.QueueDepth
+	doc["graphs"] = s.reg.Len()
+	doc["uptime_seconds"] = time.Since(s.started).Seconds()
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"graphs": s.reg.Len(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}
+
+func jsonError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]any{"error": msg})
+}

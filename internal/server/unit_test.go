@@ -1,0 +1,191 @@
+package server
+
+import (
+	"context"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+
+	"csce/internal/core"
+	"csce/internal/graph"
+	"csce/internal/plan"
+)
+
+func TestAdmissionFastPathAndQueue(t *testing.T) {
+	a := newAdmission(2, 1)
+	if err := a.admit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.admit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.inFlight(); got != 2 {
+		t.Fatalf("inFlight = %d, want 2", got)
+	}
+
+	// Third caller queues; it gets the slot when one is released.
+	acquired := make(chan error, 1)
+	go func() { acquired <- a.admit(context.Background()) }()
+	for a.queued() != 1 {
+		runtime.Gosched()
+	}
+	// Fourth caller exceeds queueDepth=1 and is rejected immediately.
+	if err := a.admit(context.Background()); err != ErrQueueFull {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	if a.rejectedTotal() != 1 {
+		t.Fatalf("rejectedTotal = %d, want 1", a.rejectedTotal())
+	}
+	a.release()
+	if err := <-acquired; err != nil {
+		t.Fatalf("queued caller should get the freed slot: %v", err)
+	}
+	a.release()
+	a.release()
+	if got := a.inFlight(); got != 0 {
+		t.Fatalf("inFlight = %d, want 0", got)
+	}
+}
+
+func TestAdmissionContextCancelWhileQueued(t *testing.T) {
+	a := newAdmission(1, 4)
+	if err := a.admit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	res := make(chan error, 1)
+	go func() { res <- a.admit(ctx) }()
+	for a.queued() != 1 {
+		runtime.Gosched()
+	}
+	cancel()
+	if err := <-res; err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	a.release()
+}
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	c := newPlanCache(2)
+	p1, p2, p3 := &plan.Plan{}, &plan.Plan{}, &plan.Plan{}
+	c.put("a", p1)
+	c.put("b", p2)
+	if pl, ok := c.get("a"); !ok || pl != p1 {
+		t.Fatal("a should be cached")
+	}
+	c.put("c", p3) // evicts b (least recently used)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a was recently used and must survive")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	if c.hits.Load() != 2 || c.misses.Load() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 2/1", c.hits.Load(), c.misses.Load())
+	}
+}
+
+func TestPlanCacheDisabled(t *testing.T) {
+	c := newPlanCache(-1)
+	c.put("a", &plan.Plan{})
+	if _, ok := c.get("a"); ok {
+		t.Fatal("disabled cache must always miss")
+	}
+	if c.len() != 0 {
+		t.Fatal("disabled cache must stay empty")
+	}
+}
+
+func TestPlanCacheConcurrent(t *testing.T) {
+	c := newPlanCache(8)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				key := "k" + strconv.Itoa(j%16)
+				if _, ok := c.get(key); !ok {
+					c.put(key, &plan.Plan{})
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.len() > 8 {
+		t.Fatalf("cache exceeded capacity: %d", c.len())
+	}
+}
+
+func TestPlanKeyDistinguishes(t *testing.T) {
+	path := graph.MustParse(pathPattern3)
+	tri := graph.MustParse(triPattern)
+	base := planKey("g", graph.EdgeInduced, plan.ModeCSCE, path)
+	for name, other := range map[string]string{
+		"pattern": planKey("g", graph.EdgeInduced, plan.ModeCSCE, tri),
+		"variant": planKey("g", graph.Homomorphic, plan.ModeCSCE, path),
+		"mode":    planKey("g", graph.EdgeInduced, plan.ModeRI, path),
+		"graph":   planKey("h", graph.EdgeInduced, plan.ModeCSCE, path),
+	} {
+		if other == base {
+			t.Errorf("planKey must distinguish by %s", name)
+		}
+	}
+	if planKey("g", graph.EdgeInduced, plan.ModeCSCE, graph.MustParse(pathPattern3)) != base {
+		t.Error("equal patterns must share a key")
+	}
+}
+
+func TestRegistryDuplicateAndList(t *testing.T) {
+	r := NewRegistry()
+	g := graph.Clique(4, 0)
+	g.Names = NumericLabels(g)
+	eng := core.NewEngine(g)
+	if _, err := r.Add("g", eng); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Add("g", eng); err == nil {
+		t.Fatal("duplicate Add must fail")
+	}
+	if _, err := r.Add("", eng); err == nil {
+		t.Fatal("empty name must fail")
+	}
+	if r.Len() != 1 || len(r.List()) != 1 {
+		t.Fatal("registry size wrong")
+	}
+	e, ok := r.Get("g")
+	if !ok || e.Vertices != 4 || e.Edges != 6 || e.Directed {
+		t.Fatalf("entry stats wrong: %+v", e)
+	}
+}
+
+func TestNumericLabelsIdentity(t *testing.T) {
+	b := graph.NewBuilder(false)
+	for i := 0; i < 4; i++ {
+		b.AddVertex(graph.Label(i % 3))
+	}
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 2, 0)
+	g := b.MustBuild()
+	tbl := NumericLabels(g)
+	for i := 0; i < 3; i++ {
+		if got := tbl.Vertex(strconv.Itoa(i)); got != graph.Label(i) {
+			t.Fatalf("vertex label %d interned as %d", i, got)
+		}
+	}
+	if got := tbl.Edge("2"); got != graph.EdgeLabel(2) {
+		t.Fatalf("edge label 2 interned as %d", got)
+	}
+	// A pattern parsed with the table matches the numeric data labels.
+	p, err := graph.ParseStringWith("t undirected\nv 0 0\nv 1 1\ne 0 1 2\n", tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Label(0) != 0 || p.Label(1) != 1 {
+		t.Fatalf("pattern labels %d,%d", p.Label(0), p.Label(1))
+	}
+}
