@@ -1,0 +1,128 @@
+// Command cscelint runs the project's static analyzer suite
+// (internal/lint) over the module and fails on any finding.
+//
+//	cscelint ./...                       # whole module (the CI invocation)
+//	cscelint ./internal/server           # one package
+//	cscelint -checks errchecklite ./...  # a subset of the suite
+//	cscelint -json ./...                 # machine-readable findings
+//	cscelint -list                       # describe the available checks
+//
+// Diagnostics print as file:line:col: [check] message. Exit status is 0
+// when clean, 1 on findings, 2 on usage or load errors. Suppress a single
+// finding with a //lint:ignore directive (see internal/lint).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"csce/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cscelint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		checksFlag = fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		jsonOut    = fs.Bool("json", false, "emit findings as a JSON array")
+		dir        = fs.String("C", ".", "module directory to analyze")
+		list       = fs.Bool("list", false, "list available checks and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, c := range lint.Checks() {
+			fmt.Fprintf(stdout, "%-18s %s\n", c.Name, c.Doc)
+		}
+		return 0
+	}
+
+	checks := lint.Checks()
+	if *checksFlag != "" {
+		checks = checks[:0:0]
+		for _, name := range strings.Split(*checksFlag, ",") {
+			name = strings.TrimSpace(name)
+			c, ok := lint.CheckByName(name)
+			if !ok {
+				known := make([]string, 0, len(lint.Checks()))
+				for _, k := range lint.Checks() {
+					known = append(known, k.Name)
+				}
+				sort.Strings(known)
+				fmt.Fprintf(stderr, "cscelint: unknown check %q (known: %s)\n", name, strings.Join(known, ", "))
+				return 2
+			}
+			checks = append(checks, c)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "cscelint: %v\n", err)
+		return 2
+	}
+	diags := lint.Run(pkgs, checks)
+
+	if *jsonOut {
+		type finding struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Column  int    `json:"column"`
+			Check   string `json:"check"`
+			Message string `json:"message"`
+		}
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{
+				File:    relPath(*dir, d.Pos.Filename),
+				Line:    d.Pos.Line,
+				Column:  d.Pos.Column,
+				Check:   d.Check,
+				Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "cscelint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", relPath(*dir, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// relPath shortens absolute file names relative to the analyzed module for
+// readable, stable output; paths outside dir stay absolute.
+func relPath(dir, file string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return file
+	}
+	rel, err := filepath.Rel(abs, file)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return file
+	}
+	return rel
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixture returns the -C argument for one of internal/lint's golden
+// fixture modules, so these tests drive the real driver end-to-end over
+// the same trees the analyzer unit tests use.
+func fixture(name string) string {
+	return filepath.Join("..", "..", "internal", "lint", "testdata", "src", name)
+}
+
+func runLint(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestFindingsFailTheRun(t *testing.T) {
+	code, out, _ := runLint(t, "-C", fixture("errchecklite"), "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	for _, want := range []string{
+		"fixture.go:19:2: [errchecklite] mayFail returns an error that is not checked",
+		"fixture.go:24:2: [errchecklite] os.Create returns an error that is not checked",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "\n"); n != 2 {
+		t.Errorf("got %d findings, want exactly 2:\n%s", n, out)
+	}
+}
+
+func TestCleanFixturePasses(t *testing.T) {
+	code, out, _ := runLint(t, "-C", fixture("clean"), "./...")
+	if code != 0 || out != "" {
+		t.Fatalf("exit = %d, output = %q; want 0 and empty", code, out)
+	}
+}
+
+func TestChecksSubset(t *testing.T) {
+	// The errchecklite fixture is dirty for errchecklite but clean for
+	// stdlibonly, so -checks decides the exit status.
+	code, out, _ := runLint(t, "-C", fixture("errchecklite"), "-checks", "stdlibonly", "./...")
+	if code != 0 || out != "" {
+		t.Fatalf("-checks stdlibonly: exit = %d, output = %q; want 0 and empty", code, out)
+	}
+	code, out, _ = runLint(t, "-C", fixture("errchecklite"), "-checks", "stdlibonly,errchecklite", "./...")
+	if code != 1 || !strings.Contains(out, "[errchecklite]") {
+		t.Fatalf("-checks stdlibonly,errchecklite: exit = %d, output = %q; want findings", code, out)
+	}
+}
+
+func TestUnknownCheckIsUsageError(t *testing.T) {
+	code, _, errOut := runLint(t, "-checks", "nosuchcheck", "./...")
+	if code != 2 || !strings.Contains(errOut, "unknown check") {
+		t.Fatalf("exit = %d, stderr = %q; want 2 with explanation", code, errOut)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, out, _ := runLint(t, "-C", fixture("errchecklite"), "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var findings []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Column  int    `json:"column"`
+		Check   string `json:"check"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2: %+v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.File != "fixture.go" || f.Line != 19 || f.Check != "errchecklite" || !strings.Contains(f.Message, "mayFail") {
+		t.Errorf("unexpected first finding %+v", f)
+	}
+}
+
+func TestSuppressionEndToEnd(t *testing.T) {
+	code, out, _ := runLint(t, "-C", fixture("ignore"), "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	// The fixture seeds five os.Remove findings; two are suppressed by
+	// valid //lint:ignore directives.
+	if n := strings.Count(out, "[errchecklite]"); n != 3 {
+		t.Errorf("got %d surviving findings, want 3:\n%s", n, out)
+	}
+	if strings.Contains(out, "fixture.go:11:") || strings.Contains(out, "fixture.go:16:") {
+		t.Errorf("suppressed lines leaked into output:\n%s", out)
+	}
+}
+
+func TestListChecks(t *testing.T) {
+	code, out, _ := runLint(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"stdlibonly", "atomicconsistency", "mutexdiscipline", "ctxpropagation", "enumexhaustive", "errchecklite"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+// TestRepositoryIsClean is the acceptance bar: the full suite over the
+// whole module must produce zero findings. If this fails, either fix the
+// finding or suppress it with a justified //lint:ignore.
+func TestRepositoryIsClean(t *testing.T) {
+	code, out, errOut := runLint(t, "-C", filepath.Join("..", ".."), "./...")
+	if code != 0 {
+		t.Fatalf("cscelint is not clean on the repository (exit %d):\n%s%s", code, out, errOut)
+	}
+}

@@ -72,7 +72,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		data, err = csce.ParseGraph(f)
-		f.Close()
+		_ = f.Close()
 		if err != nil {
 			return fmt.Errorf("parse data graph: %w", err)
 		}
@@ -84,7 +84,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		var err2 error
 		engine, err2 = csce.LoadEngine(f)
-		f.Close()
+		_ = f.Close()
 		if err2 != nil {
 			return fmt.Errorf("load index: %w", err2)
 		}
@@ -98,7 +98,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		if err := engine.Save(f); err != nil {
-			f.Close()
+			_ = f.Close()
 			return fmt.Errorf("save index: %w", err)
 		}
 		if err := f.Close(); err != nil {
@@ -131,7 +131,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		} else {
 			p, err = csce.ParseGraph(pf)
 		}
-		pf.Close()
+		_ = pf.Close()
 		if err != nil {
 			return fmt.Errorf("parse pattern: %w", err)
 		}

@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxPropagation guards the serving subsystem's cancellation contract: a
+// client disconnect or per-query deadline must stop the search instead of
+// burning a core until the enumeration finishes. The check applies to the
+// packages where that contract lives (internal/exec and internal/server)
+// and enforces three rules:
+//
+//  1. a context.Context parameter must actually be used in the function
+//     body — accepting and then dropping a context silently severs the
+//     cancellation chain;
+//
+//  2. a function that already receives a context must not mint a fresh
+//     root with context.Background()/context.TODO() — deriving from the
+//     caller's context is what keeps the chain intact;
+//
+//  3. a goroutine whose body loops must be able to observe cancellation:
+//     its function must reference a context-typed value, or a value whose
+//     struct type carries a context field (the exec.Options pattern).
+var CtxPropagation = &Check{
+	Name: "ctxpropagation",
+	Doc:  "exec/server code must thread and consult cancellation contexts",
+	Run:  runCtxPropagation,
+}
+
+// ctxCheckedPkgs are the import path suffixes (relative to the module)
+// the cancellation contract covers.
+var ctxCheckedPkgs = []string{"internal/exec", "internal/server"}
+
+func ctxApplies(p *Package) bool {
+	rel := strings.TrimPrefix(p.Path, p.ModulePath+"/")
+	for _, sfx := range ctxCheckedPkgs {
+		if rel == sfx || strings.HasPrefix(rel, sfx+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runCtxPropagation(p *Pass) {
+	if !ctxApplies(p.Package) {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxParamUsed(p, fd.Type, fd.Body)
+			checkNoFreshRoot(p, fd.Type, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					checkCtxParamUsed(p, n.Type, n.Body)
+				case *ast.GoStmt:
+					checkGoroutineObservesCtx(p, n)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// ctxParams returns the declared context.Context parameters of a function
+// signature (skipping the blank identifier, which is an explicit opt-out).
+func ctxParams(p *Pass, ft *ast.FuncType) []*ast.Ident {
+	var out []*ast.Ident
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		t := p.Info.Types[field.Type].Type
+		if t == nil || !isContextType(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				out = append(out, name)
+			}
+		}
+	}
+	return out
+}
+
+// checkCtxParamUsed flags context parameters never mentioned in the body.
+func checkCtxParamUsed(p *Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	for _, param := range ctxParams(p, ft) {
+		obj := p.Info.Defs[param]
+		if obj == nil {
+			continue
+		}
+		used := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			if used {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+				used = true
+			}
+			return true
+		})
+		if !used {
+			p.Reportf(param.Pos(), "context parameter %s is never used; thread it into the blocking work or drop it", param.Name)
+		}
+	}
+}
+
+// checkNoFreshRoot flags context.Background()/TODO() calls inside
+// functions that already have a context parameter.
+func checkNoFreshRoot(p *Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	if len(ctxParams(p, ft)) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literals are checked against their own signature
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, name := range [...]string{"Background", "TODO"} {
+			if p.isPkgCall(call, "context", name) {
+				p.Reportf(call.Pos(), "context.%s() discards the caller's context; derive from the context parameter instead", name)
+			}
+		}
+		return true
+	})
+}
+
+// checkGoroutineObservesCtx flags `go func() { ... }` whose body contains
+// a loop but references nothing cancellation can reach it through.
+func checkGoroutineObservesCtx(p *Pass, g *ast.GoStmt) {
+	fl, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	loops := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = true
+		}
+		return !loops
+	})
+	if !loops {
+		return
+	}
+	if len(ctxParams(p, fl.Type)) > 0 {
+		return
+	}
+	observes := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if observes {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			obj = p.Info.Defs[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return true
+		}
+		if typeCarriesContext(v.Type()) {
+			observes = true
+		}
+		return true
+	})
+	if !observes {
+		p.Reportf(g.Pos(), "goroutine loops without a reachable context; it cannot observe cancellation")
+	}
+}
+
+// typeCarriesContext reports whether t is a context, or a (pointer to)
+// struct with a direct context-typed field, or a channel (a done-channel
+// is an accepted cancellation idiom).
+func typeCarriesContext(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if isContextType(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		return true
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if isContextType(u.Field(i).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}

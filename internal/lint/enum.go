@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// EnumExhaustive keeps switches over the project's enum types honest. A
+// switch over graph.Variant or plan.Mode that silently falls past a newly
+// added constant is how "add a fourth matching variant" turns into wrong
+// answers instead of a compile-side checklist. Any switch whose tag has a
+// named integer type with two or more package-level constants of exactly
+// that type must either cover every declared constant or carry a default
+// clause.
+var EnumExhaustive = &Check{
+	Name: "enumexhaustive",
+	Doc:  "switches over enum types must cover every constant or have a default",
+	Run:  runEnumExhaustive,
+}
+
+func runEnumExhaustive(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitchExhaustive(p, sw)
+			return true
+		})
+	}
+}
+
+func checkSwitchExhaustive(p *Pass, sw *ast.SwitchStmt) {
+	tagType := p.Info.Types[sw.Tag].Type
+	members, typeName := enumMembers(tagType)
+	if len(members) < 2 {
+		return
+	}
+	covered := map[string]bool{}
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // default clause: exhaustive by construction
+		}
+		for _, e := range cc.List {
+			tv, ok := p.Info.Types[e]
+			if !ok || tv.Value == nil {
+				return // non-constant case: cannot reason about coverage
+			}
+			for name, v := range members {
+				if constant.Compare(tv.Value, token.EQL, v) {
+					covered[name] = true
+				}
+			}
+		}
+	}
+	var missing []string
+	for name := range members {
+		if !covered[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	p.Reportf(sw.Pos(), "switch over %s is missing cases %s (add them or a default clause)",
+		typeName, strings.Join(missing, ", "))
+}
+
+// enumMembers collects the package-level constants declared with exactly
+// the tag's named type; fewer than two means the type is not enum-like.
+func enumMembers(t types.Type) (map[string]constant.Value, string) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, ""
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil, ""
+	}
+	obj := named.Obj()
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return nil, ""
+	}
+	members := map[string]constant.Value{}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		members[name] = c.Val()
+	}
+	display := obj.Name()
+	if pkg.Name() != "" {
+		display = pkg.Name() + "." + display
+	}
+	return members, display
+}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrcheckLite flags calls whose error result is silently dropped: a call
+// with an error among its results used as a bare statement. Discarding
+// explicitly (`_ = f()`, `v, _ := f()`) is allowed — the point is that
+// ignoring an error must be a visible decision, not an accident.
+//
+// Deliberate exclusions, to keep every finding actionable:
+//   - the fmt print family (terminal/diagnostic output);
+//   - methods on strings.Builder and bytes.Buffer, documented to never
+//     return an error;
+//   - defer and go statements (a deferred Close on a read-only file is
+//     idiomatic; writers needing a checked Close already use explicit
+//     Close-and-check, which this check enforces by flagging the bare
+//     variant).
+var ErrcheckLite = &Check{
+	Name: "errchecklite",
+	Doc:  "error returns must be consumed or explicitly discarded with _ =",
+	Run:  runErrcheckLite,
+}
+
+func runErrcheckLite(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(p, call) || excludedCall(p, call) {
+				return true
+			}
+			p.Reportf(call.Pos(), "%s returns an error that is not checked (handle it or discard with _ =)", calleeName(call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call has error among its results.
+func returnsError(p *Pass, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() == nil && obj.Name() == "error" // the universe error type
+}
+
+// excludedCall applies the deliberate exclusion list.
+func excludedCall(p *Pass, call *ast.CallExpr) bool {
+	sel := calleeSelector(call)
+	if sel == nil {
+		return false
+	}
+	// fmt print family.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if imported := p.pkgNameOf(id); imported != nil && imported.Path() == "fmt" {
+			if strings.HasPrefix(sel.Sel.Name, "Print") || strings.HasPrefix(sel.Sel.Name, "Fprint") {
+				return true
+			}
+		}
+	}
+	// Never-failing writers.
+	if recv := p.Info.Types[sel.X].Type; recv != nil {
+		if namedTypeIn(recv, "strings", "Builder") || namedTypeIn(recv, "bytes", "Buffer") {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeName renders the called expression for the diagnostic.
+func calleeName(call *ast.CallExpr) string {
+	if key, ok := exprKey(call.Fun); ok {
+		return key
+	}
+	if sel := calleeSelector(call); sel != nil {
+		return sel.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore comment. It suppresses the
+// named checks on its target line of its file.
+type ignoreDirective struct {
+	file   string
+	line   int
+	checks []string
+}
+
+const ignorePrefix = "lint:ignore"
+
+// collectIgnores scans a package's comments for //lint:ignore directives.
+// A directive trailing a statement targets its own line; a directive on a
+// line of its own targets the next line. Malformed directives (missing
+// check list or reason, or naming an unknown check) come back as
+// diagnostics so they fail the build instead of silently ignoring nothing.
+func collectIgnores(pkg *Package, known map[string]bool) ([]ignoreDirective, []Diagnostic) {
+	var (
+		dirs []ignoreDirective
+		bad  []Diagnostic
+	)
+	report := func(pos token.Position, msg string) {
+		bad = append(bad, Diagnostic{Pos: pos, Check: "directive", Message: msg})
+	}
+	for i, f := range pkg.Files {
+		// A trailing directive shares its line with code; detect that by
+		// checking the source text before the comment. Reading the file a
+		// second time is cheap next to typechecking.
+		src, err := os.ReadFile(pkg.Filenames[i])
+		if err != nil {
+			src = nil
+		}
+		lineStarts := lineOffsets(src)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments cannot carry directives
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					report(pos, "malformed //lint:ignore: want \"//lint:ignore check1[,check2] reason\"")
+					continue
+				}
+				checks := strings.Split(fields[0], ",")
+				valid := true
+				for _, name := range checks {
+					if !known[name] {
+						report(pos, "//lint:ignore names unknown check "+name)
+						valid = false
+					}
+				}
+				if !valid {
+					continue
+				}
+				target := pos.Line
+				if !codeBefore(src, lineStarts, pos) {
+					target++ // standalone comment line: suppress the next line
+				}
+				dirs = append(dirs, ignoreDirective{file: pos.Filename, line: target, checks: checks})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// filterIgnored drops diagnostics matched by a directive.
+func filterIgnored(diags []Diagnostic, dirs []ignoreDirective) []Diagnostic {
+	if len(dirs) == 0 {
+		return diags
+	}
+	type key struct {
+		file  string
+		line  int
+		check string
+	}
+	suppressed := map[key]bool{}
+	for _, d := range dirs {
+		for _, c := range d.checks {
+			suppressed[key{d.file, d.line, c}] = true
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if !suppressed[key{d.Pos.Filename, d.Pos.Line, d.Check}] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// lineOffsets returns the byte offset of the start of each 1-based line.
+func lineOffsets(src []byte) []int {
+	offsets := []int{0, 0} // offsets[1] = 0: lines are 1-based
+	for i, b := range src {
+		if b == '\n' {
+			offsets = append(offsets, i+1)
+		}
+	}
+	return offsets
+}
+
+// codeBefore reports whether anything other than whitespace precedes the
+// position on its own line (i.e. the comment trails a statement). With no
+// source available it assumes a trailing comment, the conservative choice
+// (the directive then targets its own line only).
+func codeBefore(src []byte, lineStarts []int, pos token.Position) bool {
+	if src == nil || pos.Line >= len(lineStarts) {
+		return true
+	}
+	line := src[lineStarts[pos.Line]:]
+	if pos.Column-1 < len(line) {
+		line = line[:pos.Column-1]
+	}
+	return len(strings.TrimSpace(string(line))) > 0
+}

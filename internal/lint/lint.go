@@ -1,0 +1,205 @@
+// Package lint is a project-specific static analyzer suite built on the
+// standard library's go/parser, go/ast, and go/types — no x/tools
+// dependency, honoring the repo's stdlib-only rule.
+//
+// The serving subsystem made the codebase concurrency-heavy: an immutable
+// CCSR store scanned by many workers, atomic counters on every hot path,
+// cooperative cancellation threaded through core.MatchOptions and
+// exec.Options. The invariants that keep that sound (read-only shared
+// state, atomics never mixed with plain access, every Lock released,
+// contexts consulted rather than dropped) are exactly the class of bug the
+// compiler cannot see. Each Check here encodes one of them; cmd/cscelint
+// runs them all and make lint wires them into tier-1 CI.
+//
+// Diagnostics can be suppressed per line with
+//
+//	//lint:ignore check1[,check2] reason
+//
+// placed either at the end of the offending line or on the line directly
+// above it. The reason is mandatory; a malformed or unknown-check directive
+// is itself reported (check name "directive").
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Check is one analyzer pass. Run is invoked once per loaded package and
+// reports findings through the Pass.
+type Check struct {
+	// Name is the identifier used in diagnostics, -checks, and
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-line description for -list and DESIGN.md.
+	Doc string
+	// Run inspects one package.
+	Run func(*Pass)
+}
+
+// Checks returns the full suite in a stable order.
+func Checks() []*Check {
+	return []*Check{
+		StdlibOnly,
+		AtomicConsistency,
+		MutexDiscipline,
+		CtxPropagation,
+		EnumExhaustive,
+		ErrcheckLite,
+	}
+}
+
+// CheckByName resolves a check name; ok is false for unknown names.
+func CheckByName(name string) (*Check, bool) {
+	for _, c := range Checks() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// Diagnostic is one finding, positioned and attributed to a check.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Pass is the per-(check, package) context handed to Check.Run.
+type Pass struct {
+	*Package
+	check *Check
+	sink  *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.sink = append(*p.sink, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Check:   p.check.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the given checks over the loaded packages, applies
+// //lint:ignore suppression, and returns the surviving diagnostics sorted
+// by file, line, column, and check name. Malformed directives surface as
+// "directive" diagnostics.
+func Run(pkgs []*Package, checks []*Check) []Diagnostic {
+	var diags []Diagnostic
+	known := make(map[string]bool, len(checks))
+	for _, c := range Checks() {
+		known[c.Name] = true
+	}
+	var ignores []ignoreDirective
+	for _, pkg := range pkgs {
+		dirs, bad := collectIgnores(pkg, known)
+		ignores = append(ignores, dirs...)
+		diags = append(diags, bad...)
+		for _, c := range checks {
+			c.Run(&Pass{Package: pkg, check: c, sink: &diags})
+		}
+	}
+	diags = filterIgnored(diags, ignores)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}
+
+// --- shared AST/type helpers used by several checks ---
+
+// pkgNameOf returns the imported package an identifier refers to, or nil.
+func (p *Package) pkgNameOf(id *ast.Ident) *types.Package {
+	if obj, ok := p.Info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported()
+		}
+	}
+	return nil
+}
+
+// callee splits a call of the form pkg.Fn(...) or recv.Method(...) into its
+// selector; nil for plain or non-selector calls.
+func calleeSelector(call *ast.CallExpr) *ast.SelectorExpr {
+	sel, _ := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return sel
+}
+
+// isPkgCall reports whether call is pkgPath.name(...).
+func (p *Package) isPkgCall(call *ast.CallExpr, pkgPath, name string) bool {
+	sel := calleeSelector(call)
+	if sel == nil || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	imported := p.pkgNameOf(id)
+	return imported != nil && imported.Path() == pkgPath
+}
+
+// namedTypeIn reports whether t (after stripping pointers) is the named
+// type pkgPath.name.
+func namedTypeIn(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// funcDecls yields every function body in the package: declarations and
+// function literals, each paired with its type. Literals nested in a
+// declaration are yielded separately so checks can treat them as functions
+// in their own right.
+func funcDecls(p *Package, fn func(name string, ft *ast.FuncType, body *ast.BlockStmt)) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn(fd.Name.Name, fd.Type, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					fn(fd.Name.Name+".func", fl.Type, fl.Body)
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// StdlibOnly enforces the repo's dependency rule: every import must be
+// either a standard-library package or a package of the csce module
+// itself. The go tool's package classification is authoritative; for
+// imports the go tool could not resolve at all (which are therefore not
+// classified), the first path segment containing a dot — the module-path
+// convention — marks them as third-party.
+var StdlibOnly = &Check{
+	Name: "stdlibonly",
+	Doc:  "imports must come from the standard library or the csce module",
+	Run:  runStdlibOnly,
+}
+
+func runStdlibOnly(p *Pass) {
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue // the parser already rejected it
+			}
+			switch {
+			case path == "C":
+				p.Reportf(imp.Pos(), "import \"C\": cgo is not part of the stdlib-only contract")
+			case path == p.ModulePath || strings.HasPrefix(path, p.ModulePath+"/"):
+				// module-internal
+			case p.Stdlib[path]:
+				// standard library
+			default:
+				p.Reportf(imp.Pos(), "import %q is outside the standard library and module %s", path, p.ModulePath)
+			}
+		}
+	}
+}

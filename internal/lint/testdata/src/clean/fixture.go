@@ -1,0 +1,47 @@
+// Fixture with no findings: the end-to-end driver test proves cscelint
+// exits zero on it with every check enabled.
+package clean
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+type counterKind uint8
+
+const (
+	kindHits counterKind = iota
+	kindMisses
+)
+
+type counters struct {
+	mu     sync.Mutex
+	byName map[string]uint64
+	total  atomic.Uint64
+}
+
+// Bump updates both the locked map and the atomic total correctly.
+func (c *counters) Bump(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.byName == nil {
+		c.byName = make(map[string]uint64)
+	}
+	c.byName[name]++
+	c.total.Add(1)
+}
+
+// Total reads through the atomic's method.
+func (c *counters) Total() uint64 { return c.total.Load() }
+
+// Describe switches exhaustively.
+func Describe(k counterKind) string {
+	switch k {
+	case kindHits:
+		return "hits"
+	case kindMisses:
+		return "misses"
+	}
+	return fmt.Sprintf("counterKind(%d)", uint8(k))
+}

@@ -1,0 +1,104 @@
+// Fixture for the ctxpropagation check. The package path matches
+// csce/internal/exec, one of the two packages the cancellation contract
+// covers, so the rules apply here.
+package exec
+
+import "context"
+
+func work() bool { return false }
+
+// goodConsult threads and polls the caller's context.
+func goodConsult(ctx context.Context, steps int) error {
+	for i := 0; i < steps; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		work()
+	}
+	return nil
+}
+
+// badDropped accepts a context and ignores it, severing cancellation.
+func badDropped(ctx context.Context, steps int) { // want `context parameter ctx is never used`
+	for i := 0; i < steps; i++ {
+		work()
+	}
+}
+
+// goodBlankParam opts out explicitly.
+func goodBlankParam(_ context.Context, steps int) {
+	for i := 0; i < steps; i++ {
+		work()
+	}
+}
+
+// badFreshRoot mints a new root instead of deriving from the caller.
+func badFreshRoot(ctx context.Context) error {
+	sub, cancel := context.WithTimeout(context.Background(), 0) // want `context.Background\(\) discards the caller's context`
+	defer cancel()
+	_ = ctx
+	return sub.Err()
+}
+
+// goodDerived derives from the caller's context.
+func goodDerived(ctx context.Context) error {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return sub.Err()
+}
+
+// badBlindGoroutine spawns a looping worker nothing can cancel.
+func badBlindGoroutine(done func()) {
+	go func() { // want `goroutine loops without a reachable context`
+		for work() {
+		}
+		done()
+	}()
+}
+
+// goodCtxGoroutine captures the context directly.
+func goodCtxGoroutine(ctx context.Context) {
+	go func() {
+		for work() {
+			if ctx.Err() != nil {
+				return
+			}
+		}
+	}()
+}
+
+// options mirrors exec.Options: the context rides inside a struct.
+type options struct {
+	Ctx context.Context
+	N   int
+}
+
+// goodOptsGoroutine captures a value whose type carries the context.
+func goodOptsGoroutine(o options) {
+	go func() {
+		for i := 0; i < o.N; i++ {
+			work()
+		}
+	}()
+}
+
+// goodChanGoroutine uses the done-channel idiom.
+func goodChanGoroutine(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// goodLooplessGoroutine has nothing to cancel.
+func goodLooplessGoroutine(f func()) {
+	go func() {
+		f()
+	}()
+}

@@ -1,0 +1,17 @@
+// Fixture for malformed //lint:ignore directives; the golden test asserts
+// the two "directive" diagnostics programmatically because a directive
+// cannot carry a want annotation inside itself.
+package directive
+
+import "os"
+
+// missingReason omits the mandatory justification.
+func missingReason(path string) {
+	os.Remove(path) //lint:ignore errchecklite
+}
+
+// unknownCheck names a check that does not exist, so nothing is
+// suppressed and the underlying finding stays live.
+func unknownCheck(path string) {
+	os.Remove(path) //lint:ignore nosuchcheck fat-fingered the check name
+}

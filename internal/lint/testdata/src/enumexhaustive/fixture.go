@@ -1,0 +1,70 @@
+// Fixture for the enumexhaustive check: a switch over a named integer
+// type with declared constants must cover every constant or default.
+package enumexhaustive
+
+type variant uint8
+
+const (
+	edgeInduced variant = iota
+	vertexInduced
+	homomorphic
+)
+
+// badMissing silently falls past homomorphic.
+func badMissing(v variant) string {
+	switch v { // want `switch over .*\.variant is missing cases homomorphic`
+	case edgeInduced:
+		return "edge"
+	case vertexInduced:
+		return "vertex"
+	}
+	return ""
+}
+
+// badMissingTwo reports every absent constant.
+func badMissingTwo(v variant) bool {
+	switch v { // want `switch over .*\.variant is missing cases homomorphic, vertexInduced`
+	case edgeInduced:
+		return true
+	}
+	return false
+}
+
+// goodAllCases covers the enum exhaustively without a default.
+func goodAllCases(v variant) string {
+	switch v {
+	case edgeInduced, vertexInduced:
+		return "injective"
+	case homomorphic:
+		return "homomorphic"
+	}
+	return ""
+}
+
+// goodDefault is exhaustive by construction.
+func goodDefault(v variant) string {
+	switch v {
+	case edgeInduced:
+		return "edge"
+	default:
+		return "other"
+	}
+}
+
+// goodNonEnum: switches over plain integers are out of scope.
+func goodNonEnum(n int) string {
+	switch n {
+	case 1:
+		return "one"
+	}
+	return "many"
+}
+
+// goodString: string switches carry no enum contract here.
+func goodString(s string) bool {
+	switch s {
+	case "edge":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,60 @@
+// Fixture for the errchecklite check: dropped error results are flagged;
+// explicit discards and the documented exclusions are not.
+package errchecklite
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, nil }
+
+// badDropped ignores the error accidentally.
+func badDropped() {
+	mayFail() // want `mayFail returns an error that is not checked`
+}
+
+// badDroppedPair ignores a multi-result error.
+func badDroppedPair(path string) {
+	os.Create(path) // want `os.Create returns an error that is not checked`
+}
+
+// goodHandled consumes the error.
+func goodHandled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	n, err := pair()
+	_ = n
+	return err
+}
+
+// goodExplicitDiscard makes ignoring visible.
+func goodExplicitDiscard() {
+	_ = mayFail()
+	_, _ = pair()
+}
+
+// goodExclusions: print family and never-failing writers.
+func goodExclusions(sb *strings.Builder, buf *bytes.Buffer) {
+	fmt.Println("hello")
+	fmt.Printf("%d\n", 1)
+	fmt.Fprintf(os.Stderr, "diag\n")
+	sb.WriteString("x")
+	buf.WriteByte('y')
+}
+
+// goodDeferredClose: defer statements are excluded by design.
+func goodDeferredClose(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}

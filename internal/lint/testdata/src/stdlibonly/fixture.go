@@ -1,0 +1,16 @@
+// Fixture for the stdlibonly check: stdlib and module-internal imports
+// pass; anything third-party is flagged.
+package stdlibonly
+
+import (
+	"fmt" // stdlib: ok
+
+	"csce/util" // module-internal: ok
+
+	_ "github.com/fake/dep" // want `import "github.com/fake/dep" is outside the standard library and module csce`
+)
+
+// Use keeps the legitimate imports referenced.
+func Use() string {
+	return fmt.Sprintf("%d", util.N)
+}

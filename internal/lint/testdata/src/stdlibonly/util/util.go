@@ -1,0 +1,6 @@
+// Package util exists so the fixture can prove module-internal imports
+// are allowed.
+package util
+
+// N is referenced by the fixture's root package.
+const N = 1

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"csce/internal/plan"
+)
+
+// TestPlanCacheEvictionOrder pins the full LRU recency semantics, not
+// just "something gets evicted": gets refresh recency, overwriting puts
+// refresh recency, and evictions strike in exact least-recently-used
+// order, asserted key by key.
+func TestPlanCacheEvictionOrder(t *testing.T) {
+	c := newPlanCache(4)
+	plans := map[string]*plan.Plan{}
+	for _, k := range []string{"a", "b", "c", "d"} {
+		plans[k] = &plan.Plan{}
+		c.put(k, plans[k])
+	}
+	// Recency, most→least recent: d c b a. Touch a (get) and b (overwrite
+	// put): b a d c.
+	if pl, ok := c.get("a"); !ok || pl != plans["a"] {
+		t.Fatal("a must be cached")
+	}
+	c.put("b", plans["b"])
+
+	// Now push fresh keys one at a time; evictions must strike in exact
+	// least-recently-used order: c, d, a, b.
+	for i, victim := range []string{"c", "d", "a", "b"} {
+		newKey := "n" + strconv.Itoa(i)
+		c.put(newKey, &plan.Plan{})
+		if _, ok := c.get(victim); ok {
+			t.Fatalf("after inserting %s, %s should have been evicted", newKey, victim)
+		}
+		if c.len() != 4 {
+			t.Fatalf("len = %d, want 4", c.len())
+		}
+	}
+	// The four fresh keys are what remains.
+	for i := 0; i < 4; i++ {
+		if _, ok := c.get("n" + strconv.Itoa(i)); !ok {
+			t.Fatalf("n%d should be resident", i)
+		}
+	}
+}
+
+// TestPlanCacheOverwriteKeepsSingleEntry guards against an overwrite
+// creating a duplicate list element whose stale twin would corrupt
+// eviction order.
+func TestPlanCacheOverwriteKeepsSingleEntry(t *testing.T) {
+	c := newPlanCache(2)
+	p1, p2 := &plan.Plan{}, &plan.Plan{}
+	c.put("k", p1)
+	c.put("k", p2)
+	if c.len() != 1 {
+		t.Fatalf("len = %d after overwrite, want 1", c.len())
+	}
+	if pl, ok := c.get("k"); !ok || pl != p2 {
+		t.Fatal("overwrite must replace the cached plan")
+	}
+}
+
+// TestPlanCacheContentionAccounting hammers the cache from many
+// goroutines (meaningful under -race) and then checks the invariants
+// that must survive arbitrary interleaving: capacity is never exceeded
+// and every get moved exactly one of the hit/miss counters.
+func TestPlanCacheContentionAccounting(t *testing.T) {
+	const (
+		workers = 8
+		iters   = 500
+		cap     = 8
+	)
+	c := newPlanCache(cap)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				key := "k" + strconv.Itoa((w+i)%(2*cap))
+				if _, ok := c.get(key); !ok {
+					c.put(key, &plan.Plan{})
+				}
+				if i%64 == 0 {
+					_ = c.len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.len() > cap {
+		t.Fatalf("cache exceeded capacity: %d > %d", c.len(), cap)
+	}
+	gets := c.hits.Load() + c.misses.Load()
+	if gets != workers*iters {
+		t.Fatalf("hits+misses = %d, want %d (every get moves exactly one counter)", gets, workers*iters)
+	}
+}
+
+// TestAdmissionQueueTimeoutUnderContention drives the valve through its
+// three outcomes at once — holding, queued-then-timed-out, and rejected —
+// and then proves no slot or queue accounting leaked.
+func TestAdmissionQueueTimeoutUnderContention(t *testing.T) {
+	a := newAdmission(1, 3)
+	if err := a.admit(context.Background()); err != nil {
+		t.Fatal(err) // the holder pins the only slot
+	}
+
+	// Three waiters fill the queue; their deadline will fire before the
+	// holder releases.
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	waiters := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() { waiters <- a.admit(ctx) }()
+	}
+	for a.queued() != 3 {
+		runtime.Gosched()
+	}
+
+	// With the queue at depth, further callers bounce immediately even
+	// though their own context is healthy.
+	for i := 0; i < 5; i++ {
+		if err := a.admit(context.Background()); !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("overflow caller %d: want ErrQueueFull, got %v", i, err)
+		}
+	}
+	if got := a.rejectedTotal(); got != 5 {
+		t.Fatalf("rejectedTotal = %d, want 5", got)
+	}
+
+	// Every queued waiter must report the deadline, not hang or admit.
+	for i := 0; i < 3; i++ {
+		if err := <-waiters; !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("waiter %d: want DeadlineExceeded, got %v", i, err)
+		}
+	}
+	for a.queued() != 0 {
+		runtime.Gosched()
+	}
+	if got := a.inFlight(); got != 1 {
+		t.Fatalf("inFlight = %d, want 1 (only the holder)", got)
+	}
+
+	// Timed-out waiters must not have consumed the slot: after the holder
+	// releases, a fresh caller admits instantly.
+	a.release()
+	if err := a.admit(context.Background()); err != nil {
+		t.Fatalf("slot leaked after timeouts: %v", err)
+	}
+	a.release()
+	if a.inFlight() != 0 || a.queued() != 0 {
+		t.Fatalf("leaked accounting: inFlight=%d queued=%d", a.inFlight(), a.queued())
+	}
+}
+
+// TestAdmissionChurnUnderContention mixes successful admits, timeouts,
+// and rejections across many goroutines and checks conservation: every
+// caller gets exactly one outcome and the valve ends empty. Primarily a
+// -race workload for the CAS/channel interplay in admit/release.
+func TestAdmissionChurnUnderContention(t *testing.T) {
+	a := newAdmission(2, 2)
+	const callers = 64
+	results := make(chan error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+			defer cancel()
+			err := a.admit(ctx)
+			if err == nil {
+				time.Sleep(time.Millisecond)
+				a.release()
+			}
+			results <- err
+		}()
+	}
+	wg.Wait()
+	close(results)
+	counts := map[string]int{}
+	for err := range results {
+		switch {
+		case err == nil:
+			counts["ok"]++
+		case errors.Is(err, ErrQueueFull):
+			counts["rejected"]++
+		case errors.Is(err, context.DeadlineExceeded):
+			counts["timeout"]++
+		default:
+			t.Fatalf("unexpected admit outcome: %v", err)
+		}
+	}
+	if total := counts["ok"] + counts["rejected"] + counts["timeout"]; total != callers {
+		t.Fatalf("outcomes %v sum to %d, want %d", counts, total, callers)
+	}
+	if counts["ok"] == 0 {
+		t.Fatal("no caller ever admitted; valve wedged")
+	}
+	if a.inFlight() != 0 || a.queued() != 0 {
+		t.Fatalf("valve not empty after churn: inFlight=%d queued=%d", a.inFlight(), a.queued())
+	}
+	if got := a.rejectedTotal(); got != uint64(counts["rejected"]) {
+		t.Fatalf("rejectedTotal = %d, but %d callers saw ErrQueueFull", got, counts["rejected"])
+	}
+}
