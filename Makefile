@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint ci
+.PHONY: build test race vet lint ci bench-obs
 
 build:
 	$(GO) build ./...
@@ -24,3 +24,9 @@ lint:
 	$(GO) run ./cmd/cscelint ./...
 
 ci: build vet lint test race
+
+# Observability hot-path benchmarks plus the enforced <50ns/op budget on
+# histogram recording (OBS_BENCH=1 turns the measurement into an
+# assertion; without it the budget test only logs).
+bench-obs:
+	OBS_BENCH=1 $(GO) test ./internal/obs -run TestHistogramRecordBudget -bench . -benchmem

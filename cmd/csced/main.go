@@ -13,6 +13,13 @@
 // Responses to /match stream one NDJSON line per embedding followed by a
 // summary line. Every query runs under a deadline; disconnecting cancels
 // the search. SIGINT/SIGTERM drain in-flight queries before exit.
+//
+// Observability: every query carries a trace ID (X-Trace-Id header, NDJSON
+// summary, structured log lines on stderr); /metrics exposes latency
+// quantiles per query phase and endpoint; /debug/slowlog holds the most
+// recent queries slower than -slow-query with their plan summary and
+// per-level execution profile; -debug-addr serves net/http/pprof on a
+// separate (private) listener.
 package main
 
 import (
@@ -20,6 +27,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -63,6 +74,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, started c
 		planLRU  = fs.Int("plan-cache", 256, "optimized-plan LRU size (negative disables)")
 		workers  = fs.Int("exec-workers", 4, "cap on the per-query workers parameter")
 		drainTO  = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		slowTO   = fs.Duration("slow-query", 500*time.Millisecond, "capture queries at least this slow in /debug/slowlog (negative disables)")
+		slowCap  = fs.Int("slowlog-size", 128, "slow-query ring-buffer capacity")
+		debugAdr = fs.String("debug-addr", "", "serve net/http/pprof on this address (empty disables; keep it private)")
+		logLevel = fs.String("log-level", "info", "structured-log level on stderr (debug, info, warn, error, off)")
 	)
 	fs.Var(&graphs, "graph", "name=path of a data graph to serve (repeatable)")
 	fs.Var(&datasets, "dataset", "synthetic dataset from the catalog to serve (repeatable); see cmd/cscegen")
@@ -72,16 +87,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, started c
 	if len(graphs) == 0 && len(datasets) == 0 {
 		return fmt.Errorf("nothing to serve: pass at least one -graph name=path or -dataset name")
 	}
+	logger, err := newLogger(*logLevel, stderr)
+	if err != nil {
+		return err
+	}
 
 	srv := server.New(server.Config{
-		Addr:           *addr,
-		MatchSlots:     *slots,
-		QueueDepth:     *queue,
-		MaxLimit:       *maxLimit,
-		DefaultTimeout: *defTO,
-		MaxTimeout:     *maxTO,
-		PlanCacheSize:  *planLRU,
-		MaxExecWorkers: *workers,
+		Addr:               *addr,
+		MatchSlots:         *slots,
+		QueueDepth:         *queue,
+		MaxLimit:           *maxLimit,
+		DefaultTimeout:     *defTO,
+		MaxTimeout:         *maxTO,
+		PlanCacheSize:      *planLRU,
+		MaxExecWorkers:     *workers,
+		SlowQueryThreshold: *slowTO,
+		SlowLogSize:        *slowCap,
+		Logger:             logger,
 	})
 
 	for _, spec := range graphs {
@@ -111,6 +133,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, started c
 			name, g.NumVertices(), g.NumEdges(), engine.Store().NumClusters(), time.Since(start).Round(time.Millisecond))
 	}
 
+	// The pprof listener is separate from the serving listener on purpose:
+	// profiling endpoints leak internals and must never share the address
+	// operators expose to clients.
+	if *debugAdr != "" {
+		debugSrv, dbound, err := startDebugServer(*debugAdr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer debugSrv.Close()
+		fmt.Fprintf(stdout, "csced: pprof on http://%s/debug/pprof/\n", dbound)
+	}
+
 	bound, err := srv.Start()
 	if err != nil {
 		return err
@@ -129,6 +163,46 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, started c
 	}
 	fmt.Fprintln(stdout, "csced: bye")
 	return nil
+}
+
+// newLogger builds the daemon's structured logger at the requested level;
+// "off" discards everything (the server's default).
+func newLogger(level string, stderr io.Writer) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	case "off":
+		return slog.New(slog.NewTextHandler(io.Discard, nil)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-level %q (debug, info, warn, error, off)", level)
+	}
+	return slog.New(slog.NewTextHandler(stderr, &slog.HandlerOptions{Level: lv})), nil
+}
+
+// startDebugServer serves net/http/pprof on its own mux and listener. The
+// explicit mux (rather than http.DefaultServeMux) keeps the profiling
+// routes off any handler the rest of the process might export.
+func startDebugServer(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
 }
 
 func loadGraphFile(srv *server.Server, name, path string, stdout io.Writer) error {

@@ -3,11 +3,13 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -102,4 +104,144 @@ func TestDaemonErrors(t *testing.T) {
 	if err := run(ctx, []string{"-dataset", "nope"}, &out, &errOut, nil); err == nil {
 		t.Fatal("unknown dataset must error")
 	}
+	if err := run(ctx, []string{"-graph", "bad", "-log-level", "loud"}, &out, &errOut, nil); err == nil {
+		t.Fatal("bad -log-level must error")
+	}
+}
+
+// TestDaemonObservabilityEndpoints boots the daemon with a tiny slow-query
+// threshold, pprof enabled, and query logging on, then walks the whole
+// observability surface: trace ID in the header and logs, latency
+// quantiles in /metrics, the captured record in /debug/slowlog, and the
+// pprof index on the private debug listener.
+func TestDaemonObservabilityEndpoints(t *testing.T) {
+	path := writeTempGraph(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var out bytes.Buffer
+	errOut := &lockedBuffer{} // slog writes from handler goroutines
+	started := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-debug-addr", "127.0.0.1:0",
+			"-graph", "tiny=" + path,
+			"-slow-query", "1ns",
+			"-log-level", "info",
+		}, &out, errOut, started)
+	}()
+
+	var addr string
+	select {
+	case addr = <-started:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v\n%s", err, errOut.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not start")
+	}
+	base := "http://" + addr
+
+	pattern := "t undirected\nv 0 A\nv 1 A\ne 0 1\n"
+	mresp, err := http.Post(base+"/v1/graphs/tiny/match?profile=1", "text/plain", strings.NewReader(pattern))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceID := mresp.Header.Get("X-Trace-Id")
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if len(traceID) != 16 {
+		t.Fatalf("X-Trace-Id %q should be 16 hex chars", traceID)
+	}
+	if !strings.Contains(string(body), `"trace_id":"`+traceID+`"`) {
+		t.Fatalf("summary lacks trace ID %s:\n%s", traceID, body)
+	}
+	if !strings.Contains(string(body), `"profile":[`) {
+		t.Fatalf("?profile=1 summary lacks per-level profile:\n%s", body)
+	}
+
+	var metrics map[string]any
+	mr, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(mr.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	mr.Body.Close()
+	if metrics["slow_queries"].(float64) != 1 {
+		t.Fatalf("slow_queries = %v, want 1 (threshold 1ns)", metrics["slow_queries"])
+	}
+	latency := metrics["latency"].(map[string]any)
+	if _, ok := latency["phases"].(map[string]any)["exec"]; !ok {
+		t.Fatalf("metrics latency block missing exec phase: %v", latency)
+	}
+
+	sr, err := http.Get(base + "/debug/slowlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowBody, _ := io.ReadAll(sr.Body)
+	sr.Body.Close()
+	if !strings.Contains(string(slowBody), `"trace_id": "`+traceID+`"`) {
+		t.Fatalf("/debug/slowlog lacks the query's trace ID %s:\n%s", traceID, slowBody)
+	}
+
+	if !strings.Contains(errOut.String(), "trace_id="+traceID) {
+		t.Fatalf("structured log lacks trace_id=%s:\n%s", traceID, errOut.String())
+	}
+
+	// The pprof index lives on the private debug listener.
+	debugAddr := debugAddrFrom(t, out.String())
+	pr, err := http.Get("http://" + debugAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pprofBody, _ := io.ReadAll(pr.Body)
+	pr.Body.Close()
+	if pr.StatusCode != http.StatusOK || !strings.Contains(string(pprofBody), "goroutine") {
+		t.Fatalf("pprof index wrong (status %d):\n%.400s", pr.StatusCode, pprofBody)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v\n%s", err, errOut.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain and exit")
+	}
+}
+
+// lockedBuffer makes bytes.Buffer safe for the handler goroutines that
+// write log lines while the test reads.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// debugAddrFrom extracts the pprof listener address from the startup log.
+func debugAddrFrom(t *testing.T, logs string) string {
+	t.Helper()
+	for _, line := range strings.Split(logs, "\n") {
+		if rest, ok := strings.CutPrefix(line, "csced: pprof on http://"); ok {
+			return strings.TrimSuffix(rest, "/debug/pprof/")
+		}
+	}
+	t.Fatalf("startup log lacks pprof address:\n%s", logs)
+	return ""
 }

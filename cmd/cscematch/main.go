@@ -12,9 +12,9 @@
 //	cscematch -data big.graph -save-index big.ccsr
 //	cscematch -index big.ccsr -pattern p.graph
 //
-// (When loading a pre-built index, the pattern must use numeric labels or
-// the same label text ordering as the original graph, because the label
-// table is not stored in the index; -query therefore requires -data.)
+// The index stores the original graph's label table, so patterns (and
+// -query) parsed against a loaded index intern label names exactly as the
+// direct -data path does.
 package main
 
 import (
@@ -108,14 +108,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
+	// Parse the pattern with the data graph's label table so equal names
+	// mean equal labels. A loaded index carries the table too; only legacy
+	// (version-1) index files lack it, in which case a fresh table is the
+	// best available.
+	names := engine.Names()
+	if names == nil {
+		names = graph.NewLabelTable()
+	}
 	var p *csce.Graph
 	var varNames []string
 	switch {
 	case *queryText != "":
-		if data == nil {
-			return fmt.Errorf("-query needs -data (the label table is not stored in an index)")
+		if data == nil && engine.Names() == nil {
+			return fmt.Errorf("-query needs -data or an index with a label table (re-save with a current build)")
 		}
-		q, err := query.Parse(*queryText, data.Names, data.Directed())
+		q, err := query.Parse(*queryText, names, engine.Store().Directed())
 		if err != nil {
 			return err
 		}
@@ -126,11 +134,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if data != nil {
-			p, err = csce.ParsePattern(pf, data)
-		} else {
-			p, err = csce.ParseGraph(pf)
-		}
+		p, err = graph.ParseWith(pf, names)
 		_ = pf.Close()
 		if err != nil {
 			return fmt.Errorf("parse pattern: %w", err)

@@ -20,13 +20,20 @@ import (
 //	numClusters u64, then per cluster:
 //	  key (src u16, dst u16, edge u16, directed u8) | numEdges u64
 //	  outRow rle | outCol []u32 | [inRow rle | inCol []u32]  (in* iff directed)
+//	hasNames u8 | [numVertexNames u64, names... | numEdgeNames u64, names...]
 //
-// where an rle is: count u64, vals [count]u32, counts [count]u32, and a
-// []u32 is: count u64 then the values.
+// where an rle is: count u64, vals [count]u32, counts [count]u32, a []u32
+// is: count u64 then the values, and a name is: length u64 then the bytes.
+//
+// Version 2 added the label-table trailer. Label values are interned in
+// first-seen order, so a pattern parsed against a fresh table maps the same
+// names to different values than the original data graph did — without the
+// trailer, a reloaded index silently matched patterns against the wrong
+// clusters. Version-1 files still decode, with a nil table.
 
 const (
 	codecMagic   = "CCSR"
-	codecVersion = 1
+	codecVersion = 2
 )
 
 // Encode writes the store to w. Clusters with pending update overlays are
@@ -119,7 +126,45 @@ func (s *Store) Encode(w io.Writer) error {
 			}
 		}
 	}
+	if err := writeNames(bw, writeU64, s.names); err != nil {
+		return err
+	}
 	return bw.Flush()
+}
+
+// writeNames serializes the label table trailer (presence byte + both
+// namespaces in interned order).
+func writeNames(bw *bufio.Writer, writeU64 func(uint64) error, names *graph.LabelTable) error {
+	if names == nil {
+		return bw.WriteByte(0)
+	}
+	if err := bw.WriteByte(1); err != nil {
+		return err
+	}
+	writeString := func(s string) error {
+		if err := writeU64(uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if err := writeU64(uint64(names.NumVertexLabels())); err != nil {
+		return err
+	}
+	for l := 0; l < names.NumVertexLabels(); l++ {
+		if err := writeString(names.VertexName(graph.Label(l))); err != nil {
+			return err
+		}
+	}
+	if err := writeU64(uint64(names.NumEdgeLabels())); err != nil {
+		return err
+	}
+	for l := 0; l < names.NumEdgeLabels(); l++ {
+		if err := writeString(names.EdgeName(graph.EdgeLabel(l))); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Decode reads a store previously written by Encode.
@@ -138,7 +183,7 @@ func Decode(r io.Reader) (*Store, error) {
 	if err := binary.Read(br, le, &version); err != nil {
 		return nil, err
 	}
-	if version != codecVersion {
+	if version != 1 && version != codecVersion {
 		return nil, fmt.Errorf("ccsr: unsupported version %d", version)
 	}
 	dir, err := br.ReadByte()
@@ -246,5 +291,71 @@ func Decode(r io.Reader) (*Store, error) {
 		pk := newPairKey(k.Src, k.Dst)
 		s.pairIndex[pk] = append(s.pairIndex[pk], k)
 	}
+	if version >= 2 {
+		if s.names, err = readNames(br, le); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// readNames decodes the label-table trailer, re-interning every name in its
+// original order so label values are bit-identical to the encoding graph's.
+func readNames(br *bufio.Reader, le binary.ByteOrder) (*graph.LabelTable, error) {
+	present, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("ccsr: decode names: %w", err)
+	}
+	if present == 0 {
+		return nil, nil
+	}
+	const maxReasonable = 1 << 32
+	readString := func() (string, error) {
+		var n uint64
+		if err := binary.Read(br, le, &n); err != nil {
+			return "", err
+		}
+		if n > maxReasonable {
+			return "", fmt.Errorf("ccsr: implausible name length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	names := graph.NewLabelTable()
+	var nv uint64
+	if err := binary.Read(br, le, &nv); err != nil {
+		return nil, err
+	}
+	if nv > maxReasonable {
+		return nil, fmt.Errorf("ccsr: implausible name count %d", nv)
+	}
+	for i := uint64(0); i < nv; i++ {
+		name, err := readString()
+		if err != nil {
+			return nil, fmt.Errorf("ccsr: decode vertex name %d: %w", i, err)
+		}
+		if got := names.Vertex(name); uint64(got) != i {
+			return nil, fmt.Errorf("ccsr: duplicate vertex label name %q", name)
+		}
+	}
+	var ne uint64
+	if err := binary.Read(br, le, &ne); err != nil {
+		return nil, err
+	}
+	if ne > maxReasonable {
+		return nil, fmt.Errorf("ccsr: implausible name count %d", ne)
+	}
+	for i := uint64(0); i < ne; i++ {
+		name, err := readString()
+		if err != nil {
+			return nil, fmt.Errorf("ccsr: decode edge name %d: %w", i, err)
+		}
+		if got := names.Edge(name); uint64(got) != i {
+			return nil, fmt.Errorf("ccsr: duplicate edge label name %q", name)
+		}
+	}
+	return names, nil
 }

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"csce/internal/graph"
 )
 
 // TestDecodeNeverPanics feeds Decode mangled copies of a valid encoding
@@ -68,5 +70,59 @@ func TestDecodeTruncatedAtEveryPrefix(t *testing.T) {
 	}
 	if _, err := Decode(bytes.NewReader(data)); err != nil {
 		t.Fatalf("full stream must decode: %v", err)
+	}
+}
+
+// TestLabelTableRoundTrip pins the codec-v2 trailer: a store built from a
+// graph with symbolic label names decodes with a table that interns every
+// name to the identical value, and a store without a table decodes to a
+// nil one (matching legacy version-1 behavior).
+func TestLabelTableRoundTrip(t *testing.T) {
+	g, err := graph.ParseString("t undirected\nv 0 Person\nv 1 City\nv 2 Person\ne 0 1 lives\ne 0 2 knows\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Build(g)
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := s2.Names()
+	if names == nil {
+		t.Fatal("decoded store lost its label table")
+	}
+	if names.NumVertexLabels() != g.Names.NumVertexLabels() ||
+		names.NumEdgeLabels() != g.Names.NumEdgeLabels() {
+		t.Fatalf("table sizes changed: %d/%d vertex, %d/%d edge",
+			names.NumVertexLabels(), g.Names.NumVertexLabels(),
+			names.NumEdgeLabels(), g.Names.NumEdgeLabels())
+	}
+	for _, name := range []string{"Person", "City"} {
+		if names.Vertex(name) != g.Names.Vertex(name) {
+			t.Fatalf("vertex label %q re-interned to a different value", name)
+		}
+	}
+	for _, name := range []string{"", "lives", "knows"} {
+		if names.Edge(name) != g.Names.Edge(name) {
+			t.Fatalf("edge label %q re-interned to a different value", name)
+		}
+	}
+
+	// A store without a table (programmatically built graph) stays nil.
+	bare := Build(randomGraph(7, 20, 40, 2, 1, false))
+	buf.Reset()
+	if err := bare.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Names() != nil {
+		t.Fatal("nameless store grew a label table after round trip")
 	}
 }

@@ -20,6 +20,7 @@ type Store struct {
 	clusters     map[Key]*Compressed
 	pairIndex    map[pairKey][]Key // unordered label pair -> clusters, for (ux,uy)*-lookups
 	numEdges     int
+	names        *graph.LabelTable // symbolic label names of the originating graph (may be nil)
 }
 
 // Build clusters every edge of g into its isomorphism class and compresses
@@ -34,6 +35,7 @@ func Build(g *graph.Graph) *Store {
 		clusters:     make(map[Key]*Compressed),
 		pairIndex:    make(map[pairKey][]Key),
 		numEdges:     g.NumEdges(),
+		names:        g.Names,
 	}
 	for _, l := range s.vertexLabels {
 		s.labelFreq[l]++
@@ -141,6 +143,12 @@ func keyLess(a, b Key) bool {
 
 // Directed reports whether the clustered graph is directed.
 func (s *Store) Directed() bool { return s.directed }
+
+// Names returns the label table of the originating graph, or nil when the
+// graph was built programmatically without one. The table round-trips
+// through Encode/Decode so patterns parsed against a reloaded index intern
+// labels identically to the original graph.
+func (s *Store) Names() *graph.LabelTable { return s.names }
 
 // NumVertices returns the clustered graph's vertex count.
 func (s *Store) NumVertices() int { return s.numVertices }

@@ -16,6 +16,7 @@ import (
 	"csce/internal/ccsr"
 	"csce/internal/exec"
 	"csce/internal/graph"
+	"csce/internal/obs"
 	"csce/internal/plan"
 )
 
@@ -33,13 +34,15 @@ func NewEngine(g *graph.Graph) *Engine {
 	return &Engine{store: ccsr.Build(g), names: g.Names}
 }
 
-// Load reads an engine previously written with Save.
+// Load reads an engine previously written with Save. The label table
+// round-trips (codec version 2), so Names is available for pattern parsing
+// just as with a freshly built engine.
 func Load(r io.Reader) (*Engine, error) {
 	store, err := ccsr.Decode(r)
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{store: store}, nil
+	return &Engine{store: store, names: store.Names()}, nil
 }
 
 // Save serializes the clustered data graph.
@@ -112,8 +115,9 @@ type MatchOptions struct {
 	// first vertex's candidates (an extension; the paper's evaluation is
 	// single-threaded). Counts are exact; OnEmbedding is serialized.
 	Workers int
-	// Profile collects a per-level execution profile (MatchResult.Profile).
-	// Ignored when Workers > 1.
+	// Profile collects a per-level execution profile (MatchResult.Profile)
+	// in both the serial and parallel paths; parallel runs merge the
+	// per-worker level counters.
 	Profile bool
 }
 
@@ -156,6 +160,9 @@ func (r MatchResult) Throughput() float64 {
 }
 
 // Match finds all embeddings of pattern p under the given options.
+// When opts.Context carries an obs.Trace, Match records "core.read" and
+// "core.plan" spans on it (and exec records its own), so a traced query's
+// breakdown reaches all the way down without the engine knowing who asked.
 func (e *Engine) Match(p *graph.Graph, opts MatchOptions) (MatchResult, error) {
 	var res MatchResult
 
@@ -164,15 +171,19 @@ func (e *Engine) Match(p *graph.Graph, opts MatchOptions) (MatchResult, error) {
 			return res, err
 		}
 	}
+	tr := obs.TraceFrom(opts.Context)
+	endRead := tr.StartSpan("core.read")
 	readStart := time.Now()
 	view, err := e.store.ReadCSR(p, opts.Variant)
 	if err != nil {
 		return res, fmt.Errorf("core: read clusters: %w", err)
 	}
+	endRead()
 	res.ReadTime = time.Since(readStart)
 	res.ClustersRead = view.NumClusters()
 	res.ViewBytes = view.DecompressedBytes()
 
+	endPlan := tr.StartSpan("core.plan")
 	planStart := time.Now()
 	pl := opts.PreparedPlan
 	if pl == nil {
@@ -189,24 +200,21 @@ func (e *Engine) Match(p *graph.Graph, opts MatchOptions) (MatchResult, error) {
 		OnEmbedding:          opts.OnEmbedding,
 		DisableSCECache:      opts.DisableSCECache,
 		DisableFactorization: opts.DisableFactorization,
+		Profile:              opts.Profile,
 	}
 	if opts.SymmetryBreaking {
 		auts := plan.Automorphisms(p)
 		execOpts.SymmetryConstraints = plan.SymmetryConstraints(p, auts)
 		res.Automorphisms = len(auts)
 	}
+	endPlan()
 	res.PlanTime = time.Since(planStart)
 	res.Plan = pl
 
 	var st exec.Stats
-	switch {
-	case opts.Workers > 1:
+	if opts.Workers > 1 {
 		st, err = exec.RunParallel(view, pl, execOpts, opts.Workers)
-	case opts.Profile:
-		var prof exec.Profile
-		st, prof, err = exec.RunWithProfile(view, pl, execOpts)
-		res.Profile = &prof
-	default:
+	} else {
 		st, err = exec.Run(view, pl, execOpts)
 	}
 	if err != nil {
@@ -215,6 +223,7 @@ func (e *Engine) Match(p *graph.Graph, opts MatchOptions) (MatchResult, error) {
 	res.Exec = st
 	res.ExecTime = st.Elapsed
 	res.Embeddings = st.Embeddings
+	res.Profile = st.Profile
 	return res, nil
 }
 

@@ -267,3 +267,63 @@ func TestMatchProfileOption(t *testing.T) {
 		t.Fatalf("profiled count = %d, want 120", res.Embeddings)
 	}
 }
+
+// TestEngineSaveLoadLabelEquivalence is the regression test for the CCSR
+// index round-trip bug: a pattern whose label names appear in a different
+// order than the data graph's used to intern to different label values
+// against a reloaded index (the table was not serialized), silently
+// matching the wrong clusters — 1 embedding direct vs 3 via the index on
+// this fixture. Save/load must preserve match results for patterns parsed
+// from text against either engine.
+func TestEngineSaveLoadLabelEquivalence(t *testing.T) {
+	// L46 has three L30 neighbors and L30 has one L7 neighbor, so a
+	// label-value swap changes counts in both directions.
+	g, err := graph.ParseString("t undirected\n" +
+		"v 0 L46\nv 1 L30\nv 2 L30\nv 3 L30\nv 4 L7\n" +
+		"e 0 1\ne 0 2\ne 0 3\ne 1 4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(g)
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Names() == nil {
+		t.Fatal("loaded engine lost its label table")
+	}
+	// Patterns are parsed from text per engine, exactly as cscematch and
+	// csced do — the pattern's label discovery order (L30 before L7, both
+	// before L46) deliberately differs from the data graph's.
+	for _, patText := range []string{
+		"t undirected\nv 0 L30\nv 1 L7\ne 0 1\n",
+		"t undirected\nv 0 L30\nv 1 L46\ne 0 1\n",
+		"t undirected\nv 0 L7\nv 1 L30\nv 2 L46\ne 0 1\ne 1 2\n",
+	} {
+		parse := func(e *Engine) *graph.Graph {
+			p, err := graph.ParseStringWith(patText, e.Names())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}
+		for _, variant := range graph.Variants() {
+			direct, err := e.Count(parse(e), variant)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaIndex, err := e2.Count(parse(e2), variant)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if direct != viaIndex {
+				t.Fatalf("pattern %q %v: direct %d vs reloaded index %d",
+					patText, variant, direct, viaIndex)
+			}
+		}
+	}
+}

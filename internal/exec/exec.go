@@ -26,6 +26,7 @@ import (
 
 	"csce/internal/ccsr"
 	"csce/internal/graph"
+	"csce/internal/obs"
 	"csce/internal/plan"
 )
 
@@ -64,6 +65,11 @@ type Options struct {
 	// where a pattern edge is pinned onto a freshly inserted data edge.
 	// Pinned levels disable factorization.
 	Pinned [][2]graph.VertexID
+	// Profile collects a per-level execution profile into Stats.Profile
+	// (a few counter increments per step; prefer leaving it off when
+	// benchmarking the engine itself). In the parallel path the per-worker
+	// profiles are merged level-wise.
+	Profile bool
 }
 
 // Stats reports the outcome of a run.
@@ -93,6 +99,9 @@ type Stats struct {
 	LimitHit bool
 	// Elapsed is the wall-clock matching time.
 	Elapsed time.Duration
+	// Profile is the per-level execution profile when Options.Profile was
+	// set, else nil.
+	Profile *Profile
 }
 
 // Throughput returns embeddings per second, the Fig. 7/8 metric.
@@ -115,28 +124,33 @@ func Run(view *ccsr.View, pl *plan.Plan, opts Options) (Stats, error) {
 	if e == nil {
 		return Stats{}, nil // a pattern edge has no matching cluster: empty result
 	}
+	if opts.Profile {
+		e.prof = newProfiler(e)
+	}
+	// A traced context (obs.WithTrace) gets an "exec.search" span covering
+	// the backtracking loop — the deepest hop of the trace's propagation
+	// chain (server → core → exec). Untraced callers pay one nil check.
+	endSpan := obs.TraceFrom(opts.Ctx).StartSpan("exec.search")
 	start := time.Now()
 	e.run()
 	e.stats.Elapsed = time.Since(start)
+	endSpan()
+	if e.prof != nil {
+		e.stats.Profile = &Profile{Levels: e.prof.levels, Elapsed: e.stats.Elapsed}
+	}
 	return e.stats, nil
 }
 
 // RunWithProfile is Run plus a per-level execution profile (the PROFILE
-// counterpart to the plan's EXPLAIN view). Profiling adds a few counter
-// increments per step; prefer Run when benchmarking the engine itself.
+// counterpart to the plan's EXPLAIN view) — a convenience wrapper over
+// Options.Profile for callers that always want the breakdown.
 func RunWithProfile(view *ccsr.View, pl *plan.Plan, opts Options) (Stats, Profile, error) {
-	e, err := newEngine(view, pl, opts)
-	if err != nil {
-		return Stats{}, Profile{}, err
+	opts.Profile = true
+	st, err := Run(view, pl, opts)
+	if err != nil || st.Profile == nil {
+		return st, Profile{}, err
 	}
-	if e == nil {
-		return Stats{}, Profile{}, nil
-	}
-	e.prof = newProfiler(e)
-	start := time.Now()
-	e.run()
-	e.stats.Elapsed = time.Since(start)
-	return e.stats, Profile{Levels: e.prof.levels, Elapsed: e.stats.Elapsed}, nil
+	return st, *st.Profile, nil
 }
 
 // Count is a convenience wrapper returning only the embedding count.

@@ -7,6 +7,7 @@ import (
 
 	"csce/internal/ccsr"
 	"csce/internal/graph"
+	"csce/internal/obs"
 	"csce/internal/plan"
 )
 
@@ -30,6 +31,8 @@ func RunParallel(view *ccsr.View, pl *plan.Plan, opts Options, workers int) (Sta
 	if workers <= 1 {
 		return Run(view, pl, opts)
 	}
+	endSpan := obs.TraceFrom(opts.Ctx).StartSpan("exec.search")
+	defer endSpan()
 
 	// Build a prototype engine to materialize the depth-0 pool (and to
 	// fail fast on structural problems).
@@ -104,11 +107,17 @@ func RunParallel(view *ccsr.View, pl *plan.Plan, opts Options, workers int) (Sta
 			if e == nil {
 				return
 			}
+			if workerOpts.Profile {
+				e.prof = newProfiler(e)
+			}
 			e.levels[0].pool = pool[lo:hi]
 			e.shared = &sharedState{total: &total, stop: &stopFlag, limit: opts.Limit}
 			start := time.Now()
 			e.run()
 			e.stats.Elapsed = time.Since(start)
+			if e.prof != nil {
+				e.stats.Profile = &Profile{Levels: e.prof.levels, Elapsed: e.stats.Elapsed}
+			}
 			perWorker[w] = e.stats
 		}(w, lo, hi)
 	}
@@ -132,8 +141,36 @@ func RunParallel(view *ccsr.View, pl *plan.Plan, opts Options, workers int) (Sta
 		if s.Elapsed > out.Elapsed {
 			out.Elapsed = s.Elapsed // wall clock = slowest worker
 		}
+		if s.Profile != nil {
+			out.Profile = mergeProfiles(out.Profile, s.Profile)
+		}
+	}
+	if out.Profile != nil {
+		out.Profile.Elapsed = out.Elapsed
 	}
 	return out, nil
+}
+
+// mergeProfiles sums per-level counters across workers. All workers run the
+// same plan, so the level vectors are parallel (same length, same vertex at
+// each position).
+func mergeProfiles(acc, p *Profile) *Profile {
+	if acc == nil {
+		levels := append([]LevelProfile(nil), p.Levels...)
+		return &Profile{Levels: levels}
+	}
+	for i := range acc.Levels {
+		if i >= len(p.Levels) {
+			break
+		}
+		acc.Levels[i].Steps += p.Levels[i].Steps
+		acc.Levels[i].CandidateBuilds += p.Levels[i].CandidateBuilds
+		acc.Levels[i].CandidateReuses += p.Levels[i].CandidateReuses
+		acc.Levels[i].NECShares += p.Levels[i].NECShares
+		acc.Levels[i].CandidateTotal += p.Levels[i].CandidateTotal
+		acc.Levels[i].Factorized += p.Levels[i].Factorized
+	}
+	return acc
 }
 
 // sharedState coordinates workers of a parallel run.

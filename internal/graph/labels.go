@@ -65,3 +65,7 @@ func (t *LabelTable) EdgeName(l EdgeLabel) string {
 
 // NumVertexLabels returns how many vertex label names are interned.
 func (t *LabelTable) NumVertexLabels() int { return len(t.vertexNames) }
+
+// NumEdgeLabels returns how many edge label names are interned (including
+// the pre-interned empty name at label 0).
+func (t *LabelTable) NumEdgeLabels() int { return len(t.edgeNames) }

@@ -30,8 +30,10 @@ var CtxPropagation = &Check{
 }
 
 // ctxCheckedPkgs are the import path suffixes (relative to the module)
-// the cancellation contract covers.
-var ctxCheckedPkgs = []string{"internal/exec", "internal/server"}
+// the cancellation contract covers. internal/obs is included because trace
+// propagation rides the same context chain: a helper that drops its
+// context would silently detach every downstream span.
+var ctxCheckedPkgs = []string{"internal/exec", "internal/server", "internal/obs"}
 
 func ctxApplies(p *Package) bool {
 	rel := strings.TrimPrefix(p.Path, p.ModulePath+"/")

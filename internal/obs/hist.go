@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of logarithmic latency buckets. Bucket 0
+// covers [0, 1µs); bucket i (i ≥ 1) covers [2^(i-1), 2^i) µs. 40 buckets
+// reach 2^39 µs ≈ 6.4 days, far beyond any query the daemon admits.
+const histBuckets = 40
+
+// Histogram is a lock-free latency histogram with logarithmic bucketing.
+// The zero value is ready to use. Record is wait-free apart from the
+// bounded CAS loop maintaining the maximum: one atomic add per bucket, one
+// for the sum, and a max update — no locks, no allocation — so it can sit
+// on the per-step hot path of every query phase.
+//
+// Log-spaced buckets trade fine absolute resolution for constant relative
+// error (< 2× within a bucket, halved by interpolation), which is the
+// right trade for latencies spanning microseconds to minutes: p99 of a
+// 3ms distribution and p99 of a 30s distribution are both read from a
+// bucket whose width is proportional to the value.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	sumNs   atomic.Uint64
+	maxNs   atomic.Uint64
+}
+
+// bucketIndex maps a duration to its bucket: Len64 of the duration in
+// whole microseconds, clamped to the top bucket.
+func bucketIndex(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	idx := bits.Len64(uint64(d) / 1000)
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// Record adds one observation. Safe for concurrent use; negative
+// durations clamp to zero.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketIndex(d)].Add(1)
+	h.sumNs.Add(uint64(d))
+	for {
+		cur := h.maxNs.Load()
+		if uint64(d) <= cur || h.maxNs.CompareAndSwap(cur, uint64(d)) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, safe to read
+// without synchronization. Counts are conserved: the bucket sum equals
+// Count (each Record increments exactly one bucket).
+type HistogramSnapshot struct {
+	Buckets [histBuckets]uint64
+	Count   uint64
+	SumNs   uint64
+	MaxNs   uint64
+}
+
+// Snapshot atomically reads every bucket. Concurrent Records may land
+// between bucket reads, so a snapshot is a consistent-enough view for
+// monitoring, not a linearizable cut.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.Buckets[i] = c
+		s.Count += c
+	}
+	s.SumNs = h.sumNs.Load()
+	s.MaxNs = h.maxNs.Load()
+	return s
+}
+
+// bucketBoundsUs returns the [lo, hi) bounds of bucket i in microseconds.
+func bucketBoundsUs(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 1
+	}
+	return math.Ldexp(1, i-1), math.Ldexp(1, i)
+}
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) in milliseconds by
+// linear interpolation within the bucket holding the target rank. Returns
+// 0 for an empty histogram. Estimates are monotone in q and never exceed
+// Max.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := 0.0
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			lo, hi := bucketBoundsUs(i)
+			frac := 0.0
+			if c > 0 {
+				frac = (rank - cum) / float64(c)
+			}
+			est := lo + frac*(hi-lo)
+			if maxUs := float64(s.MaxNs) / 1e3; est > maxUs {
+				est = maxUs // the top observation bounds every quantile
+			}
+			return est / 1e3
+		}
+		cum = next
+	}
+	return float64(s.MaxNs) / 1e6
+}
+
+// MeanMs returns the mean latency in milliseconds (exact, from the sum).
+func (s HistogramSnapshot) MeanMs() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNs) / float64(s.Count) / 1e6
+}
+
+// MaxMs returns the largest recorded latency in milliseconds (exact).
+func (s HistogramSnapshot) MaxMs() float64 { return float64(s.MaxNs) / 1e6 }
+
+// Doc renders the snapshot as the /metrics JSON sub-document: count, mean,
+// p50/p90/p99, and max, all in milliseconds.
+func (s HistogramSnapshot) Doc() map[string]any {
+	return map[string]any{
+		"count":   s.Count,
+		"mean_ms": round3(s.MeanMs()),
+		"p50_ms":  round3(s.Quantile(0.50)),
+		"p90_ms":  round3(s.Quantile(0.90)),
+		"p99_ms":  round3(s.Quantile(0.99)),
+		"max_ms":  round3(s.MaxMs()),
+	}
+}
+
+func round3(x float64) float64 { return math.Round(x*1000) / 1000 }

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-time.Second, 0},
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 1},      // 1µs → Len64(1) = 1
+		{3 * time.Microsecond, 2},  // [2,4)µs
+		{1 * time.Millisecond, 10}, // 1000µs → Len64 = 10
+		{1 * time.Second, 20},      // 1e6µs → Len64 = 20
+		{10 * time.Minute, 30},     // 6e8µs → Len64 = 30
+		{24 * 365 * time.Hour, 39}, // clamps to the top bucket
+	}
+	for _, tc := range cases {
+		if got := bucketIndex(tc.d); got != tc.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramQuantilesDeterministic(t *testing.T) {
+	var h Histogram
+	// 90 fast (≈1ms) and 10 slow (≈1s) observations: p50 must sit in the
+	// fast mode, p99 in the slow one, and Max must be exact.
+	for i := 0; i < 90; i++ {
+		h.Record(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(time.Second)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count %d, want 100", s.Count)
+	}
+	p50, p99 := s.Quantile(0.50), s.Quantile(0.99)
+	if p50 < 0.5 || p50 > 2.1 {
+		t.Errorf("p50 = %.3fms, want ≈1ms (within its 2× bucket)", p50)
+	}
+	if p99 < 500 || p99 > 1100 {
+		t.Errorf("p99 = %.3fms, want ≈1000ms (within its 2× bucket)", p99)
+	}
+	if got := s.MaxMs(); got != 1000 {
+		t.Errorf("max = %.3fms, want exactly 1000 (max is not bucketed)", got)
+	}
+	if mean := s.MeanMs(); mean < 100.8 || mean > 101.0 {
+		t.Errorf("mean = %.4fms, want 100.9 exactly from the sums", mean)
+	}
+	// Empty histogram: everything reads zero.
+	var empty Histogram
+	es := empty.Snapshot()
+	if es.Count != 0 || es.Quantile(0.99) != 0 || es.MeanMs() != 0 || es.MaxMs() != 0 {
+		t.Errorf("empty histogram not all-zero: %+v", es)
+	}
+}
+
+// TestHistogramConcurrentConservation hammers one histogram from many
+// goroutines (run under -race in CI) and asserts the two invariants that
+// make the lock-free design trustworthy: no observation is ever lost or
+// double-counted (bucket counts sum to exactly the number of Records), and
+// quantile estimates are monotone with the exact max as upper bound.
+func TestHistogramConcurrentConservation(t *testing.T) {
+	const (
+		goroutines = 16
+		perG       = 5000
+	)
+	var h Histogram
+	var wg sync.WaitGroup
+	maxDur := int64(0)
+	var maxMu sync.Mutex
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			localMax := int64(0)
+			for i := 0; i < perG; i++ {
+				// Spread observations across ~9 decades, 0ns to ~16s.
+				d := time.Duration(rng.Int63n(1 << uint(10+rng.Intn(25))))
+				if int64(d) > localMax {
+					localMax = int64(d)
+				}
+				h.Record(d)
+			}
+			maxMu.Lock()
+			if localMax > maxDur {
+				maxDur = localMax
+			}
+			maxMu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+
+	s := h.Snapshot()
+	if s.Count != goroutines*perG {
+		t.Fatalf("bucket conservation violated: counted %d, recorded %d", s.Count, goroutines*perG)
+	}
+	var bucketSum uint64
+	for _, c := range s.Buckets {
+		bucketSum += c
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("Count (%d) disagrees with bucket sum (%d)", s.Count, bucketSum)
+	}
+	if s.MaxNs != uint64(maxDur) {
+		t.Fatalf("max lost under contention: %d, want %d", s.MaxNs, maxDur)
+	}
+	prev := -1.0
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1} {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone: q=%v gives %.6f < previous %.6f", q, v, prev)
+		}
+		if v > s.MaxMs() {
+			t.Fatalf("quantile q=%v (%.6fms) exceeds max (%.6fms)", q, v, s.MaxMs())
+		}
+		prev = v
+	}
+}
+
+func TestHistogramDocSchema(t *testing.T) {
+	var h Histogram
+	h.Record(2 * time.Millisecond)
+	doc := h.Snapshot().Doc()
+	for _, key := range []string{"count", "mean_ms", "p50_ms", "p90_ms", "p99_ms", "max_ms"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("histogram doc missing %q: %v", key, doc)
+		}
+	}
+	if doc["count"].(uint64) != 1 {
+		t.Errorf("count = %v, want 1", doc["count"])
+	}
+}

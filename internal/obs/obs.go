@@ -1,0 +1,14 @@
+// Package obs is the observability layer of the CSCE serving stack:
+// lock-free log-bucketed latency histograms, per-query trace IDs with
+// phase spans propagated through context.Context, and a fixed-size
+// slow-query ring buffer. Everything is stdlib-only and allocation-free on
+// the hot path — Record on a histogram is a handful of atomic operations,
+// cheap enough to wrap every phase of every query.
+//
+// The layering is deliberate: obs imports nothing from the rest of the
+// repo, so the engine (internal/core, internal/exec), the serving layer
+// (internal/server), and the commands can all thread traces and record
+// latencies without cycles. Composite records (the slow-query log entry
+// with its plan summary and per-level execution profile) are assembled by
+// the caller and carried here as opaque detail.
+package obs

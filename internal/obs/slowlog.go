@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowRecord is one slow-query log entry. The serving layer fills it from
+// the finished query: the trace carries the phase spans, Detail carries
+// the layer-specific breakdown (plan summary, per-level execution
+// profile) as a JSON-marshalable value obs stays agnostic about.
+type SlowRecord struct {
+	// Seq is a monotone sequence number assigned by Add; gaps in a
+	// snapshot reveal how many records were evicted between reads.
+	Seq uint64 `json:"seq"`
+	// TraceID correlates the record with response headers and log lines.
+	TraceID TraceID `json:"trace_id"`
+	// Start is when the query entered the handler.
+	Start time.Time `json:"start"`
+	// Duration is the end-to-end handler latency that tripped the
+	// threshold.
+	Duration time.Duration `json:"duration_ns"`
+	// Graph and Outcome identify what ran and how it ended ("ok",
+	// "timeout", "cancelled", ...).
+	Graph   string `json:"graph"`
+	Outcome string `json:"outcome"`
+	// Spans is the trace's phase breakdown at capture time.
+	Spans []Span `json:"spans,omitempty"`
+	// Detail is the caller-composed payload: pattern size, plan summary,
+	// per-level execution profile.
+	Detail any `json:"detail,omitempty"`
+}
+
+// SlowLog is a fixed-size ring of the most recent queries slower than a
+// configurable threshold. Eviction is strictly oldest-first; the ring
+// never allocates after construction beyond the records themselves.
+type SlowLog struct {
+	thresholdNs atomic.Int64
+
+	mu   sync.Mutex
+	ring []SlowRecord
+	next uint64 // total records ever added; next % len(ring) is the write slot
+}
+
+// NewSlowLog builds a ring holding the last capacity records (minimum 1)
+// with the given initial threshold; d ≤ 0 disables capture.
+func NewSlowLog(capacity int, d time.Duration) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	l := &SlowLog{ring: make([]SlowRecord, 0, capacity)}
+	l.SetThreshold(d)
+	return l
+}
+
+// Threshold returns the current capture threshold (≤ 0 = disabled).
+func (l *SlowLog) Threshold() time.Duration {
+	return time.Duration(l.thresholdNs.Load())
+}
+
+// SetThreshold replaces the capture threshold atomically; safe to call
+// while queries are running.
+func (l *SlowLog) SetThreshold(d time.Duration) { l.thresholdNs.Store(int64(d)) }
+
+// Qualifies reports whether a query of duration d should be captured.
+func (l *SlowLog) Qualifies(d time.Duration) bool {
+	t := l.thresholdNs.Load()
+	return t > 0 && d >= time.Duration(t)
+}
+
+// Add appends a record, evicting the oldest when full, and returns the
+// assigned sequence number.
+func (l *SlowLog) Add(rec SlowRecord) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec.Seq = l.next
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, rec)
+	} else {
+		l.ring[l.next%uint64(cap(l.ring))] = rec
+	}
+	l.next++
+	return rec.Seq
+}
+
+// Snapshot returns the retained records newest-first.
+func (l *SlowLog) Snapshot() []SlowRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowRecord, 0, len(l.ring))
+	for i := 0; i < len(l.ring); i++ {
+		// Walk backwards from the most recently written slot.
+		idx := (l.next - 1 - uint64(i)) % uint64(cap(l.ring))
+		out = append(out, l.ring[idx])
+	}
+	return out
+}
+
+// Len returns how many records are retained (≤ capacity).
+func (l *SlowLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ring)
+}
+
+// Total returns how many records were ever added, retained or evicted.
+func (l *SlowLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}

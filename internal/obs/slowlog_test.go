@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSlowLogThreshold(t *testing.T) {
+	l := NewSlowLog(4, 100*time.Millisecond)
+	if l.Qualifies(99 * time.Millisecond) {
+		t.Error("sub-threshold latency must not qualify")
+	}
+	if !l.Qualifies(100 * time.Millisecond) {
+		t.Error("threshold is inclusive")
+	}
+	l.SetThreshold(0)
+	if l.Qualifies(time.Hour) {
+		t.Error("threshold ≤ 0 disables capture")
+	}
+	l.SetThreshold(time.Millisecond)
+	if l.Threshold() != time.Millisecond {
+		t.Errorf("threshold = %v", l.Threshold())
+	}
+}
+
+// TestSlowLogEvictionOrder fills the ring past capacity and pins the
+// eviction contract: strictly oldest-first, snapshot newest-first, with
+// sequence numbers revealing what was dropped.
+func TestSlowLogEvictionOrder(t *testing.T) {
+	const capacity = 4
+	l := NewSlowLog(capacity, time.Millisecond)
+	for i := 0; i < 10; i++ {
+		seq := l.Add(SlowRecord{Graph: fmt.Sprintf("g%d", i)})
+		if seq != uint64(i) {
+			t.Fatalf("record %d assigned seq %d", i, seq)
+		}
+	}
+	if l.Len() != capacity {
+		t.Fatalf("ring holds %d, want %d", l.Len(), capacity)
+	}
+	if l.Total() != 10 {
+		t.Fatalf("total %d, want 10", l.Total())
+	}
+	snap := l.Snapshot()
+	if len(snap) != capacity {
+		t.Fatalf("snapshot has %d records, want %d", len(snap), capacity)
+	}
+	// Newest first: g9, g8, g7, g6. Everything older was evicted in order.
+	for i, rec := range snap {
+		wantSeq := uint64(9 - i)
+		if rec.Seq != wantSeq || rec.Graph != fmt.Sprintf("g%d", wantSeq) {
+			t.Fatalf("snapshot[%d] = seq %d graph %q, want seq %d", i, rec.Seq, rec.Graph, wantSeq)
+		}
+	}
+}
+
+func TestSlowLogPartialFill(t *testing.T) {
+	l := NewSlowLog(8, time.Millisecond)
+	l.Add(SlowRecord{Graph: "a"})
+	l.Add(SlowRecord{Graph: "b"})
+	snap := l.Snapshot()
+	if len(snap) != 2 || snap[0].Graph != "b" || snap[1].Graph != "a" {
+		t.Fatalf("partial snapshot wrong: %+v", snap)
+	}
+	// Degenerate capacity clamps to 1.
+	tiny := NewSlowLog(0, time.Millisecond)
+	tiny.Add(SlowRecord{Graph: "x"})
+	tiny.Add(SlowRecord{Graph: "y"})
+	if snap := tiny.Snapshot(); len(snap) != 1 || snap[0].Graph != "y" {
+		t.Fatalf("capacity-1 ring wrong: %+v", snap)
+	}
+}
+
+func TestSlowLogConcurrentAdd(t *testing.T) {
+	l := NewSlowLog(16, time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Add(SlowRecord{})
+				l.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Total() != 1600 {
+		t.Fatalf("total %d, want 1600", l.Total())
+	}
+	snap := l.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Seq != snap[i-1].Seq-1 {
+			t.Fatalf("snapshot seqs not contiguous descending: %d after %d", snap[i].Seq, snap[i-1].Seq)
+		}
+	}
+}

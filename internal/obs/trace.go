@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one query end to end: generated at admission, carried
+// through the engine via context, echoed in the X-Trace-Id response header
+// and the NDJSON summary line, and stamped on every structured log line —
+// one grep correlates all of them.
+type TraceID string
+
+// traceCounter salts IDs so they stay unique even if the random source
+// fails (it never should; the counter also makes IDs cheap to distinguish
+// in tests).
+var traceCounter atomic.Uint64
+
+// NewTraceID returns a 16-hex-char process-unique ID: 6 random bytes plus
+// a 2-byte counter, so IDs are unguessable across processes and strictly
+// distinct within one.
+func NewTraceID() TraceID {
+	var b [8]byte
+	_, _ = rand.Read(b[:6])
+	binary.BigEndian.PutUint16(b[6:], uint16(traceCounter.Add(1)))
+	return TraceID(hex.EncodeToString(b[:]))
+}
+
+// Span is one timed phase of a query, as an offset window from the trace
+// start — admission wait, planning, execution, streaming.
+type Span struct {
+	Name  string        `json:"name"`
+	Start time.Duration `json:"start_ns"`
+	End   time.Duration `json:"end_ns"`
+}
+
+// Duration returns the span's length.
+func (s Span) Duration() time.Duration { return s.End - s.Start }
+
+// Trace collects the spans of one query under its ID. A Trace is carried
+// in the query's context; all methods are nil-safe so uninstrumented code
+// paths (library use, tests) pay nothing.
+type Trace struct {
+	ID    TraceID
+	Begin time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace starts a trace now under a fresh ID.
+func NewTrace() *Trace { return &Trace{ID: NewTraceID(), Begin: time.Now()} }
+
+// StartSpan opens a named span and returns the func that closes it.
+// Nil-safe: on a nil trace the returned func is a no-op.
+func (t *Trace) StartSpan(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Since(t.Begin)
+	return func() {
+		end := time.Since(t.Begin)
+		t.mu.Lock()
+		t.spans = append(t.spans, Span{Name: name, Start: start, End: end})
+		t.mu.Unlock()
+	}
+}
+
+// AddSpan records an already-measured phase (for callers that time phases
+// themselves). Nil-safe.
+func (t *Trace) AddSpan(name string, start, end time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Start: start, End: end})
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in completion order.
+// Nil-safe: a nil trace has none.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// SpanDoc renders the spans as a JSON-ready map of name → duration in
+// milliseconds (later spans with the same name overwrite earlier ones).
+func (t *Trace) SpanDoc() map[string]float64 {
+	spans := t.Spans()
+	if spans == nil {
+		return nil
+	}
+	doc := make(map[string]float64, len(spans))
+	for _, s := range spans {
+		doc[s.Name] = round3(float64(s.Duration()) / 1e6)
+	}
+	return doc
+}
+
+// traceKey is the context key for the query's Trace.
+type traceKey struct{}
+
+// WithTrace returns a context carrying t.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom extracts the context's trace, or nil when the query is not
+// traced. Combined with the nil-safe Trace methods, callers never need to
+// branch.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

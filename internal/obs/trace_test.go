@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceIDsUnique(t *testing.T) {
+	const n = 2000
+	seen := make(map[TraceID]bool, n)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n/8; i++ {
+				id := NewTraceID()
+				if len(id) != 16 {
+					t.Errorf("trace ID %q is not 16 hex chars", id)
+					return
+				}
+				mu.Lock()
+				if seen[id] {
+					t.Errorf("duplicate trace ID %q", id)
+				}
+				seen[id] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	if got := TraceFrom(ctx); got != tr {
+		t.Fatalf("TraceFrom returned %v, want the stored trace", got)
+	}
+	if got := TraceFrom(context.Background()); got != nil {
+		t.Fatalf("untraced context yielded %v", got)
+	}
+	if got := TraceFrom(nil); got != nil { //nolint:staticcheck // nil-safety is the contract under test
+		t.Fatalf("nil context yielded %v", got)
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace()
+	end := tr.StartSpan("plan")
+	time.Sleep(time.Millisecond)
+	end()
+	tr.AddSpan("exec", 10*time.Millisecond, 30*time.Millisecond)
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "plan" || spans[0].Duration() < time.Millisecond {
+		t.Errorf("plan span wrong: %+v", spans[0])
+	}
+	if spans[1].Duration() != 20*time.Millisecond {
+		t.Errorf("exec span duration %v, want 20ms", spans[1].Duration())
+	}
+	doc := tr.SpanDoc()
+	if doc["exec"] != 20 {
+		t.Errorf("SpanDoc exec = %v, want 20 (ms)", doc["exec"])
+	}
+
+	// All span operations are no-ops on a nil trace.
+	var nilTrace *Trace
+	nilTrace.StartSpan("x")()
+	nilTrace.AddSpan("y", 0, time.Second)
+	if nilTrace.Spans() != nil || nilTrace.SpanDoc() != nil {
+		t.Error("nil trace must report no spans")
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.StartSpan("s")()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 800 {
+		t.Fatalf("lost spans under contention: %d, want 800", got)
+	}
+}

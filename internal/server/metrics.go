@@ -1,11 +1,34 @@
 package server
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
 
-// metrics holds the daemon's monotonic counters. Everything is a plain
-// atomic so the hot path never takes a lock; /metrics renders a snapshot
-// as expvar-style JSON, and gauges (in-flight, queue depth, cache size)
-// are read from their owning components at render time.
+	"csce/internal/obs"
+)
+
+// phase names index the per-phase latency histograms: the four stages a
+// query passes through on its way out of the daemon.
+const (
+	phaseAdmission = "admission" // waiting for a match slot
+	phasePlan      = "plan"      // plan-cache lookup + GCF/DAG/LDSF on miss
+	phaseExec      = "exec"      // backtracking search (minus streaming writes)
+	phaseStream    = "stream"    // writing NDJSON embedding lines to the client
+	phaseTotal     = "total"     // end-to-end handler time
+)
+
+// metricsPhases lists the histogram keys in render order.
+var metricsPhases = []string{phaseAdmission, phasePlan, phaseExec, phaseStream, phaseTotal}
+
+// metricsEndpoints lists the instrumented HTTP endpoints. Every route in
+// Handler records its latency under one of these names.
+var metricsEndpoints = []string{"match", "graphs", "metrics", "healthz", "slowlog"}
+
+// metrics holds the daemon's monotonic counters and latency histograms.
+// Everything is a plain atomic so the hot path never takes a lock;
+// /metrics renders a snapshot as one JSON document, and gauges (in-flight,
+// queue depth, cache size) are read from their owning components at render
+// time.
 type metrics struct {
 	// Query outcomes. queriesTotal counts every POST that reached the match
 	// handler; exactly one outcome counter moves per query.
@@ -16,6 +39,7 @@ type metrics struct {
 	queriesTimedOut   atomic.Uint64 // per-query timeout fired
 	queriesBadRequest atomic.Uint64 // unparseable pattern / params / 404s
 	queriesErrored    atomic.Uint64 // internal errors
+	slowQueries       atomic.Uint64 // queries captured by the slow-query log
 
 	// Work volume.
 	embeddingsEmitted atomic.Uint64 // NDJSON embedding lines streamed
@@ -23,10 +47,43 @@ type metrics struct {
 	candidateReuses   atomic.Uint64 // SCE cache hits across all queries
 	execMicros        atomic.Uint64 // summed execution-stage wall time (µs)
 	planMicros        atomic.Uint64 // summed plan-stage wall time (µs); cache hits contribute ~0
+
+	// Latency histograms: per query phase and per HTTP endpoint. Allocated
+	// once by newMetrics; recording is lock-free (obs.Histogram).
+	phases    map[string]*obs.Histogram
+	endpoints map[string]*obs.Histogram
 }
 
-// snapshot returns the counter block of the /metrics document.
-func (m *metrics) snapshot() map[string]any {
+func newMetrics() *metrics {
+	m := &metrics{
+		phases:    make(map[string]*obs.Histogram, len(metricsPhases)),
+		endpoints: make(map[string]*obs.Histogram, len(metricsEndpoints)),
+	}
+	for _, p := range metricsPhases {
+		m.phases[p] = &obs.Histogram{}
+	}
+	for _, e := range metricsEndpoints {
+		m.endpoints[e] = &obs.Histogram{}
+	}
+	return m
+}
+
+// recordPhase adds one observation to a phase histogram.
+func (m *metrics) recordPhase(phase string, d time.Duration) {
+	if h := m.phases[phase]; h != nil {
+		h.Record(d)
+	}
+}
+
+// recordEndpoint adds one observation to an endpoint histogram.
+func (m *metrics) recordEndpoint(name string, d time.Duration) {
+	if h := m.endpoints[name]; h != nil {
+		h.Record(d)
+	}
+}
+
+// counterDoc returns the counter block of the /metrics document.
+func (m *metrics) counterDoc() map[string]any {
 	return map[string]any{
 		"queries_total":       m.queriesTotal.Load(),
 		"queries_ok":          m.queriesOK.Load(),
@@ -35,10 +92,28 @@ func (m *metrics) snapshot() map[string]any {
 		"queries_timed_out":   m.queriesTimedOut.Load(),
 		"queries_bad_request": m.queriesBadRequest.Load(),
 		"queries_errored":     m.queriesErrored.Load(),
+		"slow_queries":        m.slowQueries.Load(),
 		"embeddings_emitted":  m.embeddingsEmitted.Load(),
 		"exec_steps":          m.execSteps.Load(),
 		"candidate_reuses":    m.candidateReuses.Load(),
 		"exec_micros":         m.execMicros.Load(),
 		"plan_micros":         m.planMicros.Load(),
+	}
+}
+
+// latencyDoc returns the histogram block: count/mean/p50/p90/p99/max per
+// phase and per endpoint, all in milliseconds.
+func (m *metrics) latencyDoc() map[string]any {
+	phases := make(map[string]any, len(m.phases))
+	for name, h := range m.phases {
+		phases[name] = h.Snapshot().Doc()
+	}
+	endpoints := make(map[string]any, len(m.endpoints))
+	for name, h := range m.endpoints {
+		endpoints[name] = h.Snapshot().Doc()
+	}
+	return map[string]any{
+		"phases":    phases,
+		"endpoints": endpoints,
 	}
 }

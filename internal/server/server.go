@@ -23,6 +23,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
@@ -31,7 +33,9 @@ import (
 	"time"
 
 	"csce/internal/core"
+	"csce/internal/exec"
 	"csce/internal/graph"
+	"csce/internal/obs"
 	"csce/internal/plan"
 )
 
@@ -59,6 +63,15 @@ type Config struct {
 	PlanCacheSize int
 	// MaxPatternBytes bounds the request body (default 1 MiB).
 	MaxPatternBytes int64
+	// SlowQueryThreshold is the end-to-end latency at which a query is
+	// captured in /debug/slowlog with its trace, plan summary, and
+	// per-level execution profile (default 500ms; negative disables).
+	SlowQueryThreshold time.Duration
+	// SlowLogSize bounds the slow-query ring buffer (default 128).
+	SlowLogSize int
+	// Logger receives one structured line per match query, stamped with
+	// the query's trace ID (default: discard).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +102,18 @@ func (c Config) withDefaults() Config {
 	if c.MaxPatternBytes <= 0 {
 		c.MaxPatternBytes = 1 << 20
 	}
+	if c.SlowQueryThreshold == 0 {
+		c.SlowQueryThreshold = 500 * time.Millisecond
+	}
+	if c.SlowQueryThreshold < 0 {
+		c.SlowQueryThreshold = 0 // obs.SlowLog treats ≤0 as disabled
+	}
+	if c.SlowLogSize <= 0 {
+		c.SlowLogSize = 128
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return c
 }
 
@@ -99,7 +124,9 @@ type Server struct {
 	reg      *Registry
 	adm      *admission
 	plans    *planCache
-	metrics  metrics
+	metrics  *metrics
+	slowlog  *obs.SlowLog
+	log      *slog.Logger
 	started  time.Time
 	draining atomic.Bool
 
@@ -117,6 +144,9 @@ func New(cfg Config) *Server {
 		reg:     NewRegistry(),
 		adm:     newAdmission(cfg.MatchSlots, cfg.QueueDepth),
 		plans:   newPlanCache(cfg.PlanCacheSize),
+		metrics: newMetrics(),
+		slowlog: obs.NewSlowLog(cfg.SlowLogSize, cfg.SlowQueryThreshold),
+		log:     cfg.Logger,
 		started: time.Now(),
 	}
 	return s
@@ -126,13 +156,24 @@ func New(cfg Config) *Server {
 func (s *Server) Registry() *Registry { return s.reg }
 
 // Handler returns the daemon's HTTP mux (also useful under httptest).
+// Every route records its end-to-end latency in a per-endpoint histogram.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/graphs/{name}/match", s.handleMatch)
-	mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/graphs/{name}/match", s.instrument("match", s.handleMatch))
+	mux.HandleFunc("GET /v1/graphs", s.instrument("graphs", s.handleGraphs))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /debug/slowlog", s.instrument("slowlog", s.handleSlowlog))
 	return mux
+}
+
+// instrument wraps a handler with per-endpoint latency recording.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		s.metrics.recordEndpoint(name, time.Since(start))
+	}
 }
 
 // Start listens on cfg.Addr and serves in a background goroutine. It
@@ -176,6 +217,7 @@ type matchParams struct {
 	limit   uint64
 	timeout time.Duration
 	workers int
+	profile bool // ?profile=1: return the per-level profile in the summary
 }
 
 func (s *Server) parseMatchParams(r *http.Request) (matchParams, error) {
@@ -242,6 +284,13 @@ func (s *Server) parseMatchParams(r *http.Request) (matchParams, error) {
 		}
 		p.workers = n
 	}
+	switch raw := q.Get("profile"); raw {
+	case "", "0", "false":
+	case "1", "true":
+		p.profile = true
+	default:
+		return p, fmt.Errorf("bad profile %q (0 or 1)", raw)
+	}
 	return p, nil
 }
 
@@ -259,6 +308,16 @@ func (s *Server) parsePattern(r *http.Request, w http.ResponseWriter, ent *Entry
 }
 
 func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	// Every query gets a trace the moment it reaches the handler. The ID
+	// goes out in the response header immediately (even for rejections),
+	// into every structured log line, into the NDJSON summary, and into
+	// the slow-query log — one grep correlates all four.
+	start := time.Now()
+	tr := obs.NewTrace()
+	w.Header().Set("X-Trace-Id", string(tr.ID))
+	rctx := obs.WithTrace(r.Context(), tr)
+	defer func() { s.metrics.recordPhase(phaseTotal, time.Since(start)) }()
+
 	s.metrics.queriesTotal.Add(1)
 	name := r.PathValue("name")
 	ent, ok := s.reg.Get(name)
@@ -285,11 +344,20 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if err := s.adm.admit(r.Context()); err != nil {
-		if errors.Is(err, ErrQueueFull) {
+	// Phase 1: admission. The wait for a slot is recorded whether the
+	// query is admitted, rejected, or abandoned — queueing delay under
+	// overload is exactly what the histogram must show.
+	endAdmission := tr.StartSpan(phaseAdmission)
+	admStart := time.Now()
+	admErr := s.adm.admit(rctx)
+	s.metrics.recordPhase(phaseAdmission, time.Since(admStart))
+	endAdmission()
+	if admErr != nil {
+		if errors.Is(admErr, ErrQueueFull) {
 			s.metrics.queriesRejected.Add(1)
 			w.Header().Set("Retry-After", "1")
 			jsonError(w, http.StatusTooManyRequests, "match queue full, retry later")
+			s.log.Warn("query rejected", "trace_id", tr.ID, "graph", ent.Name, "reason", "queue full")
 			return
 		}
 		// The client went away while queued; nobody is reading the reply.
@@ -300,22 +368,28 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	defer s.adm.release()
 	ent.queries.Add(1)
 
-	// Plan cache: repeated patterns skip GCF/DAG/LDSF entirely.
+	// Phase 2: planning. The cache hit path contributes ~0; misses pay
+	// GCF/DAG/LDSF.
+	endPlan := tr.StartSpan(phasePlan)
 	planStart := time.Now()
 	key := planKey(ent.Name, params.variant, params.mode, p)
 	pl, cacheHit := s.plans.get(key)
 	if !cacheHit {
 		pl, err = plan.Optimize(p, ent.Engine.Store(), params.variant, params.mode)
 		if err != nil {
+			endPlan()
 			s.metrics.queriesBadRequest.Add(1)
 			jsonError(w, http.StatusUnprocessableEntity, fmt.Sprintf("optimize: %v", err))
 			return
 		}
 		s.plans.put(key, pl)
 	}
-	s.metrics.planMicros.Add(uint64(time.Since(planStart).Microseconds()))
+	planDur := time.Since(planStart)
+	s.metrics.recordPhase(phasePlan, planDur)
+	s.metrics.planMicros.Add(uint64(planDur.Microseconds()))
+	endPlan()
 
-	ctx, cancel := context.WithTimeout(r.Context(), params.timeout)
+	ctx, cancel := context.WithTimeout(rctx, params.timeout)
 	defer cancel()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -325,8 +399,10 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeErr   error
 		lineBuf    []byte
 		streamDead bool
+		streamNs   int64 // time spent writing NDJSON lines, accumulated per embedding
 	)
 	onEmbedding := func(m []graph.VertexID) bool {
+		wStart := time.Now()
 		lineBuf = append(lineBuf[:0], `{"embedding":[`...)
 		for i, v := range m {
 			if i > 0 {
@@ -338,15 +414,22 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		if _, err := w.Write(lineBuf); err != nil {
 			writeErr = err
 			streamDead = true
+			streamNs += int64(time.Since(wStart))
 			return false
 		}
 		emitted++
 		if flusher != nil {
 			flusher.Flush()
 		}
+		streamNs += int64(time.Since(wStart))
 		return true
 	}
 
+	// Phases 3+4: execution and streaming. The engine interleaves them
+	// (embeddings stream from inside the search loop), so the exec phase
+	// is the engine wall time minus the accumulated write time.
+	execSpanStart := time.Since(tr.Begin)
+	matchStart := time.Now()
 	res, matchErr := ent.Engine.Match(p, core.MatchOptions{
 		Variant:      params.variant,
 		Mode:         params.mode,
@@ -355,7 +438,22 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		Context:      ctx,
 		PreparedPlan: pl,
 		OnEmbedding:  onEmbedding,
+		// Always profile: the slow-query log must have the per-level
+		// breakdown for queries that only reveal themselves as pathological
+		// after the fact. Costs a few counter increments per step.
+		Profile: true,
 	})
+	matchWall := time.Since(matchStart)
+	streamDur := time.Duration(streamNs)
+	execDur := matchWall - streamDur
+	if execDur < 0 {
+		execDur = 0
+	}
+	execSpanEnd := time.Since(tr.Begin)
+	tr.AddSpan(phaseExec, execSpanStart, execSpanEnd-streamDur)
+	tr.AddSpan(phaseStream, execSpanEnd-streamDur, execSpanEnd)
+	s.metrics.recordPhase(phaseExec, execDur)
+	s.metrics.recordPhase(phaseStream, streamDur)
 	s.metrics.embeddingsEmitted.Add(emitted)
 	s.metrics.execSteps.Add(res.Exec.Steps)
 	s.metrics.candidateReuses.Add(res.Exec.CandidateReuses)
@@ -370,39 +468,164 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if matchErr != nil && !cancelled {
 		s.metrics.queriesErrored.Add(1)
 		jsonError(w, http.StatusInternalServerError, fmt.Sprintf("match: %v", matchErr))
+		s.log.Error("query failed", "trace_id", tr.ID, "graph", ent.Name, "error", matchErr)
 		return
 	}
+	var outcome string
 	switch {
 	case timedOut:
 		s.metrics.queriesTimedOut.Add(1)
+		outcome = "timeout"
+	case streamDead:
+		s.metrics.queriesCancelled.Add(1)
+		outcome = "disconnect"
 	case cancelled:
 		s.metrics.queriesCancelled.Add(1)
+		outcome = "cancelled"
 	default:
 		s.metrics.queriesOK.Add(1)
+		outcome = "ok"
 	}
+
+	total := time.Since(start)
+	s.log.Info("query",
+		"trace_id", tr.ID,
+		"graph", ent.Name,
+		"outcome", outcome,
+		"embeddings", res.Embeddings,
+		"steps", res.Exec.Steps,
+		"plan_cache", cacheOutcome(cacheHit),
+		"total_ms", durMs(total),
+		"admission_ms", durMs(phaseDuration(tr, phaseAdmission)),
+		"plan_ms", durMs(planDur),
+		"exec_ms", durMs(execDur),
+		"stream_ms", durMs(streamDur),
+	)
+	if s.slowlog.Qualifies(total) {
+		s.metrics.slowQueries.Add(1)
+		s.slowlog.Add(obs.SlowRecord{
+			TraceID:  tr.ID,
+			Start:    start,
+			Duration: total,
+			Graph:    ent.Name,
+			Outcome:  outcome,
+			Spans:    tr.Spans(),
+			Detail:   slowDetail(p, params, pl, res, cacheHit),
+		})
+		s.log.Warn("slow query captured",
+			"trace_id", tr.ID, "graph", ent.Name, "total_ms", durMs(total),
+			"threshold_ms", durMs(s.slowlog.Threshold()))
+	}
+
 	if streamDead && writeErr != nil {
 		return // client is gone; no point writing a summary
 	}
 
 	summary := map[string]any{
 		"done":             true,
+		"trace_id":         tr.ID,
 		"graph":            ent.Name,
 		"embeddings":       res.Embeddings,
 		"limit":            params.limit,
 		"limit_hit":        res.Exec.LimitHit,
 		"cancelled":        cancelled,
 		"timed_out":        timedOut,
-		"plan_cache":       map[bool]string{true: "hit", false: "miss"}[cacheHit],
+		"plan_cache":       cacheOutcome(cacheHit),
 		"read_ms":          float64(res.ReadTime.Microseconds()) / 1e3,
 		"plan_ms":          float64(res.PlanTime.Microseconds()) / 1e3,
 		"exec_ms":          float64(res.ExecTime.Microseconds()) / 1e3,
 		"steps":            res.Exec.Steps,
 		"candidate_reuses": res.Exec.CandidateReuses,
 	}
+	if params.profile {
+		// EXPLAIN ANALYZE for CSCE: the per-level profile plus the phase
+		// spans, inline in the summary line.
+		summary["profile"] = profileDoc(res.Profile)
+		summary["spans"] = tr.SpanDoc()
+	}
 	line, _ := json.Marshal(summary)
 	if _, err := w.Write(append(line, '\n')); err == nil && flusher != nil {
 		flusher.Flush()
 	}
+}
+
+// cacheOutcome renders a plan-cache lookup result for summaries and logs.
+func cacheOutcome(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// durMs rounds a duration to milliseconds with µs precision for JSON/log
+// output.
+func durMs(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+
+// phaseDuration returns the recorded duration of the named span (0 when
+// the phase never ran).
+func phaseDuration(tr *obs.Trace, name string) time.Duration {
+	for _, sp := range tr.Spans() {
+		if sp.Name == name {
+			return sp.Duration()
+		}
+	}
+	return 0
+}
+
+// profileDoc renders a per-level execution profile as JSON-ready rows.
+func profileDoc(p *exec.Profile) []map[string]any {
+	if p == nil {
+		return nil
+	}
+	rows := make([]map[string]any, 0, len(p.Levels))
+	for i, lv := range p.Levels {
+		rows = append(rows, map[string]any{
+			"pos":              i,
+			"vertex":           lv.Vertex,
+			"steps":            lv.Steps,
+			"candidate_builds": lv.CandidateBuilds,
+			"candidate_reuses": lv.CandidateReuses,
+			"nec_shares":       lv.NECShares,
+			"candidate_total":  lv.CandidateTotal,
+			"factorized":       lv.Factorized,
+		})
+	}
+	return rows
+}
+
+// slowDetail composes the slow-query record payload: what ran (pattern and
+// parameters), the plan's SCE summary, and where the time went per level.
+func slowDetail(p *graph.Graph, params matchParams, pl *plan.Plan, res core.MatchResult, cacheHit bool) map[string]any {
+	detail := map[string]any{
+		"pattern": map[string]any{
+			"vertices": p.NumVertices(),
+			"edges":    p.NumEdges(),
+		},
+		"params": map[string]any{
+			"variant": params.variant.String(),
+			"mode":    params.mode.String(),
+			"limit":   params.limit,
+			"workers": params.workers,
+		},
+		"plan_cache":       cacheOutcome(cacheHit),
+		"embeddings":       res.Embeddings,
+		"steps":            res.Exec.Steps,
+		"candidate_builds": res.Exec.CandidateBuilds,
+		"candidate_reuses": res.Exec.CandidateReuses,
+		"clusters_read":    res.ClustersRead,
+	}
+	if pl != nil {
+		detail["plan"] = map[string]any{
+			"order_length":      len(pl.Order),
+			"sce_vertices":      pl.SCE.SCEVertices,
+			"independent_pairs": pl.SCE.IndependentPairs,
+			"total_pairs":       pl.SCE.TotalPairs,
+		}
+	}
+	if prof := profileDoc(res.Profile); prof != nil {
+		detail["profile"] = prof
+	}
+	return detail
 }
 
 func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
@@ -431,8 +654,12 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"graphs": out})
 }
 
+// handleMetrics renders the whole observability surface as one JSON
+// document: monotonic counters and point-in-time gauges at the top level
+// (the schema prior dashboards scrape), with the latency histograms nested
+// under "latency" (per-phase and per-endpoint quantiles in milliseconds).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	doc := s.metrics.snapshot()
+	doc := s.metrics.counterDoc()
 	doc["plan_cache_size"] = s.plans.len()
 	doc["plan_cache_hits"] = s.plans.hits.Load()
 	doc["plan_cache_misses"] = s.plans.misses.Load()
@@ -442,7 +669,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	doc["queue_depth"] = s.cfg.QueueDepth
 	doc["graphs"] = s.reg.Len()
 	doc["uptime_seconds"] = time.Since(s.started).Seconds()
+	doc["slow_query_threshold_ms"] = durMs(s.slowlog.Threshold())
+	doc["slowlog_len"] = s.slowlog.Len()
+	doc["latency"] = s.metrics.latencyDoc()
 	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleSlowlog dumps the slow-query ring buffer, newest first. Each record
+// carries the query's trace ID (matching its X-Trace-Id response header and
+// log lines), phase spans, plan summary, and per-level execution profile.
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"threshold_ms": durMs(s.slowlog.Threshold()),
+		"total":        s.slowlog.Total(),
+		"records":      s.slowlog.Snapshot(),
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
