@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint ci bench-obs
+.PHONY: build test race live-race vet lint ci bench-obs
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Focused race pass over the live-ingest subsystem: the snapshot-swap and
+# subscription paths are the most concurrency-dense code in the tree, so
+# they get a dedicated run (with -count=2 for schedule diversity) on top
+# of the whole-suite `race` target.
+live-race:
+	$(GO) test -race -count=2 ./internal/live
+	$(GO) test -race -count=2 -run 'TestE2EConcurrentReadersAcrossSwaps|TestSubscribeDeltaEquation|TestMutateEndpoint' ./internal/server
+
 vet:
 	$(GO) vet ./...
 
@@ -23,7 +31,7 @@ vet:
 lint:
 	$(GO) run ./cmd/cscelint ./...
 
-ci: build vet lint test race
+ci: build vet lint test race live-race
 
 # Observability hot-path benchmarks plus the enforced <50ns/op budget on
 # histogram recording (OBS_BENCH=1 turns the measurement into an

@@ -7,12 +7,22 @@
 //
 //	curl -X POST --data-binary @pattern.graph \
 //	  'localhost:8372/v1/graphs/yeast/match?limit=100&timeout_ms=2000'
+//	curl -X POST -d '{"mutations":[{"op":"insert_edge","src":0,"dst":7}]}' \
+//	  localhost:8372/v1/graphs/yeast/mutate
+//	curl 'localhost:8372/v1/graphs/yeast/subscribe?pattern=...'
 //	curl localhost:8372/v1/graphs
 //	curl localhost:8372/metrics
 //
 // Responses to /match stream one NDJSON line per embedding followed by a
 // summary line. Every query runs under a deadline; disconnecting cancels
 // the search. SIGINT/SIGTERM drain in-flight queries before exit.
+//
+// Graphs are live: /mutate applies an atomic batch of typed mutations and
+// publishes a new immutable snapshot (in-flight queries finish on the one
+// they pinned), and /subscribe streams the delta embeddings each commit
+// contributes to a standing pattern. Mutations are admitted through their
+// own valve (-mutate-slots/-mutate-queue) so a mutation storm cannot
+// starve reads.
 //
 // Observability: every query carries a trace ID (X-Trace-Id header, NDJSON
 // summary, structured log lines on stderr); /metrics exposes latency
@@ -76,6 +86,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, started c
 		drainTO  = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 		slowTO   = fs.Duration("slow-query", 500*time.Millisecond, "capture queries at least this slow in /debug/slowlog (negative disables)")
 		slowCap  = fs.Int("slowlog-size", 128, "slow-query ring-buffer capacity")
+		mutSlots = fs.Int("mutate-slots", 1, "concurrently applying mutation batches")
+		mutQueue = fs.Int("mutate-queue", 0, "mutation batches waiting for a slot before 429 (default 4*mutate-slots)")
+		maxBatch = fs.Int("max-batch", 4096, "mutations accepted per /mutate batch")
+		subBuf   = fs.Int("sub-buffer", 256, "per-subscriber event buffer; overflowing it drops the subscriber")
+		walKeep  = fs.Int("wal-retention", 4096, "mutation records retained per graph for inspection")
 		debugAdr = fs.String("debug-addr", "", "serve net/http/pprof on this address (empty disables; keep it private)")
 		logLevel = fs.String("log-level", "info", "structured-log level on stderr (debug, info, warn, error, off)")
 	)
@@ -93,17 +108,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, started c
 	}
 
 	srv := server.New(server.Config{
-		Addr:               *addr,
-		MatchSlots:         *slots,
-		QueueDepth:         *queue,
-		MaxLimit:           *maxLimit,
-		DefaultTimeout:     *defTO,
-		MaxTimeout:         *maxTO,
-		PlanCacheSize:      *planLRU,
-		MaxExecWorkers:     *workers,
-		SlowQueryThreshold: *slowTO,
-		SlowLogSize:        *slowCap,
-		Logger:             logger,
+		Addr:                 *addr,
+		MatchSlots:           *slots,
+		QueueDepth:           *queue,
+		MaxLimit:             *maxLimit,
+		DefaultTimeout:       *defTO,
+		MaxTimeout:           *maxTO,
+		PlanCacheSize:        *planLRU,
+		MaxExecWorkers:       *workers,
+		SlowQueryThreshold:   *slowTO,
+		SlowLogSize:          *slowCap,
+		MutateSlots:          *mutSlots,
+		MutateQueueDepth:     *mutQueue,
+		MaxMutationsPerBatch: *maxBatch,
+		SubscriberBuffer:     *subBuf,
+		WALRetention:         *walKeep,
+		Logger:               logger,
 	})
 
 	for _, spec := range graphs {

@@ -1,0 +1,51 @@
+package ccsr
+
+import "csce/internal/graph"
+
+// Clone returns an independent copy of the store for snapshot-based
+// mutation: the live-ingest subsystem applies updates to a private clone
+// and publishes the result, so in-flight queries keep reading a store
+// nothing mutates.
+//
+// Dirty clusters are compacted in the receiver first (exactly as Encode
+// does), which makes the copy cheap and safe at once: after compaction the
+// base CSR arrays are immutable — InsertEdge/DeleteEdge only append to the
+// overlay slices, and compaction replaces base arrays wholesale with fresh
+// allocations via makeCompressed — so clone and original can share them.
+// Per-cluster structs, overlay slices, and all index maps are copied, so
+// mutations on either store never reach the other. The label table is
+// shared: it is append-only and callers already serialize interning.
+//
+// Compacting first also means a clone never carries pending overlays, so
+// concurrent readers of a published clone can decompress clusters without
+// ever triggering the (mutating) compaction path.
+func (s *Store) Clone() *Store {
+	for _, c := range s.clusters {
+		if c.dirty() {
+			s.compact(c)
+		}
+	}
+	out := &Store{
+		directed:     s.directed,
+		numVertices:  s.numVertices,
+		vertexLabels: append([]graph.Label(nil), s.vertexLabels...),
+		labelFreq:    make(map[graph.Label]int, len(s.labelFreq)),
+		clusters:     make(map[Key]*Compressed, len(s.clusters)),
+		pairIndex:    make(map[pairKey][]Key, len(s.pairIndex)),
+		numEdges:     s.numEdges,
+		names:        s.names,
+	}
+	for l, n := range s.labelFreq {
+		out.labelFreq[l] = n
+	}
+	for k, c := range s.clusters {
+		cc := *c // base arrays shared; see above for why that is safe
+		cc.addPairs = nil
+		cc.delPairs = nil
+		out.clusters[k] = &cc
+	}
+	for pk, keys := range s.pairIndex {
+		out.pairIndex[pk] = append([]Key(nil), keys...)
+	}
+	return out
+}

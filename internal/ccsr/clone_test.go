@@ -1,0 +1,222 @@
+package ccsr
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"csce/internal/graph"
+)
+
+// TestCloneIsIndependent mutates original and clone divergently and checks
+// neither sees the other's edits.
+func TestCloneIsIndependent(t *testing.T) {
+	g := graph.MustParse("t undirected\nv 0 A\nv 1 A\nv 2 B\ne 0 1\ne 1 2\n")
+	s := Build(g)
+	if err := s.DeleteEdge(0, 1, 0); err != nil { // leave a pending overlay
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	// Clone compacts the source: no cluster on either side stays dirty.
+	for k, cl := range s.clusters {
+		if cl.dirty() {
+			t.Fatalf("source cluster %v dirty after Clone", k)
+		}
+	}
+	if !storesEquivalent(t, s, c) {
+		t.Fatal("fresh clone differs from source")
+	}
+
+	// Diverge: re-add 0-1 on the original only, and grow the clone only.
+	if err := s.InsertEdge(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	v := c.AddVertex(1) // another B
+	if err := c.InsertEdge(1, v, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumEdges() != 2 || c.NumEdges() != 2 {
+		t.Fatalf("edge counts diverged wrongly: %d vs %d", s.NumEdges(), c.NumEdges())
+	}
+	if s.NumVertices() != 3 || c.NumVertices() != 4 {
+		t.Fatalf("vertex counts: %d vs %d, want 3 and 4", s.NumVertices(), c.NumVertices())
+	}
+	// Each equals a scratch rebuild of its own graph.
+	sb := graph.NewBuilder(false)
+	sb.AddVertex(0)
+	sb.AddVertex(0)
+	sb.AddVertex(1)
+	sb.AddEdge(0, 1, 0)
+	sb.AddEdge(1, 2, 0)
+	if !storesEquivalent(t, s, Build(sb.MustBuild())) {
+		t.Fatal("original corrupted by clone mutation")
+	}
+	cb := graph.NewBuilder(false)
+	cb.AddVertex(0)
+	cb.AddVertex(0)
+	cb.AddVertex(1)
+	cb.AddVertex(1)
+	cb.AddEdge(1, 2, 0)
+	cb.AddEdge(1, 3, 0)
+	if !storesEquivalent(t, c, Build(cb.MustBuild())) {
+		t.Fatal("clone corrupted by original mutation")
+	}
+}
+
+// TestCloneSharesNames pins the documented aliasing: the label table is
+// shared, everything else is private.
+func TestCloneSharesNames(t *testing.T) {
+	g := graph.MustParse("t undirected\nv 0 A\nv 1 B\ne 0 1 knows\n")
+	s := Build(g)
+	c := s.Clone()
+	if c.Names() != s.Names() {
+		t.Fatal("label table must be shared across clones")
+	}
+	if &c.vertexLabels[0] == &s.vertexLabels[0] {
+		t.Fatal("vertex label slice must be copied")
+	}
+}
+
+// TestCloneConcurrentReadersWhileWriterMutates is the snapshot-swap usage
+// pattern under the race detector: readers hammer a published clone while
+// the private original keeps mutating.
+func TestCloneConcurrentReadersWhileWriterMutates(t *testing.T) {
+	b := graph.NewBuilder(false)
+	b.AddVertices(64, 0)
+	for i := 1; i < 64; i++ {
+		b.AddEdge(0, graph.VertexID(i), 0)
+	}
+	writer := Build(b.MustBuild())
+	published := writer.Clone()
+
+	p := graph.MustParse("t undirected\nv 0 0\nv 1 0\ne 0 1\n")
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				view, err := published.ReadCSR(p, graph.EdgeInduced)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got := view.EdgeCluster(0, 0, 0).NumEdges; got != 63 {
+					t.Errorf("published snapshot saw %d edges, want 63", got)
+					return
+				}
+			}
+		}()
+	}
+	for i := 1; i < 64; i++ {
+		if err := writer.DeleteEdge(0, graph.VertexID(i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+}
+
+// TestCompactionExactlyAtThreshold pins the boundary arithmetic of
+// maybeCompact: overlay < len(outCol)/deltaCompactionFraction +
+// deltaCompactionMin stays lazy; reaching it compacts. A directed store
+// keeps overlay entries 1:1 with edits, so the boundary is exact.
+func TestCompactionExactlyAtThreshold(t *testing.T) {
+	b := graph.NewBuilder(true)
+	b.AddVertices(2*deltaCompactionMin+4, 0)
+	s := Build(b.MustBuild())
+	key := NewKey(0, 0, 0, true)
+
+	// Empty base: threshold = 0/8 + deltaCompactionMin.
+	for i := 0; i < deltaCompactionMin-1; i++ {
+		if err := s.InsertEdge(0, graph.VertexID(i+1), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := s.clusters[key]
+	if !c.dirty() || len(c.addPairs) != deltaCompactionMin-1 {
+		t.Fatalf("one below threshold must stay lazy: dirty=%v adds=%d", c.dirty(), len(c.addPairs))
+	}
+	if err := s.InsertEdge(0, graph.VertexID(deltaCompactionMin), 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.dirty() {
+		t.Fatalf("overlay of %d on empty base must compact", deltaCompactionMin)
+	}
+	if len(c.outCol) != deltaCompactionMin || c.NumEdges != deltaCompactionMin {
+		t.Fatalf("compacted base has %d cols / %d edges, want %d", len(c.outCol), c.NumEdges, deltaCompactionMin)
+	}
+
+	// Non-empty base: threshold = base/deltaCompactionFraction + min. The
+	// base now holds deltaCompactionMin edges, so the fraction term adds
+	// deltaCompactionMin/deltaCompactionFraction to the budget.
+	extra := deltaCompactionMin/deltaCompactionFraction + deltaCompactionMin
+	for i := 0; i < extra-1; i++ {
+		if err := s.InsertEdge(1, graph.VertexID(i+2), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.dirty() || len(c.addPairs) != extra-1 {
+		t.Fatalf("one below fraction threshold must stay lazy: dirty=%v adds=%d, want %d",
+			c.dirty(), len(c.addPairs), extra-1)
+	}
+	if err := s.InsertEdge(1, graph.VertexID(extra+1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.dirty() {
+		t.Fatalf("overlay of %d on base %d must compact", extra, deltaCompactionMin)
+	}
+}
+
+// TestCodecRoundTripWithPendingDeleteOverlay pins the Encode-compacts-first
+// equivalence for tombstones: a store with a pending DeleteEdge overlay
+// encodes to the same bytes as its explicitly compacted twin, and the
+// decoded store matches a scratch rebuild of the post-delete graph.
+func TestCodecRoundTripWithPendingDeleteOverlay(t *testing.T) {
+	build := func() *Store {
+		g := graph.MustParse("t undirected\nv 0 A\nv 1 A\nv 2 A\nv 3 B\ne 0 1\ne 1 2\ne 0 2\ne 2 3\n")
+		s := Build(g)
+		if err := s.DeleteEdge(1, 2, 0); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	dirty := build()
+	key := NewKey(0, 0, 0, false)
+	if !dirty.clusters[key].dirty() {
+		t.Fatal("precondition: delete must leave a pending overlay")
+	}
+	var dirtyBuf bytes.Buffer
+	if err := dirty.Encode(&dirtyBuf); err != nil {
+		t.Fatal(err)
+	}
+	if dirty.clusters[key].dirty() {
+		t.Fatal("Encode must compact pending overlays in place")
+	}
+
+	compacted := build()
+	compacted.compact(compacted.clusters[key])
+	var compactBuf bytes.Buffer
+	if err := compacted.Encode(&compactBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dirtyBuf.Bytes(), compactBuf.Bytes()) {
+		t.Fatal("encoding with a pending overlay must equal encoding after explicit compaction")
+	}
+
+	decoded, err := Decode(&dirtyBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := graph.NewBuilder(false)
+	rb.AddVertex(0)
+	rb.AddVertex(0)
+	rb.AddVertex(0)
+	rb.AddVertex(1)
+	rb.AddEdge(0, 1, 0)
+	rb.AddEdge(0, 2, 0)
+	rb.AddEdge(2, 3, 0)
+	if !storesEquivalent(t, decoded, Build(rb.MustBuild())) {
+		t.Fatal("decoded store differs from rebuild of the post-delete graph")
+	}
+}

@@ -45,6 +45,13 @@ func Load(r io.Reader) (*Engine, error) {
 	return &Engine{store: store, names: store.Names()}, nil
 }
 
+// FromStore wraps an existing CCSR store in an engine without re-clustering.
+// The live-ingest subsystem uses it to publish mutated snapshot clones; the
+// store's own label table serves for pattern parsing, exactly as with Load.
+func FromStore(store *ccsr.Store) *Engine {
+	return &Engine{store: store, names: store.Names()}
+}
+
 // Save serializes the clustered data graph.
 func (e *Engine) Save(w io.Writer) error { return e.store.Encode(w) }
 

@@ -14,6 +14,7 @@
 package delta
 
 import (
+	"context"
 	"fmt"
 
 	"csce/internal/ccsr"
@@ -34,6 +35,11 @@ type Options struct {
 	Variant graph.Variant
 	// Limit stops after this many delta embeddings (0 = all).
 	Limit uint64
+	// Ctx, when non-nil, cancels the enumeration cooperatively (same
+	// contract as exec.Options.Ctx): the live-ingest notifier runs delta
+	// enumerations under the writer lock, and a cancelled mutation request
+	// must stop them instead of holding the lock for the full search.
+	Ctx context.Context
 	// OnEmbedding receives each new embedding (indexed by pattern vertex).
 	// Return false to stop.
 	OnEmbedding func(mapping []graph.VertexID) bool
@@ -116,6 +122,7 @@ func embeddingsUsing(store *ccsr.Store, p *graph.Graph, inserted Edge, opts Opti
 		}
 		earlier := pins[:i]
 		execOpts := exec.Options{
+			Ctx:    opts.Ctx,
 			Pinned: [][2]graph.VertexID{{pn.a, inserted.Src}, {pn.b, inserted.Dst}},
 			OnEmbedding: func(m []graph.VertexID) bool {
 				// Exclusion rule: skip embeddings already produced by an

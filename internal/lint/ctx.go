@@ -9,8 +9,8 @@ import (
 // CtxPropagation guards the serving subsystem's cancellation contract: a
 // client disconnect or per-query deadline must stop the search instead of
 // burning a core until the enumeration finishes. The check applies to the
-// packages where that contract lives (internal/exec and internal/server)
-// and enforces three rules:
+// packages where that contract lives (ctxCheckedPkgs) and enforces three
+// rules:
 //
 //  1. a context.Context parameter must actually be used in the function
 //     body — accepting and then dropping a context silently severs the
@@ -32,8 +32,11 @@ var CtxPropagation = &Check{
 // ctxCheckedPkgs are the import path suffixes (relative to the module)
 // the cancellation contract covers. internal/obs is included because trace
 // propagation rides the same context chain: a helper that drops its
-// context would silently detach every downstream span.
-var ctxCheckedPkgs = []string{"internal/exec", "internal/server", "internal/obs"}
+// context would silently detach every downstream span. internal/live is
+// included because mutation batches run delta enumerations under the
+// writer lock — a dropped context there would hold the lock for the full
+// search after the client has gone.
+var ctxCheckedPkgs = []string{"internal/exec", "internal/server", "internal/obs", "internal/live"}
 
 func ctxApplies(p *Package) bool {
 	rel := strings.TrimPrefix(p.Path, p.ModulePath+"/")

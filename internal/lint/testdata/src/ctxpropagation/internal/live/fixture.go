@@ -1,0 +1,70 @@
+// Fixture for the ctxpropagation check in csce/internal/live: mutation
+// batches run delta enumerations under the writer lock, so a handler that
+// drops its context would hold the lock for the whole search after the
+// caller has gone.
+package live
+
+import (
+	"context"
+	"sync"
+)
+
+type mutGraph struct {
+	mu   sync.Mutex
+	done chan struct{}
+}
+
+func (g *mutGraph) applyOne() bool { return false }
+
+// goodMutate consults the caller's context between mutations.
+func (g *mutGraph) goodMutate(ctx context.Context, n int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		g.applyOne()
+	}
+	return nil
+}
+
+// badMutate takes the lock and ignores cancellation entirely.
+func (g *mutGraph) badMutate(ctx context.Context, n int) { // want `context parameter ctx is never used`
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := 0; i < n; i++ {
+		g.applyOne()
+	}
+}
+
+// badNotifierRoot mints a fresh root for the notification fan-out.
+func (g *mutGraph) badNotifierRoot(ctx context.Context) error {
+	sub, cancel := context.WithCancel(context.Background()) // want `context.Background\(\) discards the caller's context`
+	defer cancel()
+	_ = ctx
+	return sub.Err()
+}
+
+// goodDrainGoroutine loops over a done channel — an accepted cancellation
+// idiom for subscription pumps.
+func (g *mutGraph) goodDrainGoroutine() {
+	go func() {
+		for {
+			select {
+			case <-g.done:
+				return
+			default:
+				g.applyOne()
+			}
+		}
+	}()
+}
+
+// badBlindPump loops forever with nothing cancellation can reach.
+func badBlindPump(step func() bool) {
+	go func() { // want `goroutine loops without a reachable context`
+		for step() {
+		}
+	}()
+}

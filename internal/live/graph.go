@@ -1,0 +1,370 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"csce/internal/ccsr"
+	"csce/internal/core"
+	"csce/internal/delta"
+	"csce/internal/graph"
+	"csce/internal/obs"
+)
+
+// Graph is one writable registered graph: a private writer store mutated
+// under g.mu, a published snapshot readers pin lock-free, the WAL, and the
+// subscriber table. Construct with NewGraph; all methods are safe for
+// concurrent use.
+type Graph struct {
+	name string
+	opts Options
+	wal  *wal
+
+	// mu is the writer lock: it serializes Mutate/Subscribe/Close and
+	// guards writer, subs, nextSubID, closed, and epoch. Queries never
+	// take it.
+	mu        sync.Mutex
+	writer    *ccsr.Store
+	subs      map[uint64]*Subscription
+	nextSubID uint64
+	closed    bool
+	epoch     uint64
+
+	// snapMu guards only the cur pointer, held for pointer-swap duration;
+	// cur is written under mu+snapMu and read under either.
+	snapMu sync.Mutex
+	cur    *Snapshot
+
+	stats counters
+}
+
+type counters struct {
+	batches          atomic.Uint64
+	batchesFailed    atomic.Uint64
+	verticesAdded    atomic.Uint64
+	edgesInserted    atomic.Uint64
+	edgesDeleted     atomic.Uint64
+	snapshotsLive    atomic.Int64
+	snapshotsDrained atomic.Uint64
+	subsTotal        atomic.Uint64
+	subsDropped      atomic.Uint64
+	deltasDelivered  atomic.Uint64
+}
+
+// NewGraph wraps an engine for live mutation. The engine's store becomes
+// the epoch-0 published snapshot (cloning the writer from it compacts any
+// pending overlays first, so the published version is safe for lock-free
+// readers); the engine must not be mutated elsewhere afterwards.
+func NewGraph(name string, eng *core.Engine, opts Options) *Graph {
+	opts = opts.withDefaults()
+	g := &Graph{
+		name: name,
+		opts: opts,
+		wal:  newWAL(opts.WALRetention),
+		subs: make(map[uint64]*Subscription),
+	}
+	g.writer = eng.Store().Clone()
+	g.cur = newSnapshot(0, eng, g.onSnapshotDrain)
+	g.stats.snapshotsLive.Store(1)
+	return g
+}
+
+func (g *Graph) onSnapshotDrain() {
+	g.stats.snapshotsDrained.Add(1)
+	g.stats.snapshotsLive.Add(-1)
+}
+
+// Name returns the registry name the graph was created under.
+func (g *Graph) Name() string { return g.name }
+
+// Acquire pins the current snapshot for reading. The caller must Release
+// it exactly once; until then the snapshot (and its epoch's store) stays
+// valid even across later commits.
+func (g *Graph) Acquire() *Snapshot {
+	g.snapMu.Lock()
+	defer g.snapMu.Unlock()
+	g.cur.refs.Add(1)
+	return g.cur
+}
+
+// Epoch returns the currently published epoch without pinning it.
+func (g *Graph) Epoch() uint64 {
+	g.snapMu.Lock()
+	defer g.snapMu.Unlock()
+	return g.cur.epoch
+}
+
+// Commit reports one applied batch.
+type Commit struct {
+	// FirstSeq..LastSeq are the WAL sequence numbers assigned to the
+	// batch, in mutation order.
+	FirstSeq, LastSeq uint64
+	// Epoch is the snapshot epoch that made the batch visible.
+	Epoch uint64
+	// AddedVertices are the IDs assigned to OpAddVertex mutations, in
+	// batch order.
+	AddedVertices []graph.VertexID
+	// Deltas is the total number of delta embeddings delivered to
+	// subscribers for this batch.
+	Deltas uint64
+}
+
+// Mutate applies a batch atomically: all mutations commit in one snapshot
+// swap, or none do. On an invalid mutation (or ctx cancellation during
+// delta enumeration) the private writer is rebuilt from the published
+// snapshot and the error is returned with nothing logged or visible.
+//
+// When ctx carries an obs.Trace, "live.apply", "live.swap", and
+// "live.notify" spans record the stage breakdown.
+func (g *Graph) Mutate(ctx context.Context, muts []Mutation) (Commit, error) {
+	if len(muts) == 0 {
+		return Commit{}, fmt.Errorf("live: empty mutation batch")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return Commit{}, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return Commit{}, err
+	}
+
+	tr := obs.TraceFrom(ctx)
+	var com Commit
+	staged := make(map[*Subscription][]Event)
+	var vertsAdded, edgesIns, edgesDel uint64
+
+	endApply := tr.StartSpan("live.apply")
+	for i, m := range muts {
+		if err := g.applyLocked(ctx, i, m, &com, staged); err != nil {
+			endApply()
+			g.rollbackLocked()
+			g.stats.batchesFailed.Add(1)
+			return Commit{}, fmt.Errorf("live: mutation %d (%s): %w", i, m.Op, err)
+		}
+		switch m.Op {
+		case OpAddVertex:
+			vertsAdded++
+		case OpInsertEdge:
+			edgesIns++
+		case OpDeleteEdge:
+			edgesDel++
+		}
+	}
+	endApply()
+
+	// Commit: log, publish, notify. The swap is the commit point.
+	endSwap := tr.StartSpan("live.swap")
+	com.Epoch = g.epoch + 1
+	com.FirstSeq, com.LastSeq = g.wal.append(muts, com.Epoch)
+	g.publishLocked()
+	endSwap()
+
+	endNotify := tr.StartSpan("live.notify")
+	com.Deltas = g.notifyLocked(com, staged)
+	endNotify()
+
+	g.stats.batches.Add(1)
+	g.stats.verticesAdded.Add(vertsAdded)
+	g.stats.edgesInserted.Add(edgesIns)
+	g.stats.edgesDeleted.Add(edgesDel)
+	g.stats.deltasDelivered.Add(com.Deltas)
+	return com, nil
+}
+
+// applyLocked applies one mutation to the private writer and, for
+// insertions, stages the delta embeddings of every subscription against
+// the writer's intermediate state — the store holds exactly the batch
+// prefix up to and including this insertion, which is what makes
+// count(after) = count(before) + Σ deltas hold across a batch.
+func (g *Graph) applyLocked(ctx context.Context, mutIndex int, m Mutation, com *Commit, staged map[*Subscription][]Event) error {
+	switch m.Op {
+	case OpAddVertex:
+		id := g.writer.AddVertex(m.VertexLabel)
+		com.AddedVertices = append(com.AddedVertices, id)
+		return nil
+	case OpInsertEdge:
+		if err := g.writer.InsertEdge(m.Src, m.Dst, m.EdgeLabel); err != nil {
+			return err
+		}
+		return g.stageDeltasLocked(ctx, mutIndex, m, staged)
+	case OpDeleteEdge:
+		return g.writer.DeleteEdge(m.Src, m.Dst, m.EdgeLabel)
+	default:
+		return fmt.Errorf("unknown op %d", m.Op)
+	}
+}
+
+// stageDeltasLocked enumerates, per subscription, the embeddings created
+// by the insertion just applied to the writer. Deletions produce no
+// events: subscriptions are monotone delta streams (insertions only), as
+// documented on Subscribe.
+func (g *Graph) stageDeltasLocked(ctx context.Context, mutIndex int, m Mutation, staged map[*Subscription][]Event) error {
+	for _, sub := range g.subs {
+		if sub.condemned || !sub.patternUsesLabel(m.EdgeLabel) {
+			continue
+		}
+		events := staged[sub]
+		_, err := delta.NewEmbeddings(g.writer, sub.pattern, delta.Edge{Src: m.Src, Dst: m.Dst, Label: m.EdgeLabel}, delta.Options{
+			Variant: sub.variant,
+			Ctx:     ctx,
+			OnEmbedding: func(mapping []graph.VertexID) bool {
+				if len(events) >= sub.buffer() {
+					// The batch alone would overflow the subscriber's
+					// channel; condemn it now instead of enumerating an
+					// unbounded delta it can never receive.
+					sub.condemned = true
+					return false
+				}
+				events = append(events, Event{
+					Kind:      EventDelta,
+					Seq:       uint64(mutIndex), // rebased to FirstSeq+mutIndex at notify
+					Src:       m.Src,
+					Dst:       m.Dst,
+					EdgeLabel: m.EdgeLabel,
+					Embedding: append([]graph.VertexID(nil), mapping...),
+				})
+				return true
+			},
+		})
+		if err != nil {
+			return err
+		}
+		// A cancelled enumeration returns partial deltas with a nil error
+		// (exec's graceful-cancel contract); the batch must still abort.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		staged[sub] = events
+	}
+	return nil
+}
+
+// rollbackLocked discards the writer's speculative state by re-cloning the
+// published snapshot (whose store is compacted and immutable, so cloning
+// it never mutates what readers see).
+func (g *Graph) rollbackLocked() {
+	g.writer = g.cur.Store().Clone()
+}
+
+// publishLocked clones the writer into a fresh immutable snapshot and
+// swaps it in. Old snapshot: publisher reference dropped, so it drains
+// once the last in-flight query releases it.
+func (g *Graph) publishLocked() {
+	next := g.writer.Clone()
+	g.epoch++
+	snap := newSnapshot(g.epoch, core.FromStore(next), g.onSnapshotDrain)
+	g.stats.snapshotsLive.Add(1)
+	g.snapMu.Lock()
+	old := g.cur
+	g.cur = snap
+	g.snapMu.Unlock()
+	old.Release()
+}
+
+// notifyLocked delivers staged delta events plus one commit marker to
+// every subscription. Sends never block: a subscriber whose buffer is
+// full (or that was condemned during staging) is dropped — its channel
+// closes without an explicit Close, and Dropped() reports why.
+func (g *Graph) notifyLocked(com Commit, staged map[*Subscription][]Event) uint64 {
+	var delivered uint64
+	for _, sub := range g.subs {
+		events := staged[sub]
+		if sub.condemned {
+			g.dropLocked(sub)
+			continue
+		}
+		ok := true
+		for _, ev := range events {
+			ev.Seq += com.FirstSeq
+			ev.Epoch = com.Epoch
+			if ok = sub.trySend(ev); !ok {
+				break
+			}
+		}
+		if ok {
+			ok = sub.trySend(Event{
+				Kind:   EventCommit,
+				Seq:    com.LastSeq,
+				Epoch:  com.Epoch,
+				Deltas: uint64(len(events)),
+			})
+		}
+		if !ok {
+			g.dropLocked(sub)
+			continue
+		}
+		delivered += uint64(len(events))
+	}
+	return delivered
+}
+
+// Stats is a point-in-time snapshot of the graph's live-ingest counters.
+type Stats struct {
+	Epoch   uint64 `json:"epoch"`
+	LastSeq uint64 `json:"last_seq"`
+
+	WALRetained  int    `json:"wal_retained"`
+	WALTruncated uint64 `json:"wal_truncated"`
+
+	Batches       uint64 `json:"batches"`
+	BatchesFailed uint64 `json:"batches_failed"`
+	VerticesAdded uint64 `json:"vertices_added"`
+	EdgesInserted uint64 `json:"edges_inserted"`
+	EdgesDeleted  uint64 `json:"edges_deleted"`
+
+	SnapshotsLive    int64  `json:"snapshots_live"`
+	SnapshotsDrained uint64 `json:"snapshots_drained"`
+
+	Subscribers        int    `json:"subscribers"`
+	SubscribersTotal   uint64 `json:"subscribers_total"`
+	SubscribersDropped uint64 `json:"subscribers_dropped"`
+	DeltasDelivered    uint64 `json:"deltas_delivered"`
+}
+
+// Stats returns the current counters.
+func (g *Graph) Stats() Stats {
+	retained, truncated := g.wal.size()
+	g.mu.Lock()
+	subs := len(g.subs)
+	g.mu.Unlock()
+	return Stats{
+		Epoch:              g.Epoch(),
+		LastSeq:            g.wal.lastSeq(),
+		WALRetained:        retained,
+		WALTruncated:       truncated,
+		Batches:            g.stats.batches.Load(),
+		BatchesFailed:      g.stats.batchesFailed.Load(),
+		VerticesAdded:      g.stats.verticesAdded.Load(),
+		EdgesInserted:      g.stats.edgesInserted.Load(),
+		EdgesDeleted:       g.stats.edgesDeleted.Load(),
+		SnapshotsLive:      g.stats.snapshotsLive.Load(),
+		SnapshotsDrained:   g.stats.snapshotsDrained.Load(),
+		Subscribers:        subs,
+		SubscribersTotal:   g.stats.subsTotal.Load(),
+		SubscribersDropped: g.stats.subsDropped.Load(),
+		DeltasDelivered:    g.stats.deltasDelivered.Load(),
+	}
+}
+
+// Tail returns the retained WAL records with Seq > after (debugging and
+// catch-up inspection; retention may have truncated older entries).
+func (g *Graph) Tail(after uint64) []Record { return g.wal.tail(after) }
+
+// Close stops mutations and closes every subscription. Published
+// snapshots stay readable until their holders release them; Close is
+// idempotent.
+func (g *Graph) Close() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return
+	}
+	g.closed = true
+	for _, sub := range g.subs {
+		sub.closeLocked()
+	}
+	g.subs = map[uint64]*Subscription{}
+}

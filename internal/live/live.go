@@ -1,0 +1,107 @@
+// Package live makes registered data graphs writable while queries keep
+// running: the mutation side of the serving daemon, built on ccsr
+// incremental maintenance and the delta (Graphflow-style) continuous-query
+// decomposition.
+//
+// Three pieces cooperate per graph:
+//
+//   - an append-only in-memory write-ahead log of typed mutations
+//     (AddVertex / InsertEdge / DeleteEdge) with per-graph sequence
+//     numbers, the audit and sequencing record of everything committed;
+//
+//   - a batcher: Mutate applies a whole batch to a private ccsr.Store
+//     clone under the writer lock, then publishes the result with one
+//     atomic epoch/refcounted snapshot swap. In-flight queries finish on
+//     the snapshot they pinned; new queries see the new epoch; a retired
+//     snapshot is dropped when its refcount drains. Readers never take the
+//     writer lock, so mutation traffic cannot block matching;
+//
+//   - continuous-query subscriptions: a client registers a pattern and
+//     receives the delta embeddings (computed by delta.NewEmbeddings at
+//     each insertion's intermediate state, so the exclusion rule holds
+//     across a batch) as insertions commit. Only the monotone variants are
+//     accepted — under vertex-induced semantics an insertion can destroy
+//     existing embeddings, so its delta is not a pure addition.
+//
+// Commit protocol: a batch is atomic. It applies speculatively to the
+// private writer clone; on any invalid mutation (or caller cancellation
+// mid-delta) the writer is rebuilt from the current published snapshot and
+// nothing is logged or published. On success the batch is appended to the
+// WAL, the swap publishes the new epoch, and subscribers are notified —
+// the swap is the commit point, so the log never contains aborted
+// mutations (being in-memory, the log has no crash-recovery duty; it
+// exists for sequencing, audit, and subscriber correlation).
+package live
+
+import (
+	"errors"
+	"fmt"
+
+	"csce/internal/graph"
+)
+
+// Op is the type of one mutation.
+type Op uint8
+
+const (
+	// OpAddVertex appends an isolated vertex with VertexLabel.
+	OpAddVertex Op = iota
+	// OpInsertEdge adds the edge (Src, Dst, EdgeLabel).
+	OpInsertEdge
+	// OpDeleteEdge removes the edge (Src, Dst, EdgeLabel).
+	OpDeleteEdge
+)
+
+// String renders the op as its wire name.
+func (o Op) String() string {
+	switch o {
+	case OpAddVertex:
+		return "add_vertex"
+	case OpInsertEdge:
+		return "insert_edge"
+	case OpDeleteEdge:
+		return "delete_edge"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Mutation is one typed entry of a batch. Src/Dst/EdgeLabel apply to the
+// edge ops; VertexLabel to OpAddVertex.
+type Mutation struct {
+	Op          Op
+	Src, Dst    graph.VertexID
+	EdgeLabel   graph.EdgeLabel
+	VertexLabel graph.Label
+}
+
+// ErrVertexInduced is returned by Subscribe for the vertex-induced
+// variant: an insertion can destroy existing vertex-induced embeddings
+// (their vertex sets now induce an extra edge), so no pure delta stream
+// exists — recount instead. This mirrors delta.NewEmbeddings's contract.
+var ErrVertexInduced = errors.New(
+	"live: vertex-induced matching is not monotone under edge insertions; subscriptions support edge-induced and homomorphic patterns only")
+
+// ErrClosed is returned by Mutate and Subscribe after Close.
+var ErrClosed = errors.New("live: graph is closed")
+
+// Options tunes one live graph; the zero value takes defaults.
+type Options struct {
+	// SubscriberBuffer is the per-subscription event channel capacity; a
+	// subscriber that falls this many events behind is dropped rather than
+	// allowed to block commits (default 256).
+	SubscriberBuffer int
+	// WALRetention bounds the in-memory log to the most recent entries;
+	// sequence numbers keep increasing past truncation (default 4096).
+	WALRetention int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SubscriberBuffer <= 0 {
+		o.SubscriberBuffer = 256
+	}
+	if o.WALRetention <= 0 {
+		o.WALRetention = 4096
+	}
+	return o
+}

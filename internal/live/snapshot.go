@@ -1,0 +1,49 @@
+package live
+
+import (
+	"sync/atomic"
+
+	"csce/internal/ccsr"
+	"csce/internal/core"
+)
+
+// Snapshot is one published, immutable version of a live graph. Queries
+// pin it with Graph.Acquire, run against Engine()/Store() without any
+// locking (the underlying store is overlay-free and never mutated), and
+// Release it when done. The publisher holds one reference from swap-in to
+// swap-out, so a snapshot drains — and its drain hook fires — only after
+// it has been superseded and the last query has finished.
+type Snapshot struct {
+	epoch   uint64
+	eng     *core.Engine
+	refs    atomic.Int64
+	onDrain func()
+}
+
+func newSnapshot(epoch uint64, eng *core.Engine, onDrain func()) *Snapshot {
+	s := &Snapshot{epoch: epoch, eng: eng, onDrain: onDrain}
+	s.refs.Store(1) // publisher bias, dropped at swap-out
+	return s
+}
+
+// Epoch is the version number: 0 for the registration-time snapshot, then
+// +1 per committed batch.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Engine returns the matching engine over this version.
+func (s *Snapshot) Engine() *core.Engine { return s.eng }
+
+// Store returns the CCSR store of this version.
+func (s *Snapshot) Store() *ccsr.Store { return s.eng.Store() }
+
+// Release drops one reference; the final drop fires the drain hook.
+// Each Acquire must be paired with exactly one Release.
+func (s *Snapshot) Release() {
+	if n := s.refs.Add(-1); n == 0 {
+		if s.onDrain != nil {
+			s.onDrain()
+		}
+	} else if n < 0 {
+		panic("live: Snapshot.Release without matching Acquire")
+	}
+}

@@ -1,0 +1,169 @@
+package live
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"csce/internal/graph"
+)
+
+// EventKind tags one subscription event.
+type EventKind uint8
+
+const (
+	// EventDelta carries one new embedding created by a committed
+	// insertion.
+	EventDelta EventKind = iota
+	// EventCommit marks the end of a batch's events: every delta of the
+	// batch has been delivered before it.
+	EventCommit
+)
+
+// String renders the kind as its wire name.
+func (k EventKind) String() string {
+	switch k {
+	case EventDelta:
+		return "delta"
+	case EventCommit:
+		return "commit"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one message on a subscription stream.
+type Event struct {
+	Kind EventKind
+	// Seq is the WAL sequence of the insertion that created the delta;
+	// for a commit marker, the batch's last sequence.
+	Seq uint64
+	// Epoch is the snapshot epoch the batch committed as.
+	Epoch uint64
+	// Src/Dst/EdgeLabel identify the inserted data edge (delta only).
+	Src, Dst  graph.VertexID
+	EdgeLabel graph.EdgeLabel
+	// Embedding is the new embedding, indexed by pattern vertex ID
+	// (delta only).
+	Embedding []graph.VertexID
+	// Deltas is the number of delta events this subscriber was sent for
+	// the batch (commit only).
+	Deltas uint64
+}
+
+// Subscription is one registered continuous query. Events() yields, per
+// committed batch, the delta embeddings followed by one commit marker; a
+// batch joined at epoch E sees every delta of epochs > E. The channel
+// closes on Close, on graph Close, or when the subscriber is dropped for
+// falling behind (Dropped() distinguishes the last case).
+type Subscription struct {
+	id        uint64
+	g         *Graph
+	pattern   *graph.Graph
+	variant   graph.Variant
+	joinEpoch uint64
+	ch        chan Event
+
+	// closed and condemned are guarded by g.mu; dropped is read by the
+	// consumer after the channel closes, hence atomic.
+	closed    bool
+	condemned bool
+	dropped   atomic.Bool
+}
+
+// Subscribe registers a continuous query for pattern p under the given
+// matching variant. The returned subscription joins at the current epoch:
+// it receives exactly the deltas of every batch committed after the call.
+// Vertex-induced patterns are rejected with ErrVertexInduced — their
+// deltas are not pure additions. Deletions are never notified; the stream
+// is monotone by construction.
+func (g *Graph) Subscribe(p *graph.Graph, variant graph.Variant) (*Subscription, error) {
+	if variant == graph.VertexInduced {
+		return nil, ErrVertexInduced
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return nil, ErrClosed
+	}
+	if p.Directed() != g.writer.Directed() {
+		return nil, fmt.Errorf("live: pattern directedness mismatch (graph %q)", g.name)
+	}
+	g.nextSubID++
+	sub := &Subscription{
+		id:        g.nextSubID,
+		g:         g,
+		pattern:   p,
+		variant:   variant,
+		joinEpoch: g.epoch,
+		ch:        make(chan Event, g.opts.SubscriberBuffer),
+	}
+	g.subs[sub.id] = sub
+	g.stats.subsTotal.Add(1)
+	return sub, nil
+}
+
+// Events is the subscription stream; see Subscription for semantics.
+func (s *Subscription) Events() <-chan Event { return s.ch }
+
+// JoinEpoch is the published epoch at registration time: the stream
+// carries every delta of epochs strictly greater.
+func (s *Subscription) JoinEpoch() uint64 { return s.joinEpoch }
+
+// Pattern returns the registered pattern.
+func (s *Subscription) Pattern() *graph.Graph { return s.pattern }
+
+// Variant returns the matching semantics of the subscription.
+func (s *Subscription) Variant() graph.Variant { return s.variant }
+
+// Dropped reports whether the graph evicted this subscriber for falling
+// behind (buffer overflow). Meaningful once Events() is closed.
+func (s *Subscription) Dropped() bool { return s.dropped.Load() }
+
+// Close unregisters the subscription and closes Events(). Idempotent and
+// safe concurrently with commits.
+func (s *Subscription) Close() {
+	s.g.mu.Lock()
+	defer s.g.mu.Unlock()
+	s.closeLocked()
+}
+
+func (s *Subscription) closeLocked() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	delete(s.g.subs, s.id)
+	close(s.ch)
+}
+
+// trySend delivers without blocking; false means the buffer is full.
+func (s *Subscription) trySend(ev Event) bool {
+	select {
+	case s.ch <- ev:
+		return true
+	default:
+		return false
+	}
+}
+
+// buffer returns the channel capacity (the per-batch staging bound).
+func (s *Subscription) buffer() int { return cap(s.ch) }
+
+// patternUsesLabel reports whether any pattern edge carries the label —
+// a cheap pre-filter before the full delta enumeration.
+func (s *Subscription) patternUsesLabel(l graph.EdgeLabel) bool {
+	used := false
+	s.pattern.Edges(func(_, _ graph.VertexID, el graph.EdgeLabel) {
+		if el == l {
+			used = true
+		}
+	})
+	return used
+}
+
+// dropLocked evicts a subscriber that cannot keep up.
+func (g *Graph) dropLocked(sub *Subscription) {
+	sub.dropped.Store(true)
+	g.stats.subsDropped.Add(1)
+	sub.closeLocked()
+}

@@ -1,0 +1,73 @@
+package live
+
+import "sync"
+
+// Record is one committed WAL entry.
+type Record struct {
+	// Seq is the per-graph sequence number, 1-based and gapless across
+	// committed mutations (aborted batches are never logged).
+	Seq uint64
+	// Epoch is the snapshot epoch the entry became visible in; every entry
+	// of a batch shares it.
+	Epoch uint64
+	Mut   Mutation
+}
+
+// wal is the append-only in-memory log. It has its own lock so readers of
+// the tail (stats, debugging) never contend with the graph writer lock,
+// but appends only happen under the writer lock, which keeps sequence
+// numbers aligned with commit order.
+type wal struct {
+	mu        sync.Mutex
+	recs      []Record
+	nextSeq   uint64 // next sequence number to assign; first is 1
+	truncated uint64 // entries dropped by retention
+	retention int
+}
+
+func newWAL(retention int) *wal {
+	return &wal{nextSeq: 1, retention: retention}
+}
+
+// append logs a committed batch under the given epoch and returns the
+// first and last sequence numbers assigned.
+func (w *wal) append(muts []Mutation, epoch uint64) (first, last uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	first = w.nextSeq
+	for _, m := range muts {
+		w.recs = append(w.recs, Record{Seq: w.nextSeq, Epoch: epoch, Mut: m})
+		w.nextSeq++
+	}
+	last = w.nextSeq - 1
+	if over := len(w.recs) - w.retention; over > 0 {
+		w.truncated += uint64(over)
+		w.recs = append([]Record(nil), w.recs[over:]...)
+	}
+	return first, last
+}
+
+// lastSeq returns the most recently assigned sequence number (0 if none).
+func (w *wal) lastSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextSeq - 1
+}
+
+// tail returns a copy of the retained records with Seq > after.
+func (w *wal) tail(after uint64) []Record {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	i := 0
+	for i < len(w.recs) && w.recs[i].Seq <= after {
+		i++
+	}
+	return append([]Record(nil), w.recs[i:]...)
+}
+
+// size reports retained length and the count of truncated entries.
+func (w *wal) size() (retained int, truncated uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.recs), w.truncated
+}

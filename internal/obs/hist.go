@@ -129,6 +129,27 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 	return float64(s.MaxNs) / 1e6
 }
 
+// PromBuckets renders the snapshot in Prometheus cumulative form: the
+// inclusive upper bound of every bucket except the clamped top one, in
+// seconds and ascending, with the cumulative observation count at each
+// bound. The caller reports the top bucket as le="+Inf" with Count (so
+// conservation holds even for observations the clamp folded in).
+func (s HistogramSnapshot) PromBuckets() (uppersSec []float64, cumulative []uint64) {
+	uppersSec = make([]float64, histBuckets-1)
+	cumulative = make([]uint64, histBuckets-1)
+	var cum uint64
+	for i := 0; i < histBuckets-1; i++ {
+		cum += s.Buckets[i]
+		_, hi := bucketBoundsUs(i)
+		uppersSec[i] = hi / 1e6
+		cumulative[i] = cum
+	}
+	return uppersSec, cumulative
+}
+
+// SumSeconds returns the total observed latency in seconds (exact).
+func (s HistogramSnapshot) SumSeconds() float64 { return float64(s.SumNs) / 1e9 }
+
 // MeanMs returns the mean latency in milliseconds (exact, from the sum).
 func (s HistogramSnapshot) MeanMs() float64 {
 	if s.Count == 0 {

@@ -1,0 +1,375 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"csce/internal/core"
+	"csce/internal/graph"
+)
+
+func postJSON(t *testing.T, u, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(u, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp, doc
+}
+
+func postMutate(t *testing.T, base, graphName, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	return postJSON(t, fmt.Sprintf("%s/v1/graphs/%s/mutate", base, graphName), body)
+}
+
+// matchCount runs a match and returns the exact embedding count from the
+// summary line.
+func matchCount(t *testing.T, base, graphName, pattern string) uint64 {
+	t.Helper()
+	resp := postMatch(t, base, graphName, pattern, url.Values{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("match status %d", resp.StatusCode)
+	}
+	_, summary := readStream(t, resp)
+	if summary == nil {
+		t.Fatal("no summary line")
+	}
+	return uint64(summary["embeddings"].(float64))
+}
+
+// pathOf builds an unlabeled undirected path graph on n vertices.
+func pathOf(n int) *graph.Graph {
+	b := graph.NewBuilder(false)
+	b.AddVertices(n, 0)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(graph.VertexID(i), graph.VertexID(i+1), 0)
+	}
+	return b.MustBuild()
+}
+
+func TestMutateEndpointCommitsBatch(t *testing.T) {
+	base, _ := startServer(t, Config{}, map[string]*graph.Graph{"g": pathOf(4)})
+	before := matchCount(t, base, "g", pathPattern2)
+
+	resp, doc := postMutate(t, base, "g", `{"mutations":[
+		{"op":"insert_edge","src":0,"dst":2},
+		{"op":"add_vertex","label":"0"},
+		{"op":"insert_edge","src":3,"dst":4}
+	]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, doc)
+	}
+	if doc["applied"].(float64) != 3 || doc["epoch"].(float64) != 1 ||
+		doc["first_seq"].(float64) != 1 || doc["last_seq"].(float64) != 3 {
+		t.Fatalf("commit doc: %v", doc)
+	}
+	// Two inserted edges on an undirected graph: +4 edge-pattern mappings.
+	if after := matchCount(t, base, "g", pathPattern2); after != before+4 {
+		t.Fatalf("count %d after mutation, want %d", after, before+4)
+	}
+
+	// The registry listing reflects the new epoch and sizes.
+	respG, err := http.Get(base + "/v1/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Graphs []map[string]any `json:"graphs"`
+	}
+	if err := json.NewDecoder(respG.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	respG.Body.Close()
+	if len(listing.Graphs) != 1 {
+		t.Fatalf("listing: %v", listing)
+	}
+	info := listing.Graphs[0]
+	if info["epoch"].(float64) != 1 || info["vertices"].(float64) != 5 || info["edges"].(float64) != 5 {
+		t.Fatalf("graph info after mutation: %v", info)
+	}
+
+	m := getMetrics(t, base)
+	if metric(t, m, "mutations_ok") != 1 || metric(t, m, "mutations_total") != 1 {
+		t.Fatalf("mutation counters: %v", m)
+	}
+	liveBlock, ok := m["live"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics missing live block: %v", m["live"])
+	}
+	gStats, ok := liveBlock["g"].(map[string]any)
+	if !ok || gStats["epoch"].(float64) != 1 || gStats["edges_inserted"].(float64) != 2 ||
+		gStats["vertices_added"].(float64) != 1 {
+		t.Fatalf("per-graph live stats: %v", liveBlock)
+	}
+}
+
+func TestMutateEndpointRejectsBadBatches(t *testing.T) {
+	base, _ := startServer(t, Config{MaxMutationsPerBatch: 2}, map[string]*graph.Graph{"g": pathOf(4)})
+
+	resp, _ := postMutate(t, base, "nope", `{"mutations":[{"op":"insert_edge","src":0,"dst":2}]}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown graph: %d", resp.StatusCode)
+	}
+	resp, _ = postMutate(t, base, "g", `{"mutations":[]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: %d", resp.StatusCode)
+	}
+	resp, _ = postMutate(t, base, "g", `{"mutations":[
+		{"op":"insert_edge","src":0,"dst":2},{"op":"insert_edge","src":0,"dst":3},{"op":"insert_edge","src":1,"dst":3}
+	]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversize batch: %d", resp.StatusCode)
+	}
+	resp, _ = postMutate(t, base, "g", `{"mutations":[{"op":"warp","src":0,"dst":2}]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown op: %d", resp.StatusCode)
+	}
+
+	// An invalid batch (duplicate edge) rolls back atomically: 422, no
+	// epoch bump, counts unchanged.
+	before := matchCount(t, base, "g", pathPattern2)
+	resp, doc := postMutate(t, base, "g", `{"mutations":[
+		{"op":"insert_edge","src":0,"dst":2},
+		{"op":"insert_edge","src":0,"dst":1}
+	]}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("invalid batch: %d %v", resp.StatusCode, doc)
+	}
+	if after := matchCount(t, base, "g", pathPattern2); after != before {
+		t.Fatalf("failed batch leaked: %d -> %d", before, after)
+	}
+	m := getMetrics(t, base)
+	if metric(t, m, "mutations_failed") != 1 {
+		t.Fatalf("mutations_failed: %v", m["mutations_failed"])
+	}
+}
+
+// subscribeStream opens a subscription and returns a line reader plus the
+// hello document.
+func subscribeStream(t *testing.T, base, graphName, pattern, variant string) (*bufio.Scanner, map[string]any, func()) {
+	t.Helper()
+	u := fmt.Sprintf("%s/v1/graphs/%s/subscribe?pattern=%s", base, graphName, url.QueryEscape(pattern))
+	if variant != "" {
+		u += "&variant=" + variant
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		var doc map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&doc)
+		t.Fatalf("subscribe status %d: %v", resp.StatusCode, doc)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	if !sc.Scan() {
+		t.Fatalf("no hello line: %v", sc.Err())
+	}
+	var hello map[string]any
+	if err := json.Unmarshal(sc.Bytes(), &hello); err != nil {
+		t.Fatal(err)
+	}
+	if hello["subscribed"] != true {
+		t.Fatalf("hello line: %v", hello)
+	}
+	return sc, hello, func() { resp.Body.Close() }
+}
+
+// TestSubscribeDeltaEquation is the acceptance check over HTTP: the
+// subscriber receives exactly the deltas implied by
+// count(after) = count(before) + deltas.
+func TestSubscribeDeltaEquation(t *testing.T) {
+	base, _ := startServer(t, Config{}, map[string]*graph.Graph{"g": pathOf(4)})
+	before := matchCount(t, base, "g", triPattern)
+
+	sc, hello, closeSub := subscribeStream(t, base, "g", triPattern, "")
+	defer closeSub()
+	if hello["epoch"].(float64) != 0 {
+		t.Fatalf("join epoch: %v", hello)
+	}
+
+	// Close triangles 0-1-2 and 1-2-3 over the existing path edges.
+	resp, doc := postMutate(t, base, "g", `{"mutations":[
+		{"op":"insert_edge","src":0,"dst":2},
+		{"op":"insert_edge","src":1,"dst":3}
+	]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate: %d %v", resp.StatusCode, doc)
+	}
+	reported := uint64(doc["deltas"].(float64))
+
+	var received uint64
+	for {
+		if !sc.Scan() {
+			t.Fatalf("stream ended early: %v", sc.Err())
+		}
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev["kind"] == "delta" {
+			received++
+			if len(ev["embedding"].([]any)) != 3 {
+				t.Fatalf("delta embedding: %v", ev)
+			}
+			continue
+		}
+		if ev["kind"] == "commit" {
+			if uint64(ev["deltas"].(float64)) != received {
+				t.Fatalf("commit marker %v after %d deltas", ev, received)
+			}
+			break
+		}
+		t.Fatalf("unexpected event: %v", ev)
+	}
+	after := matchCount(t, base, "g", triPattern)
+	if after != before+received || received != reported {
+		t.Fatalf("count(before)=%d + deltas=%d != count(after)=%d (reported %d)",
+			before, received, after, reported)
+	}
+	if received == 0 {
+		t.Fatal("closing a triangle must produce deltas")
+	}
+}
+
+func TestSubscribeRejectsVertexInducedHTTP(t *testing.T) {
+	base, _ := startServer(t, Config{}, map[string]*graph.Graph{"g": pathOf(4)})
+	u := fmt.Sprintf("%s/v1/graphs/g/subscribe?pattern=%s&variant=vertex", base, url.QueryEscape(triPattern))
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&doc)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if msg, _ := doc["error"].(string); !strings.Contains(msg, "not monotone") {
+		t.Fatalf("error must explain non-monotonicity: %v", doc)
+	}
+}
+
+// TestE2EConcurrentReadersAcrossSwaps is the headline acceptance test,
+// meaningful under -race: reader goroutines stream matches while a writer
+// commits batches; every reader's count must equal the exact count of
+// some single epoch — a torn read straddling a swap would produce a
+// count no epoch ever had.
+func TestE2EConcurrentReadersAcrossSwaps(t *testing.T) {
+	// Data: K5 on vertices 0..4 plus isolated vertex 5; the writer then
+	// attaches 5 to each clique vertex, one batch per edge (epochs 1..5).
+	build := func(extra int) *graph.Graph {
+		b := graph.NewBuilder(false)
+		b.AddVertices(6, 0)
+		for i := 0; i < 5; i++ {
+			for j := i + 1; j < 5; j++ {
+				b.AddEdge(graph.VertexID(i), graph.VertexID(j), 0)
+			}
+		}
+		for k := 0; k < extra; k++ {
+			b.AddEdge(5, graph.VertexID(k), 0)
+		}
+		return b.MustBuild()
+	}
+	pattern := graph.MustParse(pathPattern3)
+
+	// Ground truth per epoch, computed offline with the same engine.
+	valid := make(map[uint64]uint64)
+	for k := 0; k <= 5; k++ {
+		n, err := core.NewEngine(build(k)).Count(pattern, graph.EdgeInduced)
+		if err != nil {
+			t.Fatal(err)
+		}
+		valid[n] = uint64(k)
+	}
+	if len(valid) != 6 {
+		t.Fatalf("epoch counts must be distinct: %v", valid)
+	}
+
+	base, _ := startServer(t, Config{MatchSlots: 8, QueueDepth: 64},
+		map[string]*graph.Graph{"g": build(0)})
+
+	var stop atomic.Bool
+	var reads atomic.Uint64
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				n := matchCount(t, base, "g", pathPattern3)
+				if _, ok := valid[n]; !ok {
+					t.Errorf("reader saw count %d, matching no epoch (valid: %v)", n, valid)
+					return
+				}
+				reads.Add(1)
+			}
+		}()
+	}
+	for k := 0; k < 5; k++ {
+		body := fmt.Sprintf(`{"mutations":[{"op":"insert_edge","src":5,"dst":%d}]}`, k)
+		resp, doc := postMutate(t, base, "g", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("mutate %d: %d %v", k, resp.StatusCode, doc)
+		}
+		if doc["epoch"].(float64) != float64(k+1) {
+			t.Fatalf("epoch after batch %d: %v", k, doc)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if reads.Load() == 0 {
+		t.Fatal("readers made no progress")
+	}
+
+	// Converged: the final epoch serves the K6-star count.
+	final := matchCount(t, base, "g", pathPattern3)
+	if valid[final] != 5 {
+		t.Fatalf("final count %d is not the 5-extra-edge epoch", final)
+	}
+	m := getMetrics(t, base)
+	liveBlock := m["live"].(map[string]any)["g"].(map[string]any)
+	if liveBlock["epoch"].(float64) != 5 || liveBlock["batches"].(float64) != 5 {
+		t.Fatalf("live stats after run: %v", liveBlock)
+	}
+}
+
+func TestSlowlogThresholdEndpoint(t *testing.T) {
+	base, s := startServer(t, Config{}, map[string]*graph.Graph{"g": pathOf(4)})
+
+	resp, doc := postJSON(t, base+"/debug/slowlog/threshold", `{"threshold_ms": 0.0001}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, doc)
+	}
+	if s.slowlog.Threshold() <= 0 {
+		t.Fatalf("threshold not applied: %v", s.slowlog.Threshold())
+	}
+	// Every query now qualifies as slow.
+	matchCount(t, base, "g", pathPattern2)
+	if s.slowlog.Len() == 0 {
+		t.Fatal("query did not reach the slowlog after lowering the threshold")
+	}
+
+	resp, _ = postJSON(t, base+"/debug/slowlog/threshold", `{"threshold_ms": -1}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative threshold: %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, base+"/debug/slowlog/threshold", `{}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing field: %d", resp.StatusCode)
+	}
+}

@@ -22,7 +22,10 @@ var metricsPhases = []string{phaseAdmission, phasePlan, phaseExec, phaseStream, 
 
 // metricsEndpoints lists the instrumented HTTP endpoints. Every route in
 // Handler records its latency under one of these names.
-var metricsEndpoints = []string{"match", "graphs", "metrics", "healthz", "slowlog"}
+var metricsEndpoints = []string{
+	"match", "mutate", "subscribe", "graphs", "metrics", "healthz",
+	"slowlog", "slowlog_threshold",
+}
 
 // metrics holds the daemon's monotonic counters and latency histograms.
 // Everything is a plain atomic so the hot path never takes a lock;
@@ -40,6 +43,15 @@ type metrics struct {
 	queriesBadRequest atomic.Uint64 // unparseable pattern / params / 404s
 	queriesErrored    atomic.Uint64 // internal errors
 	slowQueries       atomic.Uint64 // queries captured by the slow-query log
+
+	// Mutation outcomes; exactly one moves per POST that reached the
+	// mutate handler (per-graph detail lives in the "live" metrics block).
+	mutationsTotal      atomic.Uint64
+	mutationsOK         atomic.Uint64 // committed batches
+	mutationsRejected   atomic.Uint64 // mutation valve full (HTTP 429)
+	mutationsFailed     atomic.Uint64 // invalid batches rolled back (HTTP 422)
+	mutationsBadRequest atomic.Uint64 // unparseable body / unknown graph
+	subscriptionsOpened atomic.Uint64 // subscribe streams accepted
 
 	// Work volume.
 	embeddingsEmitted atomic.Uint64 // NDJSON embedding lines streamed
@@ -93,6 +105,12 @@ func (m *metrics) counterDoc() map[string]any {
 		"queries_bad_request": m.queriesBadRequest.Load(),
 		"queries_errored":     m.queriesErrored.Load(),
 		"slow_queries":        m.slowQueries.Load(),
+		"mutations_total":     m.mutationsTotal.Load(),
+		"mutations_ok":        m.mutationsOK.Load(),
+		"mutations_rejected":  m.mutationsRejected.Load(),
+		"mutations_failed":    m.mutationsFailed.Load(),
+		"mutations_bad":       m.mutationsBadRequest.Load(),
+		"subscriptions":       m.subscriptionsOpened.Load(),
 		"embeddings_emitted":  m.embeddingsEmitted.Load(),
 		"exec_steps":          m.execSteps.Load(),
 		"candidate_reuses":    m.candidateReuses.Load(),

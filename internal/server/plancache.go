@@ -17,9 +17,11 @@ import (
 // plan stage; the cached *plan.Plan is read-only during execution and safe
 // to share across concurrent queries.
 //
-// A cached plan stays valid across delta updates to the store (the order
-// is structural), but its cluster-statistics tie-breaks may drift from
-// optimal; the snapshot-swap roadmap item will version the cache.
+// The key carries the graph's snapshot epoch: a plan optimized against
+// one epoch's cluster statistics stays structurally valid after a
+// mutation commits, but its tie-breaks may drift from optimal, so each
+// epoch re-optimizes once and superseded epochs' plans age out of the
+// LRU.
 type planCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -87,16 +89,18 @@ func (c *planCache) len() int {
 	return c.ll.Len()
 }
 
-// planKey serializes the identity of a plan: graph name, variant, mode,
-// and the pattern's exact structure (directedness, vertex labels, labeled
-// edge list in deterministic adjacency order). Two textually different
-// requests with the same parsed pattern share a key; isomorphic but
-// differently numbered patterns intentionally do not — canonical-form
-// hashing is not worth its cost at serving time.
-func planKey(graphName string, variant graph.Variant, mode plan.Mode, p *graph.Graph) string {
+// planKey serializes the identity of a plan: graph name, snapshot epoch,
+// variant, mode, and the pattern's exact structure (directedness, vertex
+// labels, labeled edge list in deterministic adjacency order). Two
+// textually different requests with the same parsed pattern share a key;
+// isomorphic but differently numbered patterns intentionally do not —
+// canonical-form hashing is not worth its cost at serving time.
+func planKey(graphName string, epoch uint64, variant graph.Variant, mode plan.Mode, p *graph.Graph) string {
 	var b strings.Builder
 	b.Grow(64 + 8*p.NumVertices() + 12*p.NumEdges())
 	b.WriteString(graphName)
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatUint(epoch, 10))
 	b.WriteByte('|')
 	b.WriteString(strconv.Itoa(int(variant)))
 	b.WriteByte('|')

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"csce/internal/live"
+	"csce/internal/obs"
+)
+
+// wantsProm reports whether /metrics should answer in Prometheus text
+// exposition format: either an explicit ?format=prom or an Accept header
+// asking for text/plain (the JSON document stays the default for the
+// dashboards that already scrape it).
+func wantsProm(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prom" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") && !strings.Contains(accept, "application/json")
+}
+
+// writeProm renders the whole observability surface — counters, gauges,
+// per-graph live-ingest stats, and the phase/endpoint latency histograms —
+// in Prometheus text exposition format v0.0.4 under the csce_ prefix.
+func (s *Server) writeProm(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	// Monotonic counters, alphabetical for stable scrapes.
+	counters := s.metrics.counterDoc()
+	names := make([]string, 0, len(counters))
+	for k := range counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		promScalar(bw, "csce_"+k, "counter", counters[k])
+	}
+	promScalar(bw, "csce_plan_cache_hits", "counter", s.plans.hits.Load())
+	promScalar(bw, "csce_plan_cache_misses", "counter", s.plans.misses.Load())
+
+	// Point-in-time gauges.
+	promScalar(bw, "csce_in_flight", "gauge", s.adm.inFlight())
+	promScalar(bw, "csce_queued", "gauge", s.adm.queued())
+	promScalar(bw, "csce_match_slots", "gauge", s.cfg.MatchSlots)
+	promScalar(bw, "csce_queue_depth", "gauge", s.cfg.QueueDepth)
+	promScalar(bw, "csce_mutate_in_flight", "gauge", s.mutAdm.inFlight())
+	promScalar(bw, "csce_mutate_queued", "gauge", s.mutAdm.queued())
+	promScalar(bw, "csce_mutate_slots", "gauge", s.cfg.MutateSlots)
+	promScalar(bw, "csce_mutate_queue_depth", "gauge", s.cfg.MutateQueueDepth)
+	promScalar(bw, "csce_plan_cache_size", "gauge", s.plans.len())
+	promScalar(bw, "csce_graphs", "gauge", s.reg.Len())
+	promScalar(bw, "csce_slowlog_len", "gauge", s.slowlog.Len())
+	promScalar(bw, "csce_slow_query_threshold_seconds", "gauge", s.slowlog.Threshold().Seconds())
+	promScalar(bw, "csce_uptime_seconds", "gauge", time.Since(s.started).Seconds())
+
+	// Per-graph live-ingest series. Stats are snapshotted once per graph,
+	// then rendered one family at a time so each TYPE header appears once.
+	entries := s.reg.List()
+	liveStats := make(map[string]live.Stats, len(entries))
+	for _, e := range entries {
+		liveStats[e.Name] = e.Live.Stats()
+	}
+	liveFamilies := []struct {
+		name string
+		typ  string
+		val  func(st live.Stats) float64
+	}{
+		{"csce_live_epoch", "gauge", func(st live.Stats) float64 { return float64(st.Epoch) }},
+		{"csce_live_last_seq", "gauge", func(st live.Stats) float64 { return float64(st.LastSeq) }},
+		{"csce_live_wal_retained", "gauge", func(st live.Stats) float64 { return float64(st.WALRetained) }},
+		{"csce_live_wal_truncated", "counter", func(st live.Stats) float64 { return float64(st.WALTruncated) }},
+		{"csce_live_batches", "counter", func(st live.Stats) float64 { return float64(st.Batches) }},
+		{"csce_live_batches_failed", "counter", func(st live.Stats) float64 { return float64(st.BatchesFailed) }},
+		{"csce_live_vertices_added", "counter", func(st live.Stats) float64 { return float64(st.VerticesAdded) }},
+		{"csce_live_edges_inserted", "counter", func(st live.Stats) float64 { return float64(st.EdgesInserted) }},
+		{"csce_live_edges_deleted", "counter", func(st live.Stats) float64 { return float64(st.EdgesDeleted) }},
+		{"csce_live_snapshots_live", "gauge", func(st live.Stats) float64 { return float64(st.SnapshotsLive) }},
+		{"csce_live_snapshots_drained", "counter", func(st live.Stats) float64 { return float64(st.SnapshotsDrained) }},
+		{"csce_live_subscribers", "gauge", func(st live.Stats) float64 { return float64(st.Subscribers) }},
+		{"csce_live_subscribers_opened", "counter", func(st live.Stats) float64 { return float64(st.SubscribersTotal) }},
+		{"csce_live_subscribers_dropped", "counter", func(st live.Stats) float64 { return float64(st.SubscribersDropped) }},
+		{"csce_live_deltas_delivered", "counter", func(st live.Stats) float64 { return float64(st.DeltasDelivered) }},
+	}
+	for _, fam := range liveFamilies {
+		fmt.Fprintf(bw, "# TYPE %s %s\n", fam.name, fam.typ)
+		for _, e := range entries {
+			fmt.Fprintf(bw, "%s{graph=%q} %s\n", fam.name, e.Name, promFloat(fam.val(liveStats[e.Name])))
+		}
+	}
+
+	// Latency histograms.
+	promHistFamily(bw, "csce_phase_latency_seconds", "phase", metricsPhases, s.metrics.phases)
+	promHistFamily(bw, "csce_endpoint_latency_seconds", "endpoint", metricsEndpoints, s.metrics.endpoints)
+}
+
+// promScalar writes one unlabeled sample with its TYPE header.
+func promScalar(w io.Writer, name, typ string, v any) {
+	fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", name, typ, name, promValue(v))
+}
+
+// promValue renders a numeric value without float artifacts for integers.
+func promValue(v any) string {
+	switch x := v.(type) {
+	case uint64:
+		return strconv.FormatUint(x, 10)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case int:
+		return strconv.Itoa(x)
+	case float64:
+		return promFloat(x)
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+func promFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// promHistFamily writes one histogram family with a label per member:
+// cumulative _bucket series (le in seconds, closing with +Inf), _sum in
+// seconds, and _count.
+func promHistFamily(w io.Writer, name, label string, order []string, hists map[string]*obs.Histogram) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	for _, key := range order {
+		h := hists[key]
+		if h == nil {
+			continue
+		}
+		snap := h.Snapshot()
+		uppers, cum := snap.PromBuckets()
+		for i, le := range uppers {
+			fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", name, label, key, promFloat(le), cum[i])
+		}
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, key, snap.Count)
+		fmt.Fprintf(w, "%s_sum{%s=%q} %s\n", name, label, key, promFloat(snap.SumSeconds()))
+		fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, key, snap.Count)
+	}
+}

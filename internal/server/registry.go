@@ -10,19 +10,17 @@ import (
 
 	"csce/internal/core"
 	"csce/internal/graph"
+	"csce/internal/live"
 )
 
-// Entry is one resident dataset: a clustered engine plus the label table
-// patterns must be parsed with. The engine's CCSR store is immutable under
-// matching, so a single Entry safely serves any number of concurrent
-// queries.
+// Entry is one resident dataset, wrapped for live mutation: queries pin
+// the current published snapshot through Live (lock-free reads against an
+// immutable CCSR store), mutations commit new epochs through the same
+// handle.
 type Entry struct {
 	Name     string
-	Engine   *core.Engine
+	Live     *live.Graph
 	Names    *graph.LabelTable
-	Vertices int
-	Edges    int
-	Clusters int
 	Directed bool
 	LoadedAt time.Time
 
@@ -32,9 +30,27 @@ type Entry struct {
 // Queries returns how many match queries this graph has served.
 func (e *Entry) Queries() uint64 { return e.queries.Load() }
 
-// Registry maps dataset names to resident engines. Adding a graph is rare
-// (startup, admin); lookups are per-query, so reads take an RLock.
+// Epoch returns the currently published snapshot epoch (0 until the first
+// mutation commits).
+func (e *Entry) Epoch() uint64 { return e.Live.Epoch() }
+
+// Counts reads the current snapshot's sizes. They move with mutations, so
+// callers get point-in-time values, not registration-time ones.
+func (e *Entry) Counts() (vertices, edges, clusters int) {
+	snap := e.Live.Acquire()
+	defer snap.Release()
+	st := snap.Store()
+	return st.NumVertices(), st.NumEdges(), st.NumClusters()
+}
+
+// Registry maps dataset names to resident live graphs. Adding a graph is
+// rare (startup, admin); lookups are per-query, so reads take an RLock.
 type Registry struct {
+	// LiveOpts tunes the live wrapper of subsequently added graphs
+	// (subscriber buffers, WAL retention); the server sets it from its
+	// config before loading datasets.
+	LiveOpts live.Options
+
 	mu      sync.RWMutex
 	entries map[string]*Entry
 }
@@ -44,10 +60,11 @@ func NewRegistry() *Registry {
 	return &Registry{entries: make(map[string]*Entry)}
 }
 
-// Add registers an engine under a name. The label table is taken from the
-// engine; NumericLabels can synthesize one for purely numeric graphs. Add
-// fails on duplicate names — replacing a live graph is a snapshot-swap
-// problem left to the delta-maintenance roadmap item.
+// Add registers an engine under a name and wraps it for live mutation.
+// The label table is taken from the engine; NumericLabels can synthesize
+// one for purely numeric graphs. Add fails on duplicate names — replacing
+// a resident graph wholesale is still an offline operation; incremental
+// change goes through Entry.Live.Mutate.
 func (r *Registry) Add(name string, engine *core.Engine) (*Entry, error) {
 	if name == "" {
 		return nil, fmt.Errorf("server: graph name must be non-empty")
@@ -55,21 +72,31 @@ func (r *Registry) Add(name string, engine *core.Engine) (*Entry, error) {
 	st := engine.Store()
 	e := &Entry{
 		Name:     name,
-		Engine:   engine,
+		Live:     live.NewGraph(name, engine, r.LiveOpts),
 		Names:    engine.Names(),
-		Vertices: st.NumVertices(),
-		Edges:    st.NumEdges(),
-		Clusters: st.NumClusters(),
 		Directed: st.Directed(),
 		LoadedAt: time.Now(),
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.entries[name]; dup {
+		e.Live.Close()
 		return nil, fmt.Errorf("server: graph %q already registered", name)
 	}
 	r.entries[name] = e
 	return e, nil
+}
+
+// CloseAll closes every resident live graph: mutations start failing with
+// ErrClosed and all subscription streams end. Shutdown calls it so
+// long-lived subscribe handlers drain before the HTTP server waits on
+// them.
+func (r *Registry) CloseAll() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, e := range r.entries {
+		e.Live.Close()
+	}
 }
 
 // Get returns the entry for a name.

@@ -13,9 +13,13 @@
 // core until the enumeration finishes. Cancellation mid-stream is
 // graceful: the response ends with a summary line marked cancelled.
 //
-// Resident engines are treated as strictly read-only: concurrent matching
-// against an immutable CCSR store is lock-free by construction, and live
-// graph updates (delta maintenance + snapshot swap) are a roadmap item.
+// Resident graphs are writable through the live-ingest subsystem
+// (internal/live): queries pin an immutable published snapshot — matching
+// against it is lock-free by construction — while mutation batches commit
+// new epochs through a WAL + snapshot swap, and continuous-query
+// subscribers stream the delta embeddings of every committed insertion.
+// Mutations pass their own admission valve, so a mutation storm degrades
+// into 429s without ever starving reads.
 package server
 
 import (
@@ -35,6 +39,7 @@ import (
 	"csce/internal/core"
 	"csce/internal/exec"
 	"csce/internal/graph"
+	"csce/internal/live"
 	"csce/internal/obs"
 	"csce/internal/plan"
 )
@@ -63,6 +68,24 @@ type Config struct {
 	PlanCacheSize int
 	// MaxPatternBytes bounds the request body (default 1 MiB).
 	MaxPatternBytes int64
+	// MutateSlots bounds concurrently executing mutation batches; the valve
+	// is separate from MatchSlots so mutation storms cannot starve reads
+	// (default 1 — commits serialize on the writer lock anyway, so extra
+	// slots only buy queueing inside the lock).
+	MutateSlots int
+	// MutateQueueDepth bounds mutations waiting for a slot; beyond it
+	// requests get 429 (default 4×MutateSlots).
+	MutateQueueDepth int
+	// MaxMutationsPerBatch caps the mutations accepted in one request
+	// (default 4096).
+	MaxMutationsPerBatch int
+	// SubscriberBuffer is the per-subscription event buffer; a subscriber
+	// that falls this far behind is dropped instead of blocking commits
+	// (default 256).
+	SubscriberBuffer int
+	// WALRetention bounds each graph's in-memory mutation log (default
+	// 4096 entries; sequence numbers survive truncation).
+	WALRetention int
 	// SlowQueryThreshold is the end-to-end latency at which a query is
 	// captured in /debug/slowlog with its trace, plan summary, and
 	// per-level execution profile (default 500ms; negative disables).
@@ -102,6 +125,21 @@ func (c Config) withDefaults() Config {
 	if c.MaxPatternBytes <= 0 {
 		c.MaxPatternBytes = 1 << 20
 	}
+	if c.MutateSlots <= 0 {
+		c.MutateSlots = 1
+	}
+	if c.MutateQueueDepth == 0 {
+		c.MutateQueueDepth = 4 * c.MutateSlots
+	}
+	if c.MaxMutationsPerBatch <= 0 {
+		c.MaxMutationsPerBatch = 4096
+	}
+	if c.SubscriberBuffer <= 0 {
+		c.SubscriberBuffer = 256
+	}
+	if c.WALRetention <= 0 {
+		c.WALRetention = 4096
+	}
 	if c.SlowQueryThreshold == 0 {
 		c.SlowQueryThreshold = 500 * time.Millisecond
 	}
@@ -123,6 +161,7 @@ type Server struct {
 	cfg      Config
 	reg      *Registry
 	adm      *admission
+	mutAdm   *admission // separate valve: mutation storms must not starve reads
 	plans    *planCache
 	metrics  *metrics
 	slowlog  *obs.SlowLog
@@ -143,11 +182,16 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		reg:     NewRegistry(),
 		adm:     newAdmission(cfg.MatchSlots, cfg.QueueDepth),
+		mutAdm:  newAdmission(cfg.MutateSlots, cfg.MutateQueueDepth),
 		plans:   newPlanCache(cfg.PlanCacheSize),
 		metrics: newMetrics(),
 		slowlog: obs.NewSlowLog(cfg.SlowLogSize, cfg.SlowQueryThreshold),
 		log:     cfg.Logger,
 		started: time.Now(),
+	}
+	s.reg.LiveOpts = live.Options{
+		SubscriberBuffer: cfg.SubscriberBuffer,
+		WALRetention:     cfg.WALRetention,
 	}
 	return s
 }
@@ -160,10 +204,13 @@ func (s *Server) Registry() *Registry { return s.reg }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/graphs/{name}/match", s.instrument("match", s.handleMatch))
+	mux.HandleFunc("POST /v1/graphs/{name}/mutate", s.instrument("mutate", s.handleMutate))
+	mux.HandleFunc("GET /v1/graphs/{name}/subscribe", s.instrument("subscribe", s.handleSubscribe))
 	mux.HandleFunc("GET /v1/graphs", s.instrument("graphs", s.handleGraphs))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /debug/slowlog", s.instrument("slowlog", s.handleSlowlog))
+	mux.HandleFunc("POST /debug/slowlog/threshold", s.instrument("slowlog_threshold", s.handleSlowlogThreshold))
 	return mux
 }
 
@@ -193,11 +240,14 @@ func (s *Server) Start() (string, error) {
 }
 
 // Shutdown drains gracefully: new work is refused (healthz reports
-// draining), in-flight queries run to completion, and if the context
-// expires first the listener is closed, which cancels the remaining
-// queries' contexts and lets cooperative cancellation stop their searches.
+// draining), live graphs close — which fails further mutations and ends
+// every subscription stream, so those long-lived handlers return —
+// in-flight queries run to completion, and if the context expires first
+// the listener is closed, which cancels the remaining queries' contexts
+// and lets cooperative cancellation stop their searches.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	s.reg.CloseAll()
 	s.mu.Lock()
 	srv := s.http
 	s.mu.Unlock()
@@ -368,14 +418,23 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	defer s.adm.release()
 	ent.queries.Add(1)
 
+	// Pin the current snapshot for the whole query: concurrent mutation
+	// batches publish new epochs without touching it, and it is released
+	// (possibly draining it) when the handler returns.
+	snap := ent.Live.Acquire()
+	defer snap.Release()
+	eng := snap.Engine()
+
 	// Phase 2: planning. The cache hit path contributes ~0; misses pay
-	// GCF/DAG/LDSF.
+	// GCF/DAG/LDSF. The key carries the snapshot epoch, so plans optimized
+	// against superseded statistics age out of the LRU instead of serving
+	// forever.
 	endPlan := tr.StartSpan(phasePlan)
 	planStart := time.Now()
-	key := planKey(ent.Name, params.variant, params.mode, p)
+	key := planKey(ent.Name, snap.Epoch(), params.variant, params.mode, p)
 	pl, cacheHit := s.plans.get(key)
 	if !cacheHit {
-		pl, err = plan.Optimize(p, ent.Engine.Store(), params.variant, params.mode)
+		pl, err = plan.Optimize(p, eng.Store(), params.variant, params.mode)
 		if err != nil {
 			endPlan()
 			s.metrics.queriesBadRequest.Add(1)
@@ -430,7 +489,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	// is the engine wall time minus the accumulated write time.
 	execSpanStart := time.Since(tr.Begin)
 	matchStart := time.Now()
-	res, matchErr := ent.Engine.Match(p, core.MatchOptions{
+	res, matchErr := eng.Match(p, core.MatchOptions{
 		Variant:      params.variant,
 		Mode:         params.mode,
 		Limit:        params.limit,
@@ -635,18 +694,24 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 		Edges    int       `json:"edges"`
 		Clusters int       `json:"clusters"`
 		Directed bool      `json:"directed"`
+		Epoch    uint64    `json:"epoch"`
+		LastSeq  uint64    `json:"last_seq"`
 		LoadedAt time.Time `json:"loaded_at"`
 		Queries  uint64    `json:"queries"`
 	}
 	entries := s.reg.List()
 	out := make([]graphInfo, 0, len(entries))
 	for _, e := range entries {
+		v, ed, cl := e.Counts()
+		st := e.Live.Stats()
 		out = append(out, graphInfo{
 			Name:     e.Name,
-			Vertices: e.Vertices,
-			Edges:    e.Edges,
-			Clusters: e.Clusters,
+			Vertices: v,
+			Edges:    ed,
+			Clusters: cl,
 			Directed: e.Directed,
+			Epoch:    st.Epoch,
+			LastSeq:  st.LastSeq,
 			LoadedAt: e.LoadedAt,
 			Queries:  e.Queries(),
 		})
@@ -657,8 +722,15 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 // handleMetrics renders the whole observability surface as one JSON
 // document: monotonic counters and point-in-time gauges at the top level
 // (the schema prior dashboards scrape), with the latency histograms nested
-// under "latency" (per-phase and per-endpoint quantiles in milliseconds).
+// under "latency" (per-phase and per-endpoint quantiles in milliseconds)
+// and per-graph live-ingest stats under "live". With ?format=prom or an
+// Accept header preferring text/plain, the same surface renders in
+// Prometheus text exposition format instead.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsProm(r) {
+		s.writeProm(w)
+		return
+	}
 	doc := s.metrics.counterDoc()
 	doc["plan_cache_size"] = s.plans.len()
 	doc["plan_cache_hits"] = s.plans.hits.Load()
@@ -667,7 +739,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	doc["queued"] = s.adm.queued()
 	doc["match_slots"] = s.cfg.MatchSlots
 	doc["queue_depth"] = s.cfg.QueueDepth
+	doc["mutate_in_flight"] = s.mutAdm.inFlight()
+	doc["mutate_queued"] = s.mutAdm.queued()
+	doc["mutate_slots"] = s.cfg.MutateSlots
+	doc["mutate_queue_depth"] = s.cfg.MutateQueueDepth
 	doc["graphs"] = s.reg.Len()
+	doc["live"] = s.liveDoc()
 	doc["uptime_seconds"] = time.Since(s.started).Seconds()
 	doc["slow_query_threshold_ms"] = durMs(s.slowlog.Threshold())
 	doc["slowlog_len"] = s.slowlog.Len()

@@ -124,18 +124,19 @@ func TestPlanCacheConcurrent(t *testing.T) {
 func TestPlanKeyDistinguishes(t *testing.T) {
 	path := graph.MustParse(pathPattern3)
 	tri := graph.MustParse(triPattern)
-	base := planKey("g", graph.EdgeInduced, plan.ModeCSCE, path)
+	base := planKey("g", 0, graph.EdgeInduced, plan.ModeCSCE, path)
 	for name, other := range map[string]string{
-		"pattern": planKey("g", graph.EdgeInduced, plan.ModeCSCE, tri),
-		"variant": planKey("g", graph.Homomorphic, plan.ModeCSCE, path),
-		"mode":    planKey("g", graph.EdgeInduced, plan.ModeRI, path),
-		"graph":   planKey("h", graph.EdgeInduced, plan.ModeCSCE, path),
+		"pattern": planKey("g", 0, graph.EdgeInduced, plan.ModeCSCE, tri),
+		"variant": planKey("g", 0, graph.Homomorphic, plan.ModeCSCE, path),
+		"mode":    planKey("g", 0, graph.EdgeInduced, plan.ModeRI, path),
+		"graph":   planKey("h", 0, graph.EdgeInduced, plan.ModeCSCE, path),
+		"epoch":   planKey("g", 1, graph.EdgeInduced, plan.ModeCSCE, path),
 	} {
 		if other == base {
 			t.Errorf("planKey must distinguish by %s", name)
 		}
 	}
-	if planKey("g", graph.EdgeInduced, plan.ModeCSCE, graph.MustParse(pathPattern3)) != base {
+	if planKey("g", 0, graph.EdgeInduced, plan.ModeCSCE, graph.MustParse(pathPattern3)) != base {
 		t.Error("equal patterns must share a key")
 	}
 }
@@ -158,8 +159,14 @@ func TestRegistryDuplicateAndList(t *testing.T) {
 		t.Fatal("registry size wrong")
 	}
 	e, ok := r.Get("g")
-	if !ok || e.Vertices != 4 || e.Edges != 6 || e.Directed {
-		t.Fatalf("entry stats wrong: %+v", e)
+	if !ok || e.Directed {
+		t.Fatalf("entry wrong: %+v", e)
+	}
+	if v, ed, _ := e.Counts(); v != 4 || ed != 6 {
+		t.Fatalf("entry counts wrong: %d vertices, %d edges", v, ed)
+	}
+	if e.Epoch() != 0 {
+		t.Fatalf("fresh entry epoch %d", e.Epoch())
 	}
 }
 
