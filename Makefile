@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race live-race vet lint ci bench-obs
+.PHONY: build test race live-race crash-race vet lint ci bench-obs
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,13 @@ live-race:
 	$(GO) test -race -count=2 ./internal/live
 	$(GO) test -race -count=2 -run 'TestE2EConcurrentReadersAcrossSwaps|TestSubscribeDeltaEquation|TestMutateEndpoint' ./internal/server
 
+# Crash-recovery drill: the test re-execs the (race-instrumented) test
+# binary as a real csced, SIGKILLs it mid-mutation-storm, restarts it from
+# the same -wal-dir, and verifies the recovered seq/epoch and exact
+# vertex/edge/match counts. See cmd/csced/crash_test.go.
+crash-race:
+	$(GO) test -race -run TestCrashRecovery ./cmd/csced
+
 vet:
 	$(GO) vet ./...
 
@@ -31,7 +38,7 @@ vet:
 lint:
 	$(GO) run ./cmd/cscelint ./...
 
-ci: build vet lint test race live-race
+ci: build vet lint test race live-race crash-race
 
 # Observability hot-path benchmarks plus the enforced <50ns/op budget on
 # histogram recording (OBS_BENCH=1 turns the measurement into an

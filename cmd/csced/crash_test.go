@@ -1,0 +1,284 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// daemonHelperArg re-enters the test binary as a real csced daemon: crash
+// recovery needs a process that can be SIGKILLed mid-batch, which an
+// in-process run() cannot simulate.
+const daemonHelperArg = "crash-helper-daemon"
+
+func TestMain(m *testing.M) {
+	if len(os.Args) > 1 && os.Args[1] == daemonHelperArg {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		err := run(ctx, os.Args[2:], os.Stdout, os.Stderr, nil)
+		stop()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csced: %v\n", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// daemon is one spawned csced subprocess plus its captured stdout.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string
+	out  *lockedBuffer
+}
+
+// spawnDaemon starts the helper daemon and waits for its serving line.
+func spawnDaemon(t *testing.T, args ...string) *daemon {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, append([]string{daemonHelperArg}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderrBuf lockedBuffer
+	cmd.Stderr = &stderrBuf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, out: &lockedBuffer{}}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			d.out.Write([]byte(line + "\n"))
+			if rest, ok := strings.CutPrefix(line, "csced: serving "); ok {
+				if _, a, ok := strings.Cut(rest, "on http://"); ok {
+					select {
+					case addrCh <- a:
+					default:
+					}
+				}
+			}
+		}
+	}()
+	select {
+	case d.addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatalf("daemon did not start; stdout:\n%s\nstderr:\n%s", d.out.String(), stderrBuf.String())
+	}
+	return d
+}
+
+func (d *daemon) base() string { return "http://" + d.addr }
+
+// mutateBatch posts one batch and returns the acknowledged last_seq, or an
+// error once the daemon has been killed.
+func mutateBatch(base string, batch []map[string]any) (lastSeq uint64, err error) {
+	body, _ := json.Marshal(map[string]any{"mutations": batch})
+	resp, err := http.Post(base+"/v1/graphs/tiny/mutate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("mutate status %d: %s", resp.StatusCode, raw)
+	}
+	var doc struct {
+		LastSeq uint64 `json:"last_seq"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return 0, fmt.Errorf("parse mutate response %q: %w", raw, err)
+	}
+	return doc.LastSeq, nil
+}
+
+// liveStats fetches the per-graph live block from /metrics.
+func liveStats(t *testing.T, base string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	liveBlock, ok := m["live"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics missing live block: %v", m["live"])
+	}
+	st, ok := liveBlock["tiny"].(map[string]any)
+	if !ok {
+		t.Fatalf("live block missing graph tiny: %v", liveBlock)
+	}
+	return st
+}
+
+// TestCrashRecovery SIGKILLs a csced mid-mutation-storm and verifies a
+// restart from the same -wal-dir reopens the graph at the exact committed
+// seq and epoch with every acknowledged batch present: the deterministic
+// storm (each batch = one new A vertex plus one edge to vertex 0) lets the
+// test compute vertex, edge, and match counts from the recovered seq
+// alone. This is the `make crash-race` target.
+func TestCrashRecovery(t *testing.T) {
+	graphPath := writeTempGraph(t)
+	walDir := t.TempDir()
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-graph", "tiny=" + graphPath,
+		"-wal-dir", walDir,
+		"-fsync", "always",
+		"-segment-size", "8192", // force rotation + checkpoints during the storm
+		"-wal-keep-segments", "2",
+		"-log-level", "off",
+	}
+	d1 := spawnDaemon(t, args...)
+
+	// Storm until killed. Batch k adds vertex 4+k (label A) and the edge
+	// (4+k, 0); acks record the last durable seq the client observed.
+	ackCh := make(chan uint64, 1024)
+	stormDone := make(chan struct{})
+	go func() {
+		defer close(stormDone)
+		for k := 0; ; k++ {
+			lastSeq, err := mutateBatch(d1.base(), []map[string]any{
+				{"op": "add_vertex", "label": "A"},
+				{"op": "insert_edge", "src": 4 + k, "dst": 0, "label": ""},
+			})
+			if err != nil {
+				return // the kill landed
+			}
+			ackCh <- lastSeq
+		}
+	}()
+
+	// Let a healthy number of batches commit, then kill without warning.
+	var ackSeq uint64
+	for len(ackCh) < cap(ackCh) {
+		select {
+		case s := <-ackCh:
+			ackSeq = s
+		case <-time.After(20 * time.Second):
+			t.Fatal("mutation storm stalled")
+		}
+		if ackSeq >= 80 { // >= 40 acknowledged batches
+			break
+		}
+	}
+	if err := d1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = d1.cmd.Wait() // exits with "signal: killed"
+	<-stormDone
+	for {
+		select {
+		case s := <-ackCh:
+			ackSeq = s
+			continue
+		default:
+		}
+		break
+	}
+	if ackSeq == 0 {
+		t.Fatal("no batch was acknowledged before the kill")
+	}
+
+	// Restart from the same WAL directory.
+	d2 := spawnDaemon(t, args...)
+	defer func() {
+		_ = d2.cmd.Process.Kill()
+		_ = d2.cmd.Wait()
+	}()
+	if !strings.Contains(d2.out.String(), "csced: wal tiny: recovered seq=") {
+		t.Fatalf("restart log lacks recovery line:\n%s", d2.out.String())
+	}
+
+	st := liveStats(t, d2.base())
+	recSeq := uint64(st["last_seq"].(float64))
+	recEpoch := uint64(st["epoch"].(float64))
+	if recSeq < ackSeq {
+		t.Fatalf("recovered seq %d lost acknowledged seq %d", recSeq, ackSeq)
+	}
+	if recSeq%2 != 0 {
+		t.Fatalf("recovered seq %d is mid-batch (batches are 2 mutations)", recSeq)
+	}
+	batches := recSeq / 2
+	if recEpoch != batches {
+		t.Fatalf("recovered epoch %d, want %d (one epoch per committed batch)", recEpoch, batches)
+	}
+
+	// Exact counts: 4 seed vertices + one per batch; same for edges.
+	resp, err := http.Get(d2.base() + "/v1/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var graphsDoc struct {
+		Graphs []struct {
+			Name     string `json:"name"`
+			Vertices uint64 `json:"vertices"`
+			Edges    uint64 `json:"edges"`
+		} `json:"graphs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&graphsDoc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(graphsDoc.Graphs) != 1 || graphsDoc.Graphs[0].Name != "tiny" {
+		t.Fatalf("unexpected graph listing: %+v", graphsDoc.Graphs)
+	}
+	if v := graphsDoc.Graphs[0].Vertices; v != 4+batches {
+		t.Fatalf("recovered %d vertices, want %d", v, 4+batches)
+	}
+	if e := graphsDoc.Graphs[0].Edges; e != 4+batches {
+		t.Fatalf("recovered %d edges, want %d", e, 4+batches)
+	}
+
+	// Exact match count: the seed holds 3 A–A edges (6 ordered
+	// embeddings); every batch added one more A–A edge (2 embeddings).
+	pattern := "t undirected\nv 0 A\nv 1 A\ne 0 1\n"
+	mresp, err := http.Post(d2.base()+"/v1/graphs/tiny/match", "text/plain", strings.NewReader(pattern))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("match status %d: %s", mresp.StatusCode, mbody)
+	}
+	want := 6 + 2*batches
+	if got := uint64(strings.Count(string(mbody), "\n")) - 1; got != want {
+		t.Fatalf("recovered graph matched %d embeddings, want %d", got, want)
+	}
+
+	// The log keeps extending gapless: the next batch must be assigned
+	// seq recSeq+1 on the recovered daemon.
+	lastSeq, err := mutateBatch(d2.base(), []map[string]any{
+		{"op": "add_vertex", "label": "A"},
+		{"op": "insert_edge", "src": 4 + int(batches), "dst": 0, "label": ""},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastSeq != recSeq+2 {
+		t.Fatalf("post-recovery batch ended at seq %d, want %d", lastSeq, recSeq+2)
+	}
+}

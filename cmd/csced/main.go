@@ -19,10 +19,16 @@
 //
 // Graphs are live: /mutate applies an atomic batch of typed mutations and
 // publishes a new immutable snapshot (in-flight queries finish on the one
-// they pinned), and /subscribe streams the delta embeddings each commit
-// contributes to a standing pattern. Mutations are admitted through their
-// own valve (-mutate-slots/-mutate-queue) so a mutation storm cannot
-// starve reads.
+// they pinned), and /subscribe streams the delta embeddings (and, for
+// deletions, retractions) each commit contributes to a standing pattern.
+// Mutations are admitted through their own valve
+// (-mutate-slots/-mutate-queue) so a mutation storm cannot starve reads.
+//
+// Durability: with -wal-dir set, every committed batch is appended to a
+// per-graph segment log (fsynced per -fsync) before it is acknowledged,
+// and a restart replays checkpoint + log to reopen each graph at its exact
+// pre-crash seq and epoch. Disconnected subscribers resume gapless with
+// /subscribe?from_seq=N; history already truncated answers 410 Gone.
 //
 // Observability: every query carries a trace ID (X-Trace-Id header, NDJSON
 // summary, structured log lines on stderr); /metrics exposes latency
@@ -49,6 +55,7 @@ import (
 
 	"csce"
 	"csce/internal/dataset"
+	"csce/internal/live"
 	"csce/internal/server"
 )
 
@@ -90,7 +97,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, started c
 		mutQueue = fs.Int("mutate-queue", 0, "mutation batches waiting for a slot before 429 (default 4*mutate-slots)")
 		maxBatch = fs.Int("max-batch", 4096, "mutations accepted per /mutate batch")
 		subBuf   = fs.Int("sub-buffer", 256, "per-subscriber event buffer; overflowing it drops the subscriber")
-		walKeep  = fs.Int("wal-retention", 4096, "mutation records retained per graph for inspection")
+		walKeep  = fs.Int("wal-retention", 4096, "mutation records retained per graph for subscriber resume")
+		walDir   = fs.String("wal-dir", "", "root directory for durable per-graph WALs (empty keeps graphs in-memory only)")
+		fsyncPol = fs.String("fsync", "always", "durable-WAL fsync policy: always, interval, never")
+		fsyncIv  = fs.Duration("fsync-interval", 100*time.Millisecond, "flush cadence under -fsync interval")
+		segSize  = fs.Int64("segment-size", 4<<20, "durable-WAL segment rotation threshold in bytes")
+		segKeep  = fs.Int("wal-keep-segments", 4, "sealed segments kept before a checkpoint truncates the log")
 		debugAdr = fs.String("debug-addr", "", "serve net/http/pprof on this address (empty disables; keep it private)")
 		logLevel = fs.String("log-level", "info", "structured-log level on stderr (debug, info, warn, error, off)")
 	)
@@ -103,6 +115,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, started c
 		return fmt.Errorf("nothing to serve: pass at least one -graph name=path or -dataset name")
 	}
 	logger, err := newLogger(*logLevel, stderr)
+	if err != nil {
+		return err
+	}
+	fsync, err := live.ParseFsyncPolicy(*fsyncPol)
 	if err != nil {
 		return err
 	}
@@ -123,6 +139,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, started c
 		MaxMutationsPerBatch: *maxBatch,
 		SubscriberBuffer:     *subBuf,
 		WALRetention:         *walKeep,
+		WALDir:               *walDir,
+		WALFsync:             fsync,
+		WALFsyncInterval:     *fsyncIv,
+		WALSegmentSize:       *segSize,
+		WALKeepSegments:      *segKeep,
 		Logger:               logger,
 	})
 
@@ -151,6 +172,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, started c
 		}
 		fmt.Fprintf(stdout, "csced: dataset %s: %d vertices, %d edges, %d clusters (generated+clustered in %v)\n",
 			name, g.NumVertices(), g.NumEdges(), engine.Store().NumClusters(), time.Since(start).Round(time.Millisecond))
+	}
+
+	if *walDir != "" {
+		for _, e := range srv.Registry().List() {
+			rec := e.Live.Recovery()
+			fmt.Fprintf(stdout, "csced: wal %s: recovered seq=%d epoch=%d (checkpoint=%v replayed=%d torn_tail=%v in %v)\n",
+				e.Name, rec.RecoveredSeq, rec.RecoveredEpoch, rec.HasCheckpoint, rec.ReplayedRecords,
+				rec.TornTail, rec.Duration.Round(time.Microsecond))
+		}
 	}
 
 	// The pprof listener is separate from the serving listener on purpose:

@@ -28,15 +28,19 @@ func TestFindingsFailTheRun(t *testing.T) {
 		t.Fatalf("exit = %d, want 1\n%s", code, out)
 	}
 	for _, want := range []string{
-		"fixture.go:19:2: [errchecklite] mayFail returns an error that is not checked",
-		"fixture.go:24:2: [errchecklite] os.Create returns an error that is not checked",
+		"fixture.go:20:2: [errchecklite] mayFail returns an error that is not checked",
+		"fixture.go:25:2: [errchecklite] os.Create returns an error that is not checked",
+		"fixture.go:67:2: [errchecklite] f.Sync returns an error that is not checked",
+		"fixture.go:68:2: [errchecklite] os.Rename returns an error that is not checked",
+		"fixture.go:70:2: [errchecklite] bw.Flush returns an error that is not checked",
+		"fixture.go:71:2: [errchecklite] f.Close returns an error that is not checked",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
 	}
-	if n := strings.Count(out, "\n"); n != 2 {
-		t.Errorf("got %d findings, want exactly 2:\n%s", n, out)
+	if n := strings.Count(out, "\n"); n != 6 {
+		t.Errorf("got %d findings, want exactly 6:\n%s", n, out)
 	}
 }
 
@@ -82,11 +86,11 @@ func TestJSONOutput(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &findings); err != nil {
 		t.Fatalf("output is not JSON: %v\n%s", err, out)
 	}
-	if len(findings) != 2 {
-		t.Fatalf("got %d findings, want 2: %+v", len(findings), findings)
+	if len(findings) != 6 {
+		t.Fatalf("got %d findings, want 6: %+v", len(findings), findings)
 	}
 	f := findings[0]
-	if f.File != "fixture.go" || f.Line != 19 || f.Check != "errchecklite" || !strings.Contains(f.Message, "mayFail") {
+	if f.File != "fixture.go" || f.Line != 20 || f.Check != "errchecklite" || !strings.Contains(f.Message, "mayFail") {
 		t.Errorf("unexpected first finding %+v", f)
 	}
 }

@@ -3,6 +3,7 @@
 package errchecklite
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
 	"fmt"
@@ -57,4 +58,34 @@ func goodDeferredClose(path string) error {
 	}
 	defer f.Close()
 	return nil
+}
+
+// badFileIO: the durability paths. A dropped Sync, Rename, Flush, or
+// non-deferred Close on a written file silently loses data — exactly the
+// class of bug the WAL commit path must never contain.
+func badFileIO(f *os.File, tmp, final string) {
+	f.Sync()              // want `Sync returns an error that is not checked`
+	os.Rename(tmp, final) // want `os.Rename returns an error that is not checked`
+	bw := bufio.NewWriter(f)
+	bw.Flush() // want `Flush returns an error that is not checked`
+	f.Close()  // want `Close returns an error that is not checked`
+}
+
+// goodFileIO: the same operations with every error consumed, in the
+// tmp-write / fsync / rename / fsync-dir shape the WAL checkpoint uses.
+func goodFileIO(f *os.File, tmp, final string) error {
+	bw := bufio.NewWriter(f)
+	if _, err := bw.WriteString("payload"); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
 }

@@ -1,0 +1,665 @@
+package live
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"csce/internal/ccsr"
+)
+
+// Disk-backed write-ahead log: the durability layer under the in-memory
+// mutation log. Layout of a WAL directory (one per live graph):
+//
+//	<dir>/00000000000000000001.wal   segment; name = first seq it holds
+//	<dir>/00000000000000004097.wal   ...
+//	<dir>/checkpoint                 latest store checkpoint (optional)
+//
+// Each segment starts with an 8-byte magic and holds length-prefixed,
+// CRC-checksummed records:
+//
+//	u32 payload length | u32 crc32(payload) | payload
+//	payload: u64 seq | u64 epoch | u8 op | u32 src | u32 dst |
+//	         u16 label id | u16 name length | name bytes
+//
+// Records carry the label's symbolic name when the caller knows it
+// (Mutation.LabelName): interned ids are assigned in arrival order and a
+// restarted process re-interns names in replay order, so the name — not
+// the id — is the stable identity across restarts. Replay prefers the
+// name and falls back to the raw id for nameless (programmatic) records.
+//
+// The checkpoint file bounds both replay time and disk usage: once more
+// than KeepSegments sealed segments accumulate, the graph serializes its
+// current store (seq S, epoch E) through writeCheckpoint, and every sealed
+// segment that holds only records <= S is deleted. Recovery loads the
+// checkpoint (if any) and replays the remaining segments on top.
+//
+// A crash can leave a torn tail: a partially written frame at the end of
+// the *final* segment. Replay detects it (short frame or CRC mismatch),
+// truncates the file back to the last whole record, and recovery proceeds
+// — the torn batch was never acknowledged, because acknowledgement
+// happens after the WAL append returns. The same damage in a non-final
+// segment cannot be explained by a crash mid-append and is refused as
+// corruption.
+
+const (
+	segmentMagic    = "CSCEWAL1"
+	checkpointMagic = "CSCECKP1"
+	segmentSuffix   = ".wal"
+	checkpointName  = "checkpoint"
+	frameHeaderLen  = 8       // u32 length + u32 crc
+	maxRecordLen    = 1 << 20 // sanity bound on one payload
+)
+
+// FsyncPolicy selects when the WAL file is fsynced.
+type FsyncPolicy uint8
+
+const (
+	// FsyncAlways syncs after every committed batch: an acknowledged
+	// mutation survives power loss. The commit path pays one fsync.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs on a background timer (Durability.FsyncEvery):
+	// a crash of the machine can lose up to one interval of acknowledged
+	// batches; a crash of only the process loses nothing (writes reached
+	// the page cache).
+	FsyncInterval
+	// FsyncNever leaves syncing to the OS: process crashes lose nothing,
+	// machine crashes lose whatever the kernel had not written back.
+	FsyncNever
+)
+
+// String renders the policy as its flag spelling.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("FsyncPolicy(%d)", uint8(p))
+	}
+}
+
+// ParseFsyncPolicy parses the -fsync flag spelling.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	default:
+		return 0, fmt.Errorf("live: unknown fsync policy %q (always, interval, never)", s)
+	}
+}
+
+// Durability configures the disk WAL of one live graph. The zero value
+// (empty Dir) disables it: the graph is purely in-memory, as before.
+type Durability struct {
+	// Dir is the graph's WAL directory; empty disables durability.
+	Dir string
+	// Fsync is the sync policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// FsyncEvery is the FsyncInterval period (default 100ms).
+	FsyncEvery time.Duration
+	// SegmentSize rotates the active segment once it exceeds this many
+	// bytes (default 4 MiB).
+	SegmentSize int64
+	// KeepSegments is how many sealed segments may accumulate before a
+	// checkpoint is written and fully-covered segments are deleted
+	// (default 4).
+	KeepSegments int
+}
+
+func (d Durability) withDefaults() Durability {
+	if d.FsyncEvery <= 0 {
+		d.FsyncEvery = 100 * time.Millisecond
+	}
+	if d.SegmentSize <= 0 {
+		d.SegmentSize = 4 << 20
+	}
+	if d.KeepSegments <= 0 {
+		d.KeepSegments = 4
+	}
+	return d
+}
+
+// Observer receives durations of the WAL's hidden work, so the serving
+// layer can histogram them without live importing its metrics. All fields
+// are optional.
+type Observer struct {
+	// WALAppend observes the full disk append of one batch (serialize +
+	// write + any same-batch fsync).
+	WALAppend func(time.Duration)
+	// WALFsync observes each fsync, from any policy.
+	WALFsync func(time.Duration)
+	// WALReplay observes the one startup replay (checkpoint load included).
+	WALReplay func(time.Duration)
+	// WALCheckpoint observes each checkpoint write + truncation.
+	WALCheckpoint func(time.Duration)
+	// ResumeReplay observes each subscriber resume replay.
+	ResumeReplay func(time.Duration)
+}
+
+func observe(f func(time.Duration), start time.Time) {
+	if f != nil {
+		f(time.Since(start))
+	}
+}
+
+// errTornTail is the internal marker for a frame that ends mid-write; the
+// replay loop converts it into truncation when it occurs in the final
+// segment.
+var errTornTail = errors.New("torn tail")
+
+// segmentInfo is one on-disk segment, sorted by the first seq it holds.
+type segmentInfo struct {
+	path     string
+	firstSeq uint64
+	size     int64
+}
+
+// diskWAL owns the segment files of one graph. Appends are serialized by
+// the graph's writer lock; the internal mutex exists for the background
+// fsync timer and stats readers.
+type diskWAL struct {
+	dir  string
+	opts Durability
+	obs  Observer
+
+	mu          sync.Mutex
+	cur         *os.File
+	curInfo     segmentInfo
+	sealed      []segmentInfo
+	dirty       bool // bytes written since the last sync
+	fsyncs      uint64
+	checkpoints uint64
+	closed      bool
+
+	stopFlush chan struct{}
+	flushDone chan struct{}
+}
+
+// openDiskWAL scans (creating if needed) the WAL directory. The returned
+// WAL is not yet writable: recovery must call replay and then openAppend.
+func openDiskWAL(opts Durability, obs Observer) (*diskWAL, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("live: wal dir: %w", err)
+	}
+	d := &diskWAL{dir: opts.Dir, opts: opts, obs: obs}
+	entries, err := os.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("live: wal dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segmentSuffix) {
+			continue
+		}
+		first, err := strconv.ParseUint(strings.TrimSuffix(name, segmentSuffix), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("live: wal segment %q: bad name", name)
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil, err
+		}
+		d.sealed = append(d.sealed, segmentInfo{
+			path:     filepath.Join(opts.Dir, name),
+			firstSeq: first,
+			size:     info.Size(),
+		})
+	}
+	sort.Slice(d.sealed, func(i, j int) bool { return d.sealed[i].firstSeq < d.sealed[j].firstSeq })
+	return d, nil
+}
+
+func segmentPath(dir string, firstSeq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%020d%s", firstSeq, segmentSuffix))
+}
+
+// encodeRecord appends one framed record to buf. The name-length field is
+// biased by one: 0 means "unnamed" (replay trusts the raw label id),
+// n+1 means a name of n bytes follows — an interned empty name is a real
+// label and must survive the round trip distinct from "no name".
+func encodeRecord(buf []byte, r Record) []byte {
+	var name string
+	nameField := uint16(0)
+	if r.Mut.LabelNamed {
+		name = r.Mut.LabelName
+		nameField = uint16(len(name)) + 1
+	}
+	payloadLen := 29 + len(name)
+	start := len(buf)
+	buf = append(buf, make([]byte, frameHeaderLen+payloadLen)...)
+	payload := buf[start+frameHeaderLen:]
+	le := binary.LittleEndian
+	le.PutUint64(payload[0:], r.Seq)
+	le.PutUint64(payload[8:], r.Epoch)
+	payload[16] = byte(r.Mut.Op)
+	le.PutUint32(payload[17:], uint32(r.Mut.Src))
+	le.PutUint32(payload[21:], uint32(r.Mut.Dst))
+	label := uint16(r.Mut.VertexLabel)
+	if r.Mut.Op != OpAddVertex {
+		label = uint16(r.Mut.EdgeLabel)
+	}
+	le.PutUint16(payload[25:], label)
+	le.PutUint16(payload[27:], nameField)
+	copy(payload[29:], name)
+	le.PutUint32(buf[start:], uint32(payloadLen))
+	le.PutUint32(buf[start+4:], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// decodeRecord parses one payload (already CRC-verified).
+func decodeRecord(payload []byte) (Record, error) {
+	if len(payload) < 29 {
+		return Record{}, fmt.Errorf("payload too short (%d bytes)", len(payload))
+	}
+	le := binary.LittleEndian
+	var r Record
+	r.Seq = le.Uint64(payload[0:])
+	r.Epoch = le.Uint64(payload[8:])
+	r.Mut.Op = Op(payload[16])
+	if r.Mut.Op > OpDeleteEdge {
+		return Record{}, fmt.Errorf("unknown op %d", payload[16])
+	}
+	r.Mut.Src = le.Uint32(payload[17:])
+	r.Mut.Dst = le.Uint32(payload[21:])
+	label := le.Uint16(payload[25:])
+	if r.Mut.Op == OpAddVertex {
+		r.Mut.VertexLabel = label
+	} else {
+		r.Mut.EdgeLabel = label
+	}
+	nameField := int(le.Uint16(payload[27:]))
+	if nameField == 0 {
+		if len(payload) != 29 {
+			return Record{}, fmt.Errorf("payload length %d for unnamed record", len(payload))
+		}
+		return r, nil
+	}
+	if len(payload) != 29+nameField-1 {
+		return Record{}, fmt.Errorf("payload length %d does not match name length %d", len(payload), nameField-1)
+	}
+	r.Mut.LabelName = string(payload[29:])
+	r.Mut.LabelNamed = true
+	return r, nil
+}
+
+// readSegment streams the records of one segment file. It returns the
+// byte offset of the first invalid frame together with errTornTail when
+// the segment ends mid-frame or fails its checksum; validEnd is then the
+// truncation point that recovers the longest valid prefix.
+func readSegment(path string, fn func(Record) error) (validEnd int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	magic := make([]byte, len(segmentMagic))
+	if _, err := io.ReadFull(f, magic); err != nil {
+		return 0, fmt.Errorf("%w: missing segment header", errTornTail)
+	}
+	if string(magic) != segmentMagic {
+		return 0, fmt.Errorf("bad segment magic %q", magic)
+	}
+	offset := int64(len(segmentMagic))
+	header := make([]byte, frameHeaderLen)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, header); err != nil {
+			if err == io.EOF {
+				return offset, nil // clean end
+			}
+			return offset, errTornTail // partial frame header
+		}
+		le := binary.LittleEndian
+		length := le.Uint32(header[0:])
+		crc := le.Uint32(header[4:])
+		if length < 29 || length > maxRecordLen {
+			return offset, errTornTail
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return offset, errTornTail // partial payload
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return offset, errTornTail
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return offset, errTornTail
+		}
+		if err := fn(rec); err != nil {
+			return offset, err
+		}
+		offset += frameHeaderLen + int64(length)
+	}
+}
+
+// replay streams every record with Seq > afterSeq, in order, across all
+// segments. A torn tail in the final segment is truncated away (reported
+// via torn); any invalid frame earlier is corruption and fails recovery.
+// Sequence numbers are verified gapless across segment boundaries.
+func (d *diskWAL) replay(afterSeq uint64, fn func(Record) error) (lastSeq uint64, replayed int, torn bool, err error) {
+	lastSeq = afterSeq
+	prevSeq := uint64(0)
+	for i, seg := range d.sealed {
+		final := i == len(d.sealed)-1
+		validEnd, segErr := readSegment(seg.path, func(rec Record) error {
+			if prevSeq != 0 && rec.Seq != prevSeq+1 {
+				return fmt.Errorf("sequence gap: %d follows %d in %s", rec.Seq, prevSeq, filepath.Base(seg.path))
+			}
+			prevSeq = rec.Seq
+			if rec.Seq <= afterSeq {
+				return nil
+			}
+			if err := fn(rec); err != nil {
+				return err
+			}
+			lastSeq = rec.Seq
+			replayed++
+			return nil
+		})
+		if errors.Is(segErr, errTornTail) {
+			if !final {
+				return lastSeq, replayed, false, fmt.Errorf(
+					"live: wal segment %s is corrupt mid-log (not a crash tail); refusing to recover a gapped history", filepath.Base(seg.path))
+			}
+			if terr := os.Truncate(seg.path, validEnd); terr != nil {
+				return lastSeq, replayed, false, fmt.Errorf("live: truncate torn tail: %w", terr)
+			}
+			d.sealed[i].size = validEnd
+			return lastSeq, replayed, true, nil
+		}
+		if segErr != nil {
+			return lastSeq, replayed, false, fmt.Errorf("live: wal segment %s: %w", filepath.Base(seg.path), segErr)
+		}
+	}
+	return lastSeq, replayed, false, nil
+}
+
+// openAppend makes the WAL writable: the last scanned segment is reopened
+// for appending (or a fresh one is created at nextSeq) and the background
+// fsync timer starts if the policy asks for one.
+func (d *diskWAL) openAppend(nextSeq uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n := len(d.sealed); n > 0 {
+		info := d.sealed[n-1]
+		f, err := os.OpenFile(info.path, os.O_RDWR, 0)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Seek(info.size, io.SeekStart); err != nil {
+			_ = f.Close()
+			return err
+		}
+		d.cur = f
+		d.curInfo = info
+		d.sealed = d.sealed[:n-1]
+	} else {
+		f, err := os.OpenFile(segmentPath(d.dir, nextSeq), os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := f.WriteString(segmentMagic); err != nil {
+			_ = f.Close()
+			return err
+		}
+		d.cur = f
+		d.curInfo = segmentInfo{path: f.Name(), firstSeq: nextSeq, size: int64(len(segmentMagic))}
+	}
+	if d.opts.Fsync == FsyncInterval {
+		d.stopFlush = make(chan struct{})
+		d.flushDone = make(chan struct{})
+		go d.flushLoop()
+	}
+	return nil
+}
+
+// flushLoop is the FsyncInterval timer: it syncs the active segment
+// whenever bytes were written since the last sync.
+func (d *diskWAL) flushLoop() {
+	defer close(d.flushDone)
+	t := time.NewTicker(d.opts.FsyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stopFlush:
+			return
+		case <-t.C:
+			d.mu.Lock()
+			if d.dirty && d.cur != nil {
+				start := time.Now()
+				if err := d.cur.Sync(); err == nil {
+					d.dirty = false
+					d.fsyncs++
+					observe(d.obs.WALFsync, start)
+				}
+			}
+			d.mu.Unlock()
+		}
+	}
+}
+
+// append writes one committed batch as a single write(2), syncs per
+// policy, and rotates the segment when it outgrew SegmentSize. Called
+// under the graph's writer lock, before the batch becomes visible: an
+// error here aborts the commit.
+func (d *diskWAL) append(recs []Record) error {
+	start := time.Now()
+	var buf []byte
+	for _, r := range recs {
+		if r.Mut.LabelNamed && len(r.Mut.LabelName) > 0xFFFE {
+			return fmt.Errorf("live: label name of %d bytes exceeds the WAL record limit", len(r.Mut.LabelName))
+		}
+		buf = encodeRecord(buf, r)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if _, err := d.cur.Write(buf); err != nil {
+		return fmt.Errorf("live: wal append: %w", err)
+	}
+	d.curInfo.size += int64(len(buf))
+	switch d.opts.Fsync {
+	case FsyncAlways:
+		syncStart := time.Now()
+		if err := d.cur.Sync(); err != nil {
+			return fmt.Errorf("live: wal fsync: %w", err)
+		}
+		d.fsyncs++
+		observe(d.obs.WALFsync, syncStart)
+	default:
+		d.dirty = true
+	}
+	if d.curInfo.size >= d.opts.SegmentSize {
+		if err := d.rotateLocked(recs[len(recs)-1].Seq + 1); err != nil {
+			return fmt.Errorf("live: wal rotate: %w", err)
+		}
+	}
+	observe(d.obs.WALAppend, start)
+	return nil
+}
+
+// rotateLocked seals the active segment (sync + close) and opens a fresh
+// one whose name is the next sequence number to be written.
+func (d *diskWAL) rotateLocked(nextSeq uint64) error {
+	if err := d.cur.Sync(); err != nil {
+		return err
+	}
+	d.fsyncs++
+	if err := d.cur.Close(); err != nil {
+		return err
+	}
+	d.sealed = append(d.sealed, d.curInfo)
+	d.dirty = false
+	f, err := os.OpenFile(segmentPath(d.dir, nextSeq), os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(segmentMagic); err != nil {
+		_ = f.Close()
+		return err
+	}
+	d.cur = f
+	d.curInfo = segmentInfo{path: f.Name(), firstSeq: nextSeq, size: int64(len(segmentMagic))}
+	return nil
+}
+
+// needsCheckpoint reports whether enough sealed segments accumulated for
+// retention to demand a checkpoint + truncation.
+func (d *diskWAL) needsCheckpoint() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.sealed) > d.opts.KeepSegments
+}
+
+// writeCheckpoint atomically replaces the checkpoint file with a store
+// serialized at (seq, epoch), then deletes every sealed segment whose
+// records are all covered by it. st must be overlay-free or private to
+// the caller (Store.Encode compacts in place).
+func (d *diskWAL) writeCheckpoint(st *ccsr.Store, seq, epoch uint64) error {
+	start := time.Now()
+	tmp := filepath.Join(d.dir, checkpointName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	header := make([]byte, len(checkpointMagic)+16)
+	copy(header, checkpointMagic)
+	binary.LittleEndian.PutUint64(header[len(checkpointMagic):], seq)
+	binary.LittleEndian.PutUint64(header[len(checkpointMagic)+8:], epoch)
+	if _, err := f.Write(header); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := st.Encode(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(d.dir, checkpointName)); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.checkpoints++
+	// A sealed segment holds records [firstSeq, next segment's firstSeq);
+	// it is deletable once that whole range is <= seq.
+	kept := d.sealed[:0]
+	for i, seg := range d.sealed {
+		var upper uint64 // one past the last seq the segment can hold
+		if i+1 < len(d.sealed) {
+			upper = d.sealed[i+1].firstSeq
+		} else {
+			upper = d.curInfo.firstSeq
+		}
+		if upper != 0 && upper-1 <= seq {
+			if err := os.Remove(seg.path); err != nil {
+				return err
+			}
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	d.sealed = kept
+	observe(d.obs.WALCheckpoint, start)
+	return nil
+}
+
+// loadCheckpoint decodes the checkpoint file, if present.
+func (d *diskWAL) loadCheckpoint() (st *ccsr.Store, seq, epoch uint64, ok bool, err error) {
+	f, err := os.Open(filepath.Join(d.dir, checkpointName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, 0, false, nil
+	}
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	defer f.Close()
+	header := make([]byte, len(checkpointMagic)+16)
+	if _, err := io.ReadFull(f, header); err != nil {
+		return nil, 0, 0, false, fmt.Errorf("live: checkpoint header: %w", err)
+	}
+	if string(header[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, 0, 0, false, fmt.Errorf("live: bad checkpoint magic")
+	}
+	seq = binary.LittleEndian.Uint64(header[len(checkpointMagic):])
+	epoch = binary.LittleEndian.Uint64(header[len(checkpointMagic)+8:])
+	st, err = ccsr.Decode(f)
+	if err != nil {
+		return nil, 0, 0, false, fmt.Errorf("live: checkpoint store: %w", err)
+	}
+	return st, seq, epoch, true, nil
+}
+
+// diskStats reports segment count (sealed + active) and total bytes.
+func (d *diskWAL) diskStats() (segments int, bytes int64, fsyncs, checkpoints uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	segments = len(d.sealed)
+	for _, s := range d.sealed {
+		bytes += s.size
+	}
+	if d.cur != nil {
+		segments++
+		bytes += d.curInfo.size
+	}
+	return segments, bytes, d.fsyncs, d.checkpoints
+}
+
+// close flushes, syncs, and closes the active segment and stops the
+// background fsync timer. Idempotent.
+func (d *diskWAL) close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	stop := d.stopFlush
+	done := d.flushDone
+	d.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cur == nil {
+		return nil
+	}
+	if err := d.cur.Sync(); err != nil {
+		_ = d.cur.Close()
+		return err
+	}
+	d.fsyncs++
+	return d.cur.Close()
+}

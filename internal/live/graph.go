@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"csce/internal/ccsr"
 	"csce/internal/core"
@@ -14,17 +15,19 @@ import (
 )
 
 // Graph is one writable registered graph: a private writer store mutated
-// under g.mu, a published snapshot readers pin lock-free, the WAL, and the
-// subscriber table. Construct with NewGraph; all methods are safe for
-// concurrent use.
+// under g.mu, a published snapshot readers pin lock-free, the WAL (the
+// in-memory tail, plus the durable segment log when configured), and the
+// subscriber table. Construct with Open (or NewGraph for a purely
+// in-memory graph); all methods are safe for concurrent use.
 type Graph struct {
 	name string
 	opts Options
 	wal  *wal
+	dwal *diskWAL // nil without Options.Durability.Dir
 
 	// mu is the writer lock: it serializes Mutate/Subscribe/Close and
-	// guards writer, subs, nextSubID, closed, and epoch. Queries never
-	// take it.
+	// guards writer, resumeBase, subs, nextSubID, closed, and epoch.
+	// Queries never take it.
 	mu        sync.Mutex
 	writer    *ccsr.Store
 	subs      map[uint64]*Subscription
@@ -32,48 +35,244 @@ type Graph struct {
 	closed    bool
 	epoch     uint64
 
+	// resumeBase is the graph's state at exactly the in-memory WAL's
+	// oldest-resumable seq: applying the retained tail to a clone of it
+	// reconstructs every intermediate state a resuming subscriber needs.
+	// It rolls forward as retention truncates the tail.
+	resumeBase *ccsr.Store
+
+	recovery RecoveryStats
+
 	// snapMu guards only the cur pointer, held for pointer-swap duration;
 	// cur is written under mu+snapMu and read under either.
 	snapMu sync.Mutex
 	cur    *Snapshot
 
+	// retMu guards retained: per-epoch metadata of every snapshot that
+	// has not drained yet, for GC-pressure metrics.
+	retMu    sync.Mutex
+	retained map[uint64]snapMeta
+
 	stats counters
 }
 
-type counters struct {
-	batches          atomic.Uint64
-	batchesFailed    atomic.Uint64
-	verticesAdded    atomic.Uint64
-	edgesInserted    atomic.Uint64
-	edgesDeleted     atomic.Uint64
-	snapshotsLive    atomic.Int64
-	snapshotsDrained atomic.Uint64
-	subsTotal        atomic.Uint64
-	subsDropped      atomic.Uint64
-	deltasDelivered  atomic.Uint64
+// snapMeta describes one undrained snapshot for GC-pressure accounting.
+type snapMeta struct {
+	created time.Time
+	bytes   int
 }
 
-// NewGraph wraps an engine for live mutation. The engine's store becomes
-// the epoch-0 published snapshot (cloning the writer from it compacts any
-// pending overlays first, so the published version is safe for lock-free
-// readers); the engine must not be mutated elsewhere afterwards.
+type counters struct {
+	batches              atomic.Uint64
+	batchesFailed        atomic.Uint64
+	verticesAdded        atomic.Uint64
+	edgesInserted        atomic.Uint64
+	edgesDeleted         atomic.Uint64
+	snapshotsLive        atomic.Int64
+	snapshotsDrained     atomic.Uint64
+	subsTotal            atomic.Uint64
+	subsDropped          atomic.Uint64
+	subsResumed          atomic.Uint64
+	deltasDelivered      atomic.Uint64
+	retractionsDelivered atomic.Uint64
+	checkpointFailures   atomic.Uint64
+}
+
+// RecoveryStats reports what Open reconstructed from a durable WAL
+// directory. The zero value means no durability was configured.
+type RecoveryStats struct {
+	// HasCheckpoint reports whether a checkpoint file seeded the replay
+	// (CheckpointSeq/CheckpointEpoch are its position).
+	HasCheckpoint   bool   `json:"has_checkpoint"`
+	CheckpointSeq   uint64 `json:"checkpoint_seq"`
+	CheckpointEpoch uint64 `json:"checkpoint_epoch"`
+	// ReplayedRecords is how many log records were applied on top.
+	ReplayedRecords int `json:"replayed_records"`
+	// RecoveredSeq/RecoveredEpoch are the position the graph reopened at.
+	RecoveredSeq   uint64 `json:"recovered_seq"`
+	RecoveredEpoch uint64 `json:"recovered_epoch"`
+	// TornTail reports that the final segment ended mid-record (a crash
+	// during an append) and was truncated back to the last whole record.
+	TornTail bool `json:"torn_tail"`
+	// Duration is the wall time of checkpoint load + replay.
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// NewGraph wraps an engine for purely in-memory live mutation: any
+// Durability in opts is ignored. The engine's store becomes the epoch-0
+// published snapshot; the engine must not be mutated elsewhere afterwards.
 func NewGraph(name string, eng *core.Engine, opts Options) *Graph {
-	opts = opts.withDefaults()
-	g := &Graph{
-		name: name,
-		opts: opts,
-		wal:  newWAL(opts.WALRetention),
-		subs: make(map[uint64]*Subscription),
+	opts.Durability = Durability{}
+	g, err := Open(name, eng, opts)
+	if err != nil {
+		// Unreachable: every error path in Open touches the disk WAL.
+		panic(err)
 	}
-	g.writer = eng.Store().Clone()
-	g.cur = newSnapshot(0, eng, g.onSnapshotDrain)
-	g.stats.snapshotsLive.Store(1)
 	return g
 }
 
-func (g *Graph) onSnapshotDrain() {
-	g.stats.snapshotsDrained.Add(1)
-	g.stats.snapshotsLive.Add(-1)
+// Open wraps an engine for live mutation. With Options.Durability.Dir set
+// it first recovers from the WAL directory: the base state is the
+// checkpoint if one exists (the engine's store otherwise), the segment
+// log is replayed on top — truncating a torn tail left by a crash
+// mid-append — and the graph reopens at the exact committed seq and epoch.
+// The engine's store (or the recovered state) becomes the first published
+// snapshot; the engine must not be mutated elsewhere afterwards.
+func Open(name string, eng *core.Engine, opts Options) (*Graph, error) {
+	opts = opts.withDefaults()
+	g := &Graph{
+		name:     name,
+		opts:     opts,
+		subs:     make(map[uint64]*Subscription),
+		retained: make(map[uint64]snapMeta),
+	}
+	if opts.Durability.Dir == "" {
+		g.wal = newWAL(opts.WALRetention)
+		g.writer = eng.Store().Clone()
+		g.resumeBase = eng.Store().Clone()
+		g.installSnapshot(newSnapshot(0, eng, g.drainHook(0)))
+		return g, nil
+	}
+	if err := g.recover(eng); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// recover rebuilds the graph's state from its durable WAL directory and
+// leaves the disk log open for appending.
+func (g *Graph) recover(eng *core.Engine) error {
+	start := time.Now()
+	dw, err := openDiskWAL(g.opts.Durability, g.opts.Observer)
+	if err != nil {
+		return err
+	}
+	base := eng.Store()
+	ckStore, ckSeq, ckEpoch, hasCk, err := dw.loadCheckpoint()
+	if err != nil {
+		return err
+	}
+	if hasCk {
+		base = ckStore
+		g.recovery.HasCheckpoint = true
+		g.recovery.CheckpointSeq = ckSeq
+		g.recovery.CheckpointEpoch = ckEpoch
+	}
+	// The writer replays in place; labels re-intern by name so runtime-
+	// minted labels keep their identity across the restart.
+	g.writer = base.Clone()
+	epoch := ckEpoch
+	lastSeq, replayed, torn, err := dw.replay(ckSeq, func(rec Record) error {
+		if err := applyRecord(g.writer, rec.Mut); err != nil {
+			return fmt.Errorf("live: replay seq %d (%s): %w", rec.Seq, rec.Mut.Op, err)
+		}
+		epoch = rec.Epoch
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := dw.openAppend(lastSeq + 1); err != nil {
+		return err
+	}
+	g.dwal = dw
+	g.wal = newWALAt(g.opts.WALRetention, lastSeq)
+	g.epoch = epoch
+	g.resumeBase = g.writer.Clone()
+	pub := g.writer.Clone()
+	g.installSnapshot(newSnapshot(epoch, core.FromStore(pub), g.drainHook(epoch)))
+	g.recovery.ReplayedRecords = replayed
+	g.recovery.RecoveredSeq = lastSeq
+	g.recovery.RecoveredEpoch = epoch
+	g.recovery.TornTail = torn
+	g.recovery.Duration = time.Since(start)
+	observe(g.opts.Observer.WALReplay, start)
+	return nil
+}
+
+// applyRecord applies one WAL record to a store during crash replay,
+// re-interning the label by name when the record carries one (the id
+// alone is only stable within a single process lifetime). Interning may
+// mutate the store's label table, so this must only run single-threaded
+// — which recovery is. Steady-state code paths use applyRaw instead.
+func applyRecord(st *ccsr.Store, m Mutation) error {
+	names := st.Names()
+	switch m.Op {
+	case OpAddVertex:
+		l := m.VertexLabel
+		if m.LabelNamed && names != nil {
+			l = names.Vertex(m.LabelName)
+		}
+		st.AddVertex(l)
+		return nil
+	case OpInsertEdge:
+		el := m.EdgeLabel
+		if m.LabelNamed && names != nil {
+			el = names.Edge(m.LabelName)
+		}
+		return st.InsertEdge(m.Src, m.Dst, el)
+	case OpDeleteEdge:
+		el := m.EdgeLabel
+		if m.LabelNamed && names != nil {
+			el = names.Edge(m.LabelName)
+		}
+		return st.DeleteEdge(m.Src, m.Dst, el)
+	default:
+		return fmt.Errorf("unknown op %d", m.Op)
+	}
+}
+
+// applyRaw applies one record by its interned ids, never touching the
+// label table. Correct for any record minted by this process run (resume
+// roll-forward, resume replay): the ids were assigned under the current
+// table, and re-interning would race with concurrent interning elsewhere.
+func applyRaw(st *ccsr.Store, m Mutation) error {
+	switch m.Op {
+	case OpAddVertex:
+		st.AddVertex(m.VertexLabel)
+		return nil
+	case OpInsertEdge:
+		return st.InsertEdge(m.Src, m.Dst, m.EdgeLabel)
+	case OpDeleteEdge:
+		return st.DeleteEdge(m.Src, m.Dst, m.EdgeLabel)
+	default:
+		return fmt.Errorf("unknown op %d", m.Op)
+	}
+}
+
+// installSnapshot publishes the first snapshot at construction time.
+func (g *Graph) installSnapshot(s *Snapshot) {
+	g.cur = s
+	g.stats.snapshotsLive.Store(1)
+	g.retMu.Lock()
+	g.retained[s.epoch] = snapMeta{created: time.Now(), bytes: s.Store().CompressedBytes()}
+	g.retMu.Unlock()
+}
+
+// drainHook builds the per-snapshot drain callback: it keeps the GC-
+// pressure accounting exact by forgetting the epoch's retained metadata
+// the moment the last reader lets go.
+func (g *Graph) drainHook(epoch uint64) func() {
+	return func() {
+		g.stats.snapshotsDrained.Add(1)
+		g.stats.snapshotsLive.Add(-1)
+		g.retMu.Lock()
+		delete(g.retained, epoch)
+		g.retMu.Unlock()
+	}
+}
+
+// Recovery reports what Open reconstructed from the durable WAL; the zero
+// value means the graph is purely in-memory.
+func (g *Graph) Recovery() RecoveryStats { return g.recovery }
+
+// Names returns the label table of the live writer — after a recovery it
+// includes every label minted by replayed mutations, not just the ones
+// the base engine knew.
+func (g *Graph) Names() *graph.LabelTable {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.writer.Names()
 }
 
 // Name returns the registry name the graph was created under.
@@ -107,8 +306,10 @@ type Commit struct {
 	// batch order.
 	AddedVertices []graph.VertexID
 	// Deltas is the total number of delta embeddings delivered to
-	// subscribers for this batch.
-	Deltas uint64
+	// subscribers for this batch; Retractions counts the embeddings
+	// retracted by the batch's deletions.
+	Deltas      uint64
+	Retractions uint64
 }
 
 // Mutate applies a batch atomically: all mutations commit in one snapshot
@@ -155,15 +356,39 @@ func (g *Graph) Mutate(ctx context.Context, muts []Mutation) (Commit, error) {
 	}
 	endApply()
 
-	// Commit: log, publish, notify. The swap is the commit point.
+	// Commit: log (durably first — a batch the disk refuses is aborted,
+	// not acknowledged), publish, notify. The swap is the commit point
+	// for readers; the disk append is the commit point for crashes.
 	endSwap := tr.StartSpan("live.swap")
 	com.Epoch = g.epoch + 1
-	com.FirstSeq, com.LastSeq = g.wal.append(muts, com.Epoch)
+	com.FirstSeq = g.wal.peekNextSeq()
+	com.LastSeq = com.FirstSeq + uint64(len(muts)) - 1
+	recs := make([]Record, len(muts))
+	for i, m := range muts {
+		recs[i] = Record{Seq: com.FirstSeq + uint64(i), Epoch: com.Epoch, Mut: m}
+	}
+	if g.dwal != nil {
+		if err := g.dwal.append(recs); err != nil {
+			endSwap()
+			g.rollbackLocked()
+			g.stats.batchesFailed.Add(1)
+			return Commit{}, err
+		}
+	}
+	for _, rec := range g.wal.appendRecords(recs) {
+		// Retention pushed this record out of the in-memory tail: fold it
+		// into the resume base so the oldest resumable state keeps pace.
+		if err := applyRaw(g.resumeBase, rec.Mut); err != nil {
+			// Unreachable: the record already applied cleanly to the
+			// writer at the same state.
+			panic(fmt.Sprintf("live: resume base diverged at seq %d: %v", rec.Seq, err))
+		}
+	}
 	g.publishLocked()
 	endSwap()
 
 	endNotify := tr.StartSpan("live.notify")
-	com.Deltas = g.notifyLocked(com, staged)
+	com.Deltas, com.Retractions = g.notifyLocked(com, staged)
 	endNotify()
 
 	g.stats.batches.Add(1)
@@ -171,6 +396,19 @@ func (g *Graph) Mutate(ctx context.Context, muts []Mutation) (Commit, error) {
 	g.stats.edgesInserted.Add(edgesIns)
 	g.stats.edgesDeleted.Add(edgesDel)
 	g.stats.deltasDelivered.Add(com.Deltas)
+	g.stats.retractionsDelivered.Add(com.Retractions)
+
+	if g.dwal != nil && g.dwal.needsCheckpoint() {
+		// The just-published store is overlay-free (Clone compacted it)
+		// and immutable, so encoding it races with nothing; segments
+		// wholly covered by the checkpoint are deleted afterwards. A
+		// failed checkpoint is not a failed commit — the batch is already
+		// durable in the segment log — so it only counts, it never errors
+		// the acknowledged mutation back to the client.
+		if err := g.dwal.writeCheckpoint(g.cur.Store(), com.LastSeq, com.Epoch); err != nil {
+			g.stats.checkpointFailures.Add(1)
+		}
+	}
 	return com, nil
 }
 
@@ -191,6 +429,11 @@ func (g *Graph) applyLocked(ctx context.Context, mutIndex int, m Mutation, com *
 		}
 		return g.stageDeltasLocked(ctx, mutIndex, m, staged)
 	case OpDeleteEdge:
+		// Retractions enumerate against the state that still has the
+		// edge: every embedding using it is about to be destroyed.
+		if err := g.stageRetractionsLocked(ctx, mutIndex, m, staged); err != nil {
+			return err
+		}
 		return g.writer.DeleteEdge(m.Src, m.Dst, m.EdgeLabel)
 	default:
 		return fmt.Errorf("unknown op %d", m.Op)
@@ -198,16 +441,37 @@ func (g *Graph) applyLocked(ctx context.Context, mutIndex int, m Mutation, com *
 }
 
 // stageDeltasLocked enumerates, per subscription, the embeddings created
-// by the insertion just applied to the writer. Deletions produce no
-// events: subscriptions are monotone delta streams (insertions only), as
-// documented on Subscribe.
+// by the insertion just applied to the writer.
 func (g *Graph) stageDeltasLocked(ctx context.Context, mutIndex int, m Mutation, staged map[*Subscription][]Event) error {
+	return g.stageEventsLocked(ctx, EventDelta, delta.NewEmbeddings, mutIndex, m, staged)
+}
+
+// stageRetractionsLocked enumerates, per subscription, the embeddings the
+// upcoming deletion destroys. The writer must still contain the edge.
+func (g *Graph) stageRetractionsLocked(ctx context.Context, mutIndex int, m Mutation, staged map[*Subscription][]Event) error {
+	return g.stageEventsLocked(ctx, EventRetract, delta.RemovedEmbeddings, mutIndex, m, staged)
+}
+
+// stageEventsLocked is the shared enumeration: for each subscription the
+// mutation's edge can touch, the embeddings through that edge at the
+// writer's current intermediate state become events of the given kind —
+// the store holds exactly the batch prefix up to this mutation, which is
+// what makes count(after) = count(before) + Σdeltas − Σretractions hold
+// across a batch.
+func (g *Graph) stageEventsLocked(
+	ctx context.Context,
+	kind EventKind,
+	enumerate func(*ccsr.Store, *graph.Graph, delta.Edge, delta.Options) (uint64, error),
+	mutIndex int,
+	m Mutation,
+	staged map[*Subscription][]Event,
+) error {
 	for _, sub := range g.subs {
 		if sub.condemned || !sub.patternUsesLabel(m.EdgeLabel) {
 			continue
 		}
 		events := staged[sub]
-		_, err := delta.NewEmbeddings(g.writer, sub.pattern, delta.Edge{Src: m.Src, Dst: m.Dst, Label: m.EdgeLabel}, delta.Options{
+		_, err := enumerate(g.writer, sub.pattern, delta.Edge{Src: m.Src, Dst: m.Dst, Label: m.EdgeLabel}, delta.Options{
 			Variant: sub.variant,
 			Ctx:     ctx,
 			OnEmbedding: func(mapping []graph.VertexID) bool {
@@ -219,7 +483,7 @@ func (g *Graph) stageDeltasLocked(ctx context.Context, mutIndex int, m Mutation,
 					return false
 				}
 				events = append(events, Event{
-					Kind:      EventDelta,
+					Kind:      kind,
 					Seq:       uint64(mutIndex), // rebased to FirstSeq+mutIndex at notify
 					Src:       m.Src,
 					Dst:       m.Dst,
@@ -255,8 +519,11 @@ func (g *Graph) rollbackLocked() {
 func (g *Graph) publishLocked() {
 	next := g.writer.Clone()
 	g.epoch++
-	snap := newSnapshot(g.epoch, core.FromStore(next), g.onSnapshotDrain)
+	snap := newSnapshot(g.epoch, core.FromStore(next), g.drainHook(g.epoch))
 	g.stats.snapshotsLive.Add(1)
+	g.retMu.Lock()
+	g.retained[g.epoch] = snapMeta{created: time.Now(), bytes: next.CompressedBytes()}
+	g.retMu.Unlock()
 	g.snapMu.Lock()
 	old := g.cur
 	g.cur = snap
@@ -264,17 +531,24 @@ func (g *Graph) publishLocked() {
 	old.Release()
 }
 
-// notifyLocked delivers staged delta events plus one commit marker to
-// every subscription. Sends never block: a subscriber whose buffer is
-// full (or that was condemned during staging) is dropped — its channel
-// closes without an explicit Close, and Dropped() reports why.
-func (g *Graph) notifyLocked(com Commit, staged map[*Subscription][]Event) uint64 {
-	var delivered uint64
+// notifyLocked delivers staged delta/retract events plus one commit
+// marker to every subscription. Sends never block: a subscriber whose
+// buffer is full (or that was condemned during staging) is dropped — its
+// channel closes without an explicit Close, and Dropped() reports why.
+func (g *Graph) notifyLocked(com Commit, staged map[*Subscription][]Event) (deltas, retractions uint64) {
 	for _, sub := range g.subs {
 		events := staged[sub]
 		if sub.condemned {
 			g.dropLocked(sub)
 			continue
+		}
+		var d, r uint64
+		for _, ev := range events {
+			if ev.Kind == EventDelta {
+				d++
+			} else {
+				r++
+			}
 		}
 		ok := true
 		for _, ev := range events {
@@ -286,19 +560,21 @@ func (g *Graph) notifyLocked(com Commit, staged map[*Subscription][]Event) uint6
 		}
 		if ok {
 			ok = sub.trySend(Event{
-				Kind:   EventCommit,
-				Seq:    com.LastSeq,
-				Epoch:  com.Epoch,
-				Deltas: uint64(len(events)),
+				Kind:        EventCommit,
+				Seq:         com.LastSeq,
+				Epoch:       com.Epoch,
+				Deltas:      d,
+				Retractions: r,
 			})
 		}
 		if !ok {
 			g.dropLocked(sub)
 			continue
 		}
-		delivered += uint64(len(events))
+		deltas += d
+		retractions += r
 	}
-	return delivered
+	return deltas, retractions
 }
 
 // Stats is a point-in-time snapshot of the graph's live-ingest counters.
@@ -309,6 +585,13 @@ type Stats struct {
 	WALRetained  int    `json:"wal_retained"`
 	WALTruncated uint64 `json:"wal_truncated"`
 
+	// Durable-WAL state; all zero for a purely in-memory graph.
+	WALDiskSegments    int    `json:"wal_disk_segments"`
+	WALDiskBytes       int64  `json:"wal_disk_bytes"`
+	WALFsyncs          uint64 `json:"wal_fsyncs"`
+	WALCheckpoints     uint64 `json:"wal_checkpoints"`
+	CheckpointFailures uint64 `json:"checkpoint_failures"`
+
 	Batches       uint64 `json:"batches"`
 	BatchesFailed uint64 `json:"batches_failed"`
 	VerticesAdded uint64 `json:"vertices_added"`
@@ -318,10 +601,20 @@ type Stats struct {
 	SnapshotsLive    int64  `json:"snapshots_live"`
 	SnapshotsDrained uint64 `json:"snapshots_drained"`
 
-	Subscribers        int    `json:"subscribers"`
-	SubscribersTotal   uint64 `json:"subscribers_total"`
-	SubscribersDropped uint64 `json:"subscribers_dropped"`
-	DeltasDelivered    uint64 `json:"deltas_delivered"`
+	// GC pressure of retained (undrained) snapshots: how many bytes of
+	// compressed store the unreleased epochs pin, which epoch has been
+	// pinned the longest, and for how long. A rising age under mutation
+	// load means some reader is sitting on an old snapshot.
+	SnapshotBytes     int64   `json:"snapshot_bytes"`
+	OldestPinnedEpoch uint64  `json:"oldest_pinned_epoch"`
+	OldestPinnedAge   float64 `json:"oldest_pinned_age_seconds"`
+
+	Subscribers          int    `json:"subscribers"`
+	SubscribersTotal     uint64 `json:"subscribers_total"`
+	SubscribersDropped   uint64 `json:"subscribers_dropped"`
+	SubscribersResumed   uint64 `json:"subscribers_resumed"`
+	DeltasDelivered      uint64 `json:"deltas_delivered"`
+	RetractionsDelivered uint64 `json:"retractions_delivered"`
 }
 
 // Stats returns the current counters.
@@ -330,30 +623,54 @@ func (g *Graph) Stats() Stats {
 	g.mu.Lock()
 	subs := len(g.subs)
 	g.mu.Unlock()
-	return Stats{
-		Epoch:              g.Epoch(),
-		LastSeq:            g.wal.lastSeq(),
-		WALRetained:        retained,
-		WALTruncated:       truncated,
-		Batches:            g.stats.batches.Load(),
-		BatchesFailed:      g.stats.batchesFailed.Load(),
-		VerticesAdded:      g.stats.verticesAdded.Load(),
-		EdgesInserted:      g.stats.edgesInserted.Load(),
-		EdgesDeleted:       g.stats.edgesDeleted.Load(),
-		SnapshotsLive:      g.stats.snapshotsLive.Load(),
-		SnapshotsDrained:   g.stats.snapshotsDrained.Load(),
-		Subscribers:        subs,
-		SubscribersTotal:   g.stats.subsTotal.Load(),
-		SubscribersDropped: g.stats.subsDropped.Load(),
-		DeltasDelivered:    g.stats.deltasDelivered.Load(),
+	st := Stats{
+		Epoch:                g.Epoch(),
+		LastSeq:              g.wal.lastSeq(),
+		WALRetained:          retained,
+		WALTruncated:         truncated,
+		CheckpointFailures:   g.stats.checkpointFailures.Load(),
+		Batches:              g.stats.batches.Load(),
+		BatchesFailed:        g.stats.batchesFailed.Load(),
+		VerticesAdded:        g.stats.verticesAdded.Load(),
+		EdgesInserted:        g.stats.edgesInserted.Load(),
+		EdgesDeleted:         g.stats.edgesDeleted.Load(),
+		SnapshotsLive:        g.stats.snapshotsLive.Load(),
+		SnapshotsDrained:     g.stats.snapshotsDrained.Load(),
+		Subscribers:          subs,
+		SubscribersTotal:     g.stats.subsTotal.Load(),
+		SubscribersDropped:   g.stats.subsDropped.Load(),
+		SubscribersResumed:   g.stats.subsResumed.Load(),
+		DeltasDelivered:      g.stats.deltasDelivered.Load(),
+		RetractionsDelivered: g.stats.retractionsDelivered.Load(),
 	}
+	if g.dwal != nil {
+		st.WALDiskSegments, st.WALDiskBytes, st.WALFsyncs, st.WALCheckpoints = g.dwal.diskStats()
+	}
+	now := time.Now()
+	g.retMu.Lock()
+	first := true
+	for epoch, meta := range g.retained {
+		st.SnapshotBytes += int64(meta.bytes)
+		if first || epoch < st.OldestPinnedEpoch {
+			st.OldestPinnedEpoch = epoch
+			st.OldestPinnedAge = now.Sub(meta.created).Seconds()
+			first = false
+		}
+	}
+	g.retMu.Unlock()
+	return st
 }
 
 // Tail returns the retained WAL records with Seq > after (debugging and
 // catch-up inspection; retention may have truncated older entries).
 func (g *Graph) Tail(after uint64) []Record { return g.wal.tail(after) }
 
-// Close stops mutations and closes every subscription. Published
+// OldestResumableSeq is the smallest from_seq ResumeSubscribe accepts;
+// anything older was truncated out of the retained window.
+func (g *Graph) OldestResumableSeq() uint64 { return g.wal.oldestResumable() }
+
+// Close stops mutations, closes every subscription, and syncs+closes the
+// durable WAL so the final acknowledged batch is on disk. Published
 // snapshots stay readable until their holders release them; Close is
 // idempotent.
 func (g *Graph) Close() {
@@ -367,4 +684,7 @@ func (g *Graph) Close() {
 		sub.closeLocked()
 	}
 	g.subs = map[uint64]*Subscription{}
+	if g.dwal != nil {
+		_ = g.dwal.close()
+	}
 }

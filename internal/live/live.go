@@ -27,10 +27,20 @@
 // private writer clone; on any invalid mutation (or caller cancellation
 // mid-delta) the writer is rebuilt from the current published snapshot and
 // nothing is logged or published. On success the batch is appended to the
-// WAL, the swap publishes the new epoch, and subscribers are notified —
-// the swap is the commit point, so the log never contains aborted
-// mutations (being in-memory, the log has no crash-recovery duty; it
-// exists for sequencing, audit, and subscriber correlation).
+// WAL — first to the disk log when Options.Durability enables one, then to
+// the in-memory tail — the swap publishes the new epoch, and subscribers
+// are notified. The swap is the commit point, so the log never contains
+// aborted mutations, and a crash before the disk append returns means the
+// batch was never acknowledged.
+//
+// Durability: with Options.Durability.Dir set, every committed record also
+// lands in segment files under that directory (CRC-checksummed, fsynced
+// per the configured policy) and Open replays checkpoint + segments at
+// startup, recovering the exact committed seq and epoch; see dwal.go for
+// the format and crash semantics. Subscribers that reconnect resume from
+// any retained seq with ResumeSubscribe: replayed deltas (and retraction
+// events for deletions) arrive gapless before the stream hands over to
+// live commits.
 package live
 
 import (
@@ -73,6 +83,15 @@ type Mutation struct {
 	Src, Dst    graph.VertexID
 	EdgeLabel   graph.EdgeLabel
 	VertexLabel graph.Label
+	// LabelName is the symbolic name behind EdgeLabel/VertexLabel, when
+	// the caller interned one (LabelNamed true). Interned ids depend on
+	// arrival order, so the durable WAL persists the name and replay
+	// re-interns it — that keeps labels stable across restarts even for
+	// labels first seen at runtime. LabelNamed false means "trust the
+	// raw id" (programmatic callers); it is distinct from an interned
+	// empty name, which is a valid label of its own.
+	LabelName  string
+	LabelNamed bool
 }
 
 // ErrVertexInduced is returned by Subscribe for the vertex-induced
@@ -85,6 +104,18 @@ var ErrVertexInduced = errors.New(
 // ErrClosed is returned by Mutate and Subscribe after Close.
 var ErrClosed = errors.New("live: graph is closed")
 
+// ErrSeqTruncated is returned by ResumeSubscribe when the requested
+// position predates the oldest resumable record: retention already
+// truncated that part of history, so a gapless replay is impossible. The
+// HTTP layer maps it to 410 Gone; the client must recount from a fresh
+// snapshot instead of trusting its running sum.
+var ErrSeqTruncated = errors.New("live: requested seq predates retained history")
+
+// ErrSeqFuture is returned by ResumeSubscribe when from_seq is beyond the
+// last committed sequence number — the client is asking to resume from a
+// position that never existed.
+var ErrSeqFuture = errors.New("live: requested seq is beyond the committed log")
+
 // Options tunes one live graph; the zero value takes defaults.
 type Options struct {
 	// SubscriberBuffer is the per-subscription event channel capacity; a
@@ -93,7 +124,15 @@ type Options struct {
 	SubscriberBuffer int
 	// WALRetention bounds the in-memory log to the most recent entries;
 	// sequence numbers keep increasing past truncation (default 4096).
+	// It is also the resume horizon: ResumeSubscribe can replay from any
+	// seq still inside this window.
 	WALRetention int
+	// Durability configures the disk-backed WAL; the zero value (empty
+	// Dir) keeps the graph purely in-memory.
+	Durability Durability
+	// Observer receives durations of WAL appends, fsyncs, replays, and
+	// checkpoints for external histogramming. All hooks optional.
+	Observer Observer
 }
 
 func (o Options) withDefaults() Options {

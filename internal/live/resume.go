@@ -1,0 +1,222 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"csce/internal/ccsr"
+	"csce/internal/delta"
+	"csce/internal/graph"
+)
+
+// Resume is a subscription that first replays history. ResumeSubscribe
+// registers the live side and captures the replay inputs in one critical
+// section, so the two halves meet without a gap: Replay emits every delta
+// and retraction of seqs (fromSeq, lastSeq-at-registration], and Live()
+// delivers exactly the batches committed after registration.
+type Resume struct {
+	g   *Graph
+	sub *Subscription
+
+	// base is a private clone of the graph's resume base: the state at
+	// exactly the oldest-resumable seq. records is the full retained tail
+	// above that seq; Replay rolls base forward through the prefix at or
+	// below fromSeq silently, then recomputes events for the rest.
+	base    *ccsr.Store
+	records []Record
+	fromSeq uint64
+
+	replayed bool
+}
+
+// ResumeSubscribe registers a continuous query that resumes after fromSeq:
+// the caller has already seen every event up to and including fromSeq
+// (0 means "from the beginning of retained history"). It fails with
+// ErrSeqTruncated when retention already dropped records above fromSeq —
+// a gapless replay is impossible and the client must recount — and with
+// ErrSeqFuture when fromSeq is beyond the committed log. The same pattern
+// restrictions as Subscribe apply.
+//
+// Call Replay before consuming Live(); the combined stream is gapless and
+// in seq order.
+func (g *Graph) ResumeSubscribe(p *graph.Graph, variant graph.Variant, fromSeq uint64) (*Resume, error) {
+	if variant == graph.VertexInduced {
+		return nil, ErrVertexInduced
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return nil, ErrClosed
+	}
+	if p.Directed() != g.writer.Directed() {
+		return nil, fmt.Errorf("live: pattern directedness mismatch (graph %q)", g.name)
+	}
+	oldest := g.wal.oldestResumable()
+	last := g.wal.lastSeq()
+	if fromSeq < oldest {
+		return nil, fmt.Errorf("%w (from_seq %d, oldest resumable %d)", ErrSeqTruncated, fromSeq, oldest)
+	}
+	if fromSeq > last {
+		return nil, fmt.Errorf("%w (from_seq %d, last committed %d)", ErrSeqFuture, fromSeq, last)
+	}
+
+	// Registration and capture share this one critical section: the tail
+	// ends at the last committed seq, and every later commit lands on the
+	// live channel — no seq can fall between the two.
+	g.nextSubID++
+	sub := &Subscription{
+		id:        g.nextSubID,
+		g:         g,
+		pattern:   p,
+		variant:   variant,
+		joinEpoch: g.epoch,
+		ch:        make(chan Event, g.opts.SubscriberBuffer),
+	}
+	g.subs[sub.id] = sub
+	g.stats.subsTotal.Add(1)
+	g.stats.subsResumed.Add(1)
+	return &Resume{
+		g:       g,
+		sub:     sub,
+		base:    g.resumeBase.Clone(),
+		records: g.wal.tail(oldest),
+		fromSeq: fromSeq,
+	}, nil
+}
+
+// Live returns the live half of the resumed subscription. Its channel
+// starts filling immediately, buffered, so a Replay that takes a while
+// does not lose commits — but a replay slower than SubscriberBuffer live
+// events will overflow it and drop the subscriber, exactly like any slow
+// consumer.
+func (r *Resume) Live() *Subscription { return r.sub }
+
+// Replay recomputes the missed events by rolling the captured base state
+// through the captured tail: for each insertion past fromSeq the delta
+// embeddings at that intermediate state, for each deletion the retracted
+// embeddings, each batch closed by a commit marker — the same stream the
+// subscriber would have received live. Events arrive through emit in seq
+// order; a non-nil error from emit (or ctx cancellation) aborts the
+// replay and closes the subscription. Replay must be called exactly once,
+// before consuming Live().
+func (r *Resume) Replay(ctx context.Context, emit func(Event) error) error {
+	if r.replayed {
+		return fmt.Errorf("live: Replay called twice")
+	}
+	r.replayed = true
+	start := time.Now()
+	i := 0
+	// Records the subscriber has already seen only advance the state.
+	for ; i < len(r.records) && r.records[i].Seq <= r.fromSeq; i++ {
+		if err := applyRaw(r.base, r.records[i].Mut); err != nil {
+			r.sub.Close()
+			return fmt.Errorf("live: resume roll-forward seq %d: %w", r.records[i].Seq, err)
+		}
+	}
+	var deltas, retractions uint64
+	for ; i < len(r.records); i++ {
+		if err := ctx.Err(); err != nil {
+			r.sub.Close()
+			return err
+		}
+		rec := r.records[i]
+		events, err := r.eventsFor(ctx, rec)
+		if err != nil {
+			r.sub.Close()
+			return fmt.Errorf("live: resume replay seq %d (%s): %w", rec.Seq, rec.Mut.Op, err)
+		}
+		for _, ev := range events {
+			if ev.Kind == EventDelta {
+				deltas++
+			} else {
+				retractions++
+			}
+			if err := emit(ev); err != nil {
+				r.sub.Close()
+				return err
+			}
+		}
+		// Epoch boundaries are batch boundaries; close each replayed
+		// batch with the same commit marker the live stream sends.
+		if i+1 == len(r.records) || r.records[i+1].Epoch != rec.Epoch {
+			marker := Event{
+				Kind:        EventCommit,
+				Seq:         rec.Seq,
+				Epoch:       rec.Epoch,
+				Deltas:      deltas,
+				Retractions: retractions,
+			}
+			deltas, retractions = 0, 0
+			if err := emit(marker); err != nil {
+				r.sub.Close()
+				return err
+			}
+		}
+	}
+	r.base = nil // the replay state is dead weight once caught up
+	r.records = nil
+	observe(r.g.opts.Observer.ResumeReplay, start)
+	return nil
+}
+
+// eventsFor applies one record to the replay state and returns the events
+// it implies for the resumed pattern, in the order the live stream would
+// have sent them.
+func (r *Resume) eventsFor(ctx context.Context, rec Record) ([]Event, error) {
+	m := rec.Mut
+	switch m.Op {
+	case OpAddVertex:
+		return nil, applyRaw(r.base, m)
+	case OpInsertEdge:
+		if err := applyRaw(r.base, m); err != nil {
+			return nil, err
+		}
+		if !r.sub.patternUsesLabel(m.EdgeLabel) {
+			return nil, nil
+		}
+		return r.enumerate(ctx, EventDelta, delta.NewEmbeddings, rec)
+	case OpDeleteEdge:
+		var events []Event
+		if r.sub.patternUsesLabel(m.EdgeLabel) {
+			var err error
+			events, err = r.enumerate(ctx, EventRetract, delta.RemovedEmbeddings, rec)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return events, applyRaw(r.base, m)
+	default:
+		return nil, fmt.Errorf("unknown op %d", m.Op)
+	}
+}
+
+func (r *Resume) enumerate(
+	ctx context.Context,
+	kind EventKind,
+	enumerate func(*ccsr.Store, *graph.Graph, delta.Edge, delta.Options) (uint64, error),
+	rec Record,
+) ([]Event, error) {
+	m := rec.Mut
+	var events []Event
+	_, err := enumerate(r.base, r.sub.pattern, delta.Edge{Src: m.Src, Dst: m.Dst, Label: m.EdgeLabel}, delta.Options{
+		Variant: r.sub.variant,
+		Ctx:     ctx,
+		OnEmbedding: func(mapping []graph.VertexID) bool {
+			events = append(events, Event{
+				Kind:      kind,
+				Seq:       rec.Seq,
+				Epoch:     rec.Epoch,
+				Src:       m.Src,
+				Dst:       m.Dst,
+				EdgeLabel: m.EdgeLabel,
+				Embedding: append([]graph.VertexID(nil), mapping...),
+			})
+			return true
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return events, ctx.Err()
+}

@@ -14,9 +14,13 @@ const (
 	// EventDelta carries one new embedding created by a committed
 	// insertion.
 	EventDelta EventKind = iota
-	// EventCommit marks the end of a batch's events: every delta of the
-	// batch has been delivered before it.
+	// EventCommit marks the end of a batch's events: every delta and
+	// retraction of the batch has been delivered before it.
 	EventCommit
+	// EventRetract carries one embedding destroyed by a committed
+	// deletion; subtracting retractions keeps a subscriber's running
+	// count exact across delete_edge mutations.
+	EventRetract
 )
 
 // String renders the kind as its wire name.
@@ -26,6 +30,8 @@ func (k EventKind) String() string {
 		return "delta"
 	case EventCommit:
 		return "commit"
+	case EventRetract:
+		return "retract"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -34,20 +40,24 @@ func (k EventKind) String() string {
 // Event is one message on a subscription stream.
 type Event struct {
 	Kind EventKind
-	// Seq is the WAL sequence of the insertion that created the delta;
-	// for a commit marker, the batch's last sequence.
+	// Seq is the WAL sequence of the mutation that created (delta) or
+	// destroyed (retract) the embedding; for a commit marker, the
+	// batch's last sequence.
 	Seq uint64
 	// Epoch is the snapshot epoch the batch committed as.
 	Epoch uint64
-	// Src/Dst/EdgeLabel identify the inserted data edge (delta only).
+	// Src/Dst/EdgeLabel identify the inserted or deleted data edge
+	// (delta and retract only).
 	Src, Dst  graph.VertexID
 	EdgeLabel graph.EdgeLabel
-	// Embedding is the new embedding, indexed by pattern vertex ID
-	// (delta only).
+	// Embedding is the embedding created or destroyed, indexed by
+	// pattern vertex ID (delta and retract only).
 	Embedding []graph.VertexID
-	// Deltas is the number of delta events this subscriber was sent for
-	// the batch (commit only).
-	Deltas uint64
+	// Deltas and Retractions are the per-kind event counts this
+	// subscriber was sent for the batch (commit only). A subscriber's
+	// running count stays exact as count += Deltas - Retractions.
+	Deltas      uint64
+	Retractions uint64
 }
 
 // Subscription is one registered continuous query. Events() yields, per
@@ -72,10 +82,10 @@ type Subscription struct {
 
 // Subscribe registers a continuous query for pattern p under the given
 // matching variant. The returned subscription joins at the current epoch:
-// it receives exactly the deltas of every batch committed after the call.
-// Vertex-induced patterns are rejected with ErrVertexInduced — their
-// deltas are not pure additions. Deletions are never notified; the stream
-// is monotone by construction.
+// it receives exactly the deltas — and, for deletions, retractions — of
+// every batch committed after the call. Vertex-induced patterns are
+// rejected with ErrVertexInduced: under that semantics an insertion can
+// itself destroy embeddings, so neither deltas nor retractions are pure.
 func (g *Graph) Subscribe(p *graph.Graph, variant graph.Variant) (*Subscription, error) {
 	if variant == graph.VertexInduced {
 		return nil, ErrVertexInduced

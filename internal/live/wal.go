@@ -29,22 +29,40 @@ func newWAL(retention int) *wal {
 	return &wal{nextSeq: 1, retention: retention}
 }
 
-// append logs a committed batch under the given epoch and returns the
-// first and last sequence numbers assigned.
-func (w *wal) append(muts []Mutation, epoch uint64) (first, last uint64) {
+// newWALAt seeds a log that resumes numbering after a recovery: the next
+// sequence number is lastSeq+1 and everything at or below lastSeq counts
+// as truncated (recovered history lives on disk, not in the tail).
+func newWALAt(retention int, lastSeq uint64) *wal {
+	return &wal{nextSeq: lastSeq + 1, truncated: lastSeq, retention: retention}
+}
+
+// peekNextSeq returns the sequence number the next committed record will
+// receive. Only meaningful under the graph writer lock, which serializes
+// all appends.
+func (w *wal) peekNextSeq() uint64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	first = w.nextSeq
-	for _, m := range muts {
-		w.recs = append(w.recs, Record{Seq: w.nextSeq, Epoch: epoch, Mut: m})
-		w.nextSeq++
+	return w.nextSeq
+}
+
+// appendRecords logs a committed batch whose Seq fields were pre-assigned
+// from peekNextSeq (the durable WAL needs finished records before the
+// in-memory tail may admit them). It returns the records retention pushed
+// out, oldest first, so the caller can roll its resume base forward.
+func (w *wal) appendRecords(recs []Record) (dropped []Record) {
+	if len(recs) == 0 {
+		return nil
 	}
-	last = w.nextSeq - 1
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.recs = append(w.recs, recs...)
+	w.nextSeq = recs[len(recs)-1].Seq + 1
 	if over := len(w.recs) - w.retention; over > 0 {
+		dropped = append([]Record(nil), w.recs[:over]...)
 		w.truncated += uint64(over)
 		w.recs = append([]Record(nil), w.recs[over:]...)
 	}
-	return first, last
+	return dropped
 }
 
 // lastSeq returns the most recently assigned sequence number (0 if none).
@@ -63,6 +81,15 @@ func (w *wal) tail(after uint64) []Record {
 		i++
 	}
 	return append([]Record(nil), w.recs[i:]...)
+}
+
+// oldestResumable returns the smallest seq a subscriber may resume from:
+// the resume base sits at exactly this state, and every later record is
+// retained. Resuming from anything smaller would leave a gap.
+func (w *wal) oldestResumable() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.truncated
 }
 
 // size reports retained length and the count of truncated entries.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"csce/internal/graph"
@@ -41,6 +42,12 @@ func resolveMutations(docs []mutationDoc, names *graph.LabelTable) ([]live.Mutat
 			}
 			if names != nil {
 				m.VertexLabel = names.Vertex(d.Label)
+				// The durable WAL persists the name, not just the interned
+				// id: ids are assigned in arrival order and would drift on
+				// a restart that replays in a different order than labels
+				// were first seen.
+				m.LabelName = d.Label
+				m.LabelNamed = true
 			}
 		case live.OpInsertEdge.String(), live.OpDeleteEdge.String():
 			m.Op = live.OpInsertEdge
@@ -53,6 +60,8 @@ func resolveMutations(docs []mutationDoc, names *graph.LabelTable) ([]live.Mutat
 			}
 			if names != nil {
 				m.EdgeLabel = names.Edge(d.Label)
+				m.LabelName = d.Label
+				m.LabelNamed = true
 			}
 		default:
 			return nil, fmt.Errorf("mutation %d: unknown op %q (add_vertex, insert_edge, delete_edge)", i, d.Op)
@@ -136,12 +145,13 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		"total_ms", durMs(time.Since(start)),
 	)
 	doc := map[string]any{
-		"applied":   len(muts),
-		"trace_id":  tr.ID,
-		"first_seq": com.FirstSeq,
-		"last_seq":  com.LastSeq,
-		"epoch":     com.Epoch,
-		"deltas":    com.Deltas,
+		"applied":     len(muts),
+		"trace_id":    tr.ID,
+		"first_seq":   com.FirstSeq,
+		"last_seq":    com.LastSeq,
+		"epoch":       com.Epoch,
+		"deltas":      com.Deltas,
+		"retractions": com.Retractions,
 	}
 	if len(com.AddedVertices) > 0 {
 		doc["added_vertices"] = com.AddedVertices
@@ -193,21 +203,57 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	sub, err := ent.Live.Subscribe(p, variant)
-	if err != nil {
-		switch {
-		case errors.Is(err, live.ErrClosed):
-			jsonError(w, http.StatusServiceUnavailable, "graph is closed")
-		case errors.Is(err, live.ErrVertexInduced):
-			jsonError(w, http.StatusBadRequest, err.Error())
-		default:
-			jsonError(w, http.StatusBadRequest, err.Error())
+	// ?from_seq=N (N may be 0: "replay all retained history") switches to
+	// the resume protocol: missed events replay from the retained WAL
+	// before the stream hands over to live commits, gapless.
+	var res *live.Resume
+	var sub *live.Subscription
+	if raw := q.Get("from_seq"); raw != "" {
+		fromSeq, perr := strconv.ParseUint(raw, 10, 64)
+		if perr != nil {
+			jsonError(w, http.StatusBadRequest, fmt.Sprintf("bad from_seq %q", raw))
+			return
 		}
-		return
+		res, err = ent.Live.ResumeSubscribe(p, variant, fromSeq)
+		if err != nil {
+			switch {
+			case errors.Is(err, live.ErrSeqTruncated):
+				// 410 Gone: the history needed for a gapless resume has
+				// been truncated; the client must recount from a fresh
+				// /match instead of trusting its running sum.
+				s.metrics.subscriptionsGone.Add(1)
+				writeJSON(w, http.StatusGone, map[string]any{
+					"error":      err.Error(),
+					"oldest_seq": ent.Live.OldestResumableSeq(),
+					"last_seq":   ent.Live.Stats().LastSeq,
+				})
+			case errors.Is(err, live.ErrSeqFuture):
+				jsonError(w, http.StatusBadRequest, err.Error())
+			case errors.Is(err, live.ErrClosed):
+				jsonError(w, http.StatusServiceUnavailable, "graph is closed")
+			default:
+				jsonError(w, http.StatusBadRequest, err.Error())
+			}
+			return
+		}
+		sub = res.Live()
+		s.metrics.subscriptionsResumed.Add(1)
+	} else {
+		sub, err = ent.Live.Subscribe(p, variant)
+		if err != nil {
+			switch {
+			case errors.Is(err, live.ErrClosed):
+				jsonError(w, http.StatusServiceUnavailable, "graph is closed")
+			default:
+				jsonError(w, http.StatusBadRequest, err.Error())
+			}
+			return
+		}
 	}
 	defer sub.Close()
 	s.metrics.subscriptionsOpened.Add(1)
-	s.log.Info("subscription opened", "trace_id", tr.ID, "graph", ent.Name, "epoch", sub.JoinEpoch())
+	s.log.Info("subscription opened", "trace_id", tr.ID, "graph", ent.Name,
+		"epoch", sub.JoinEpoch(), "resume", res != nil)
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
@@ -221,14 +267,39 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		}
 		return true
 	}
-	if !writeLine(map[string]any{
+	hello := map[string]any{
 		"subscribed": true,
 		"trace_id":   tr.ID,
 		"graph":      ent.Name,
 		"epoch":      sub.JoinEpoch(),
 		"variant":    variant.String(),
-	}) {
+	}
+	if res != nil {
+		hello["resume_from"] = q.Get("from_seq")
+	}
+	if !writeLine(hello) {
 		return
+	}
+
+	if res != nil {
+		// Replayed events carry "replay":true; after the caught_up line
+		// every event is live. Seqs are gapless across the hand-off.
+		errClientGone := errors.New("client gone")
+		rerr := res.Replay(r.Context(), func(ev live.Event) error {
+			doc := s.eventDoc(ent, ev)
+			doc["replay"] = true
+			if !writeLine(doc) {
+				return errClientGone
+			}
+			return nil
+		})
+		if rerr != nil {
+			s.log.Warn("resume replay ended early", "trace_id", tr.ID, "graph", ent.Name, "error", rerr)
+			return
+		}
+		if !writeLine(map[string]any{"caught_up": true}) {
+			return
+		}
 	}
 
 	for {
@@ -256,12 +327,17 @@ func (s *Server) eventDoc(ent *Entry, ev live.Event) map[string]any {
 	switch ev.Kind {
 	case live.EventCommit:
 		return map[string]any{
-			"kind":   "commit",
-			"seq":    ev.Seq,
-			"epoch":  ev.Epoch,
-			"deltas": ev.Deltas,
+			"kind":        "commit",
+			"seq":         ev.Seq,
+			"epoch":       ev.Epoch,
+			"deltas":      ev.Deltas,
+			"retractions": ev.Retractions,
 		}
 	default:
+		kind := "delta"
+		if ev.Kind == live.EventRetract {
+			kind = "retract"
+		}
 		label := ""
 		if ent.Names != nil {
 			s.names.Lock()
@@ -269,7 +345,7 @@ func (s *Server) eventDoc(ent *Entry, ev live.Event) map[string]any {
 			s.names.Unlock()
 		}
 		return map[string]any{
-			"kind":      "delta",
+			"kind":      kind,
 			"seq":       ev.Seq,
 			"epoch":     ev.Epoch,
 			"src":       ev.Src,

@@ -27,6 +27,18 @@ var metricsEndpoints = []string{
 	"slowlog", "slowlog_threshold",
 }
 
+// WAL operation names index the durable-log latency histograms.
+const (
+	walAppend     = "append"     // full disk append of one batch
+	walFsync      = "fsync"      // each fsync, whatever the policy
+	walReplay     = "replay"     // startup checkpoint load + log replay
+	walCheckpoint = "checkpoint" // checkpoint write + segment truncation
+	walResume     = "resume"     // subscriber resume replay
+)
+
+// metricsWALOps lists the WAL histogram keys in render order.
+var metricsWALOps = []string{walAppend, walFsync, walReplay, walCheckpoint, walResume}
+
 // metrics holds the daemon's monotonic counters and latency histograms.
 // Everything is a plain atomic so the hot path never takes a lock;
 // /metrics renders a snapshot as one JSON document, and gauges (in-flight,
@@ -46,12 +58,14 @@ type metrics struct {
 
 	// Mutation outcomes; exactly one moves per POST that reached the
 	// mutate handler (per-graph detail lives in the "live" metrics block).
-	mutationsTotal      atomic.Uint64
-	mutationsOK         atomic.Uint64 // committed batches
-	mutationsRejected   atomic.Uint64 // mutation valve full (HTTP 429)
-	mutationsFailed     atomic.Uint64 // invalid batches rolled back (HTTP 422)
-	mutationsBadRequest atomic.Uint64 // unparseable body / unknown graph
-	subscriptionsOpened atomic.Uint64 // subscribe streams accepted
+	mutationsTotal       atomic.Uint64
+	mutationsOK          atomic.Uint64 // committed batches
+	mutationsRejected    atomic.Uint64 // mutation valve full (HTTP 429)
+	mutationsFailed      atomic.Uint64 // invalid batches rolled back (HTTP 422)
+	mutationsBadRequest  atomic.Uint64 // unparseable body / unknown graph
+	subscriptionsOpened  atomic.Uint64 // subscribe streams accepted
+	subscriptionsResumed atomic.Uint64 // subscribe streams that resumed via from_seq
+	subscriptionsGone    atomic.Uint64 // resume refused with 410 (seq truncated)
 
 	// Work volume.
 	embeddingsEmitted atomic.Uint64 // NDJSON embedding lines streamed
@@ -60,22 +74,28 @@ type metrics struct {
 	execMicros        atomic.Uint64 // summed execution-stage wall time (µs)
 	planMicros        atomic.Uint64 // summed plan-stage wall time (µs); cache hits contribute ~0
 
-	// Latency histograms: per query phase and per HTTP endpoint. Allocated
-	// once by newMetrics; recording is lock-free (obs.Histogram).
+	// Latency histograms: per query phase, per HTTP endpoint, and per
+	// durable-WAL operation. Allocated once by newMetrics; recording is
+	// lock-free (obs.Histogram).
 	phases    map[string]*obs.Histogram
 	endpoints map[string]*obs.Histogram
+	wal       map[string]*obs.Histogram
 }
 
 func newMetrics() *metrics {
 	m := &metrics{
 		phases:    make(map[string]*obs.Histogram, len(metricsPhases)),
 		endpoints: make(map[string]*obs.Histogram, len(metricsEndpoints)),
+		wal:       make(map[string]*obs.Histogram, len(metricsWALOps)),
 	}
 	for _, p := range metricsPhases {
 		m.phases[p] = &obs.Histogram{}
 	}
 	for _, e := range metricsEndpoints {
 		m.endpoints[e] = &obs.Histogram{}
+	}
+	for _, op := range metricsWALOps {
+		m.wal[op] = &obs.Histogram{}
 	}
 	return m
 }
@@ -94,33 +114,42 @@ func (m *metrics) recordEndpoint(name string, d time.Duration) {
 	}
 }
 
+// recordWAL adds one observation to a durable-WAL operation histogram.
+func (m *metrics) recordWAL(op string, d time.Duration) {
+	if h := m.wal[op]; h != nil {
+		h.Record(d)
+	}
+}
+
 // counterDoc returns the counter block of the /metrics document.
 func (m *metrics) counterDoc() map[string]any {
 	return map[string]any{
-		"queries_total":       m.queriesTotal.Load(),
-		"queries_ok":          m.queriesOK.Load(),
-		"queries_rejected":    m.queriesRejected.Load(),
-		"queries_cancelled":   m.queriesCancelled.Load(),
-		"queries_timed_out":   m.queriesTimedOut.Load(),
-		"queries_bad_request": m.queriesBadRequest.Load(),
-		"queries_errored":     m.queriesErrored.Load(),
-		"slow_queries":        m.slowQueries.Load(),
-		"mutations_total":     m.mutationsTotal.Load(),
-		"mutations_ok":        m.mutationsOK.Load(),
-		"mutations_rejected":  m.mutationsRejected.Load(),
-		"mutations_failed":    m.mutationsFailed.Load(),
-		"mutations_bad":       m.mutationsBadRequest.Load(),
-		"subscriptions":       m.subscriptionsOpened.Load(),
-		"embeddings_emitted":  m.embeddingsEmitted.Load(),
-		"exec_steps":          m.execSteps.Load(),
-		"candidate_reuses":    m.candidateReuses.Load(),
-		"exec_micros":         m.execMicros.Load(),
-		"plan_micros":         m.planMicros.Load(),
+		"queries_total":         m.queriesTotal.Load(),
+		"queries_ok":            m.queriesOK.Load(),
+		"queries_rejected":      m.queriesRejected.Load(),
+		"queries_cancelled":     m.queriesCancelled.Load(),
+		"queries_timed_out":     m.queriesTimedOut.Load(),
+		"queries_bad_request":   m.queriesBadRequest.Load(),
+		"queries_errored":       m.queriesErrored.Load(),
+		"slow_queries":          m.slowQueries.Load(),
+		"mutations_total":       m.mutationsTotal.Load(),
+		"mutations_ok":          m.mutationsOK.Load(),
+		"mutations_rejected":    m.mutationsRejected.Load(),
+		"mutations_failed":      m.mutationsFailed.Load(),
+		"mutations_bad":         m.mutationsBadRequest.Load(),
+		"subscriptions":         m.subscriptionsOpened.Load(),
+		"subscriptions_resumed": m.subscriptionsResumed.Load(),
+		"subscriptions_gone":    m.subscriptionsGone.Load(),
+		"embeddings_emitted":    m.embeddingsEmitted.Load(),
+		"exec_steps":            m.execSteps.Load(),
+		"candidate_reuses":      m.candidateReuses.Load(),
+		"exec_micros":           m.execMicros.Load(),
+		"plan_micros":           m.planMicros.Load(),
 	}
 }
 
 // latencyDoc returns the histogram block: count/mean/p50/p90/p99/max per
-// phase and per endpoint, all in milliseconds.
+// phase, per endpoint, and per durable-WAL operation, all in milliseconds.
 func (m *metrics) latencyDoc() map[string]any {
 	phases := make(map[string]any, len(m.phases))
 	for name, h := range m.phases {
@@ -130,8 +159,13 @@ func (m *metrics) latencyDoc() map[string]any {
 	for name, h := range m.endpoints {
 		endpoints[name] = h.Snapshot().Doc()
 	}
+	wal := make(map[string]any, len(m.wal))
+	for name, h := range m.wal {
+		wal[name] = h.Snapshot().Doc()
+	}
 	return map[string]any{
 		"phases":    phases,
 		"endpoints": endpoints,
+		"wal":       wal,
 	}
 }

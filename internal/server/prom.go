@@ -89,6 +89,16 @@ func (s *Server) writeProm(w http.ResponseWriter) {
 		{"csce_live_subscribers_opened", "counter", func(st live.Stats) float64 { return float64(st.SubscribersTotal) }},
 		{"csce_live_subscribers_dropped", "counter", func(st live.Stats) float64 { return float64(st.SubscribersDropped) }},
 		{"csce_live_deltas_delivered", "counter", func(st live.Stats) float64 { return float64(st.DeltasDelivered) }},
+		{"csce_live_retractions_delivered", "counter", func(st live.Stats) float64 { return float64(st.RetractionsDelivered) }},
+		{"csce_live_subscribers_resumed", "counter", func(st live.Stats) float64 { return float64(st.SubscribersResumed) }},
+		{"csce_live_wal_disk_segments", "gauge", func(st live.Stats) float64 { return float64(st.WALDiskSegments) }},
+		{"csce_live_wal_disk_bytes", "gauge", func(st live.Stats) float64 { return float64(st.WALDiskBytes) }},
+		{"csce_live_wal_fsyncs", "counter", func(st live.Stats) float64 { return float64(st.WALFsyncs) }},
+		{"csce_live_wal_checkpoints", "counter", func(st live.Stats) float64 { return float64(st.WALCheckpoints) }},
+		{"csce_live_checkpoint_failures", "counter", func(st live.Stats) float64 { return float64(st.CheckpointFailures) }},
+		{"csce_live_snapshot_bytes", "gauge", func(st live.Stats) float64 { return float64(st.SnapshotBytes) }},
+		{"csce_live_oldest_pinned_epoch", "gauge", func(st live.Stats) float64 { return float64(st.OldestPinnedEpoch) }},
+		{"csce_live_oldest_pinned_age_seconds", "gauge", func(st live.Stats) float64 { return st.OldestPinnedAge }},
 	}
 	for _, fam := range liveFamilies {
 		fmt.Fprintf(bw, "# TYPE %s %s\n", fam.name, fam.typ)
@@ -100,6 +110,7 @@ func (s *Server) writeProm(w http.ResponseWriter) {
 	// Latency histograms.
 	promHistFamily(bw, "csce_phase_latency_seconds", "phase", metricsPhases, s.metrics.phases)
 	promHistFamily(bw, "csce_endpoint_latency_seconds", "endpoint", metricsEndpoints, s.metrics.endpoints)
+	promHistFamily(bw, "csce_wal_latency_seconds", "op", metricsWALOps, s.metrics.wal)
 }
 
 // promScalar writes one unlabeled sample with its TYPE header.

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
@@ -47,9 +48,12 @@ func (e *Entry) Counts() (vertices, edges, clusters int) {
 // rare (startup, admin); lookups are per-query, so reads take an RLock.
 type Registry struct {
 	// LiveOpts tunes the live wrapper of subsequently added graphs
-	// (subscriber buffers, WAL retention); the server sets it from its
-	// config before loading datasets.
+	// (subscriber buffers, WAL retention, durability knobs); the server
+	// sets it from its config before loading datasets.
 	LiveOpts live.Options
+	// WALRoot, when non-empty, makes every added graph durable: graph
+	// <name> logs to and recovers from WALRoot/<name>.
+	WALRoot string
 
 	mu      sync.RWMutex
 	entries map[string]*Entry
@@ -61,19 +65,31 @@ func NewRegistry() *Registry {
 }
 
 // Add registers an engine under a name and wraps it for live mutation.
-// The label table is taken from the engine; NumericLabels can synthesize
-// one for purely numeric graphs. Add fails on duplicate names — replacing
-// a resident graph wholesale is still an offline operation; incremental
-// change goes through Entry.Live.Mutate.
+// With WALRoot set, the graph's durable WAL under WALRoot/<name> is
+// replayed first: the entry comes up at the last committed seq and epoch,
+// not at the engine's base state. The label table is taken from the live
+// writer (after a recovery it includes labels minted by replayed
+// mutations); NumericLabels can synthesize one for purely numeric graphs.
+// Add fails on duplicate names — replacing a resident graph wholesale is
+// still an offline operation; incremental change goes through
+// Entry.Live.Mutate.
 func (r *Registry) Add(name string, engine *core.Engine) (*Entry, error) {
 	if name == "" {
 		return nil, fmt.Errorf("server: graph name must be non-empty")
 	}
+	opts := r.LiveOpts
+	if r.WALRoot != "" {
+		opts.Durability.Dir = filepath.Join(r.WALRoot, name)
+	}
 	st := engine.Store()
+	lg, err := live.Open(name, engine, opts)
+	if err != nil {
+		return nil, fmt.Errorf("server: open graph %q: %w", name, err)
+	}
 	e := &Entry{
 		Name:     name,
-		Live:     live.NewGraph(name, engine, r.LiveOpts),
-		Names:    engine.Names(),
+		Live:     lg,
+		Names:    lg.Names(),
 		Directed: st.Directed(),
 		LoadedAt: time.Now(),
 	}

@@ -1,0 +1,206 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"testing"
+
+	"csce/internal/graph"
+)
+
+// resumeStream opens a subscription with from_seq and returns the line
+// scanner, the hello doc, and the raw response (for non-200 assertions the
+// caller uses resumeRequest instead).
+func resumeStream(t *testing.T, base, graphName, pattern string, fromSeq uint64) (*bufio.Scanner, map[string]any, func()) {
+	t.Helper()
+	u := fmt.Sprintf("%s/v1/graphs/%s/subscribe?pattern=%s&from_seq=%d",
+		base, graphName, url.QueryEscape(pattern), fromSeq)
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		var doc map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&doc)
+		t.Fatalf("resume subscribe status %d: %v", resp.StatusCode, doc)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	if !sc.Scan() {
+		t.Fatalf("no hello line: %v", sc.Err())
+	}
+	var hello map[string]any
+	if err := json.Unmarshal(sc.Bytes(), &hello); err != nil {
+		t.Fatal(err)
+	}
+	return sc, hello, func() { resp.Body.Close() }
+}
+
+// resumeRequest performs the subscribe request and returns status + body
+// document without expecting a stream.
+func resumeRequest(t *testing.T, base, graphName, pattern, fromSeq string) (int, map[string]any) {
+	t.Helper()
+	u := fmt.Sprintf("%s/v1/graphs/%s/subscribe?pattern=%s&from_seq=%s",
+		base, graphName, url.QueryEscape(pattern), fromSeq)
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&doc)
+	return resp.StatusCode, doc
+}
+
+// TestSubscribeResumeReplaysMissed is the HTTP acceptance check for the
+// resume contract: a subscriber that joins with from_seq=0 after two
+// committed batches receives every missed delta and retraction marked
+// "replay":true, a caught_up line, and then live events — and the running
+// sum Σdeltas − Σretractions reproduces the live match count.
+func TestSubscribeResumeReplaysMissed(t *testing.T) {
+	base, _ := startServer(t, Config{}, map[string]*graph.Graph{"g": pathOf(4)})
+	before := matchCount(t, base, "g", pathPattern2)
+
+	// Batch 1 (seqs 1-2): two inserts. Batch 2 (seq 3): one delete.
+	resp, doc := postMutate(t, base, "g", `{"mutations":[
+		{"op":"insert_edge","src":0,"dst":2},
+		{"op":"insert_edge","src":1,"dst":3}
+	]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate 1: %d %v", resp.StatusCode, doc)
+	}
+	resp, doc = postMutate(t, base, "g", `{"mutations":[
+		{"op":"delete_edge","src":1,"dst":2}
+	]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate 2: %d %v", resp.StatusCode, doc)
+	}
+	// (The mutate doc's "retractions" counts deliveries to live
+	// subscribers, and none are registered yet — the replay below must
+	// still reproduce the retract events from the log.)
+	after := matchCount(t, base, "g", pathPattern2)
+
+	sc, hello, closeSub := resumeStream(t, base, "g", pathPattern2, 0)
+	defer closeSub()
+	if hello["resume_from"] != "0" {
+		t.Fatalf("hello lacks resume_from: %v", hello)
+	}
+
+	var sum int64
+	var commits, retracts int
+	caughtUp := false
+	for !caughtUp {
+		if !sc.Scan() {
+			t.Fatalf("stream ended before caught_up: %v", sc.Err())
+		}
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev["caught_up"] == true {
+			caughtUp = true
+			break
+		}
+		if ev["replay"] != true {
+			t.Fatalf("pre-caught_up event lacks replay flag: %v", ev)
+		}
+		switch ev["kind"] {
+		case "delta":
+			sum++
+		case "retract":
+			sum--
+			retracts++
+		case "commit":
+			commits++
+		default:
+			t.Fatalf("unexpected replayed event: %v", ev)
+		}
+	}
+	if commits != 2 {
+		t.Fatalf("replayed %d commit markers, want 2", commits)
+	}
+	if retracts == 0 {
+		t.Fatal("replay of a delete batch must carry retract events")
+	}
+	if got, want := sum, int64(after)-int64(before); got != want {
+		t.Fatalf("replayed Σdeltas−Σretractions = %d, want %d", got, want)
+	}
+
+	// Live hand-off: the next commit arrives unmarked, at the next seq.
+	resp, doc = postMutate(t, base, "g", `{"mutations":[{"op":"insert_edge","src":1,"dst":2}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate 3: %d %v", resp.StatusCode, doc)
+	}
+	liveSeq := doc["last_seq"].(float64)
+	for {
+		if !sc.Scan() {
+			t.Fatalf("live stream ended: %v", sc.Err())
+		}
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if _, replayed := ev["replay"]; replayed {
+			t.Fatalf("live event carries replay flag: %v", ev)
+		}
+		if ev["kind"] == "commit" {
+			if ev["seq"].(float64) != liveSeq {
+				t.Fatalf("live commit at seq %v, want %v", ev["seq"], liveSeq)
+			}
+			break
+		}
+	}
+
+	m := getMetrics(t, base)
+	if metric(t, m, "subscriptions_resumed") != 1 {
+		t.Fatalf("subscriptions_resumed: %v", m["subscriptions_resumed"])
+	}
+}
+
+// TestSubscribeResumeGoneAndBadSeq pins the failure surface: a from_seq
+// below the retained window is 410 Gone with the oldest resumable seq in
+// the body; a future or unparsable from_seq is 400.
+func TestSubscribeResumeGoneAndBadSeq(t *testing.T) {
+	base, _ := startServer(t, Config{WALRetention: 2}, map[string]*graph.Graph{"g": pathOf(6)})
+	for i := 0; i < 3; i++ {
+		resp, doc := postMutate(t, base, "g", fmt.Sprintf(`{"mutations":[
+			{"op":"insert_edge","src":0,"dst":%d},
+			{"op":"insert_edge","src":1,"dst":%d}
+		]}`, i+2, i+3))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("mutate %d: %d %v", i, resp.StatusCode, doc)
+		}
+	}
+	// Seqs 1..6 committed, retention 2: oldest resumable is 4.
+
+	status, doc := resumeRequest(t, base, "g", pathPattern2, "1")
+	if status != http.StatusGone {
+		t.Fatalf("truncated from_seq: status %d %v, want 410", status, doc)
+	}
+	if doc["oldest_seq"].(float64) != 4 {
+		t.Fatalf("410 body lacks oldest_seq=4: %v", doc)
+	}
+
+	// Exactly the boundary works.
+	sc, _, closeSub := resumeStream(t, base, "g", pathPattern2, 4)
+	if !sc.Scan() {
+		t.Fatal("no replay output from boundary resume")
+	}
+	closeSub()
+
+	if status, doc = resumeRequest(t, base, "g", pathPattern2, "999"); status != http.StatusBadRequest {
+		t.Fatalf("future from_seq: status %d %v, want 400", status, doc)
+	}
+	if status, doc = resumeRequest(t, base, "g", pathPattern2, "abc"); status != http.StatusBadRequest {
+		t.Fatalf("garbage from_seq: status %d %v, want 400", status, doc)
+	}
+
+	m := getMetrics(t, base)
+	if metric(t, m, "subscriptions_gone") != 1 {
+		t.Fatalf("subscriptions_gone: %v", m["subscriptions_gone"])
+	}
+}

@@ -84,8 +84,26 @@ type Config struct {
 	// (default 256).
 	SubscriberBuffer int
 	// WALRetention bounds each graph's in-memory mutation log (default
-	// 4096 entries; sequence numbers survive truncation).
+	// 4096 entries; sequence numbers survive truncation). It is also the
+	// subscriber-resume horizon.
 	WALRetention int
+	// WALDir enables durable WALs: each graph appends committed mutations
+	// to segment files under WALDir/<name> and recovers its state from
+	// them when registered (default "" — purely in-memory, a restart
+	// discards mutations).
+	WALDir string
+	// WALFsync is the segment fsync policy when WALDir is set (default
+	// live.FsyncAlways: acknowledged batches survive power loss).
+	WALFsync live.FsyncPolicy
+	// WALFsyncInterval is the background sync period under
+	// live.FsyncInterval (default 100ms).
+	WALFsyncInterval time.Duration
+	// WALSegmentSize rotates WAL segments past this many bytes (default
+	// 4 MiB).
+	WALSegmentSize int64
+	// WALKeepSegments checkpoints and truncates the log once more than
+	// this many sealed segments accumulate (default 4).
+	WALKeepSegments int
 	// SlowQueryThreshold is the end-to-end latency at which a query is
 	// captured in /debug/slowlog with its trace, plan summary, and
 	// per-level execution profile (default 500ms; negative disables).
@@ -192,7 +210,23 @@ func New(cfg Config) *Server {
 	s.reg.LiveOpts = live.Options{
 		SubscriberBuffer: cfg.SubscriberBuffer,
 		WALRetention:     cfg.WALRetention,
+		// Dir stays empty here; Registry.Add derives each graph's own
+		// subdirectory from WALRoot.
+		Durability: live.Durability{
+			Fsync:        cfg.WALFsync,
+			FsyncEvery:   cfg.WALFsyncInterval,
+			SegmentSize:  cfg.WALSegmentSize,
+			KeepSegments: cfg.WALKeepSegments,
+		},
+		Observer: live.Observer{
+			WALAppend:     func(d time.Duration) { s.metrics.recordWAL(walAppend, d) },
+			WALFsync:      func(d time.Duration) { s.metrics.recordWAL(walFsync, d) },
+			WALReplay:     func(d time.Duration) { s.metrics.recordWAL(walReplay, d) },
+			WALCheckpoint: func(d time.Duration) { s.metrics.recordWAL(walCheckpoint, d) },
+			ResumeReplay:  func(d time.Duration) { s.metrics.recordWAL(walResume, d) },
+		},
 	}
+	s.reg.WALRoot = cfg.WALDir
 	return s
 }
 
