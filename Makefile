@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race live-race crash-race vet lint ci bench-obs
+.PHONY: build test race live-race crash-race shard-race vet lint ci bench-obs bench-serve
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,15 @@ live-race:
 	$(GO) test -race -count=2 ./internal/live
 	$(GO) test -race -count=2 -run 'TestE2EConcurrentReadersAcrossSwaps|TestSubscribeDeltaEquation|TestMutateEndpoint' ./internal/server
 
+# Focused race pass over the scatter-gather subsystem: the coordinator
+# runs goroutine-per-shard scatters, K concurrent shard writers, and an
+# append-only ownership map — the exactness gate (sharded counts ==
+# single-store counts, including under concurrent mutations) re-runs here
+# under the race detector with -count=2 for schedule diversity.
+shard-race:
+	$(GO) test -race -count=2 ./internal/shard
+	$(GO) test -race -run 'TestSharded' ./internal/server
+
 # Crash-recovery drill: the test re-execs the (race-instrumented) test
 # binary as a real csced, SIGKILLs it mid-mutation-storm, restarts it from
 # the same -wal-dir, and verifies the recovered seq/epoch and exact
@@ -38,10 +47,17 @@ vet:
 lint:
 	$(GO) run ./cmd/cscelint ./...
 
-ci: build vet lint test race live-race crash-race
+ci: build vet lint test race live-race crash-race shard-race
 
 # Observability hot-path benchmarks plus the enforced <50ns/op budget on
 # histogram recording (OBS_BENCH=1 turns the measurement into an
 # assertion; without it the budget test only logs).
 bench-obs:
 	OBS_BENCH=1 $(GO) test ./internal/obs -run TestHistogramRecordBudget -bench . -benchmem
+
+# Concurrent-load serving benchmark: the same graph as one single-store
+# live graph vs a K=4 scatter-gather coordinator, 4 writers + 1 reader.
+# Writes BENCH_serve.json (checked in) and fails unless sharded mutation
+# throughput is at least 2x the single-store number.
+bench-serve:
+	$(GO) run ./cmd/cscebenchserve -out BENCH_serve.json -check

@@ -1,0 +1,371 @@
+// Command cscebenchserve measures the serving stack under concurrent
+// load: the same data graph is driven once as a single-store live graph
+// (one writer lock for every mutation batch) and once as a K-shard
+// scatter-gather coordinator (one writer per shard), with W writer
+// goroutines applying shard-confined insert/delete batches while a reader
+// goroutine runs pattern matches the whole time. It reports mutation
+// throughput and match latency quantiles for both setups and writes the
+// comparison to BENCH_serve.json.
+//
+//	cscebenchserve -out BENCH_serve.json
+//	cscebenchserve -shards 4 -writers 4 -rounds 150 -check
+//
+// -check exits non-zero unless the sharded mutation throughput is at
+// least -want-speedup times the single-store number — the regression gate
+// behind `make bench-serve`.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"csce/internal/ccsr"
+	"csce/internal/core"
+	"csce/internal/graph"
+	"csce/internal/live"
+	"csce/internal/shard"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "cscebenchserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	Vertices int `json:"vertices"`
+	Degree   int `json:"avg_degree"`
+	Labels   int `json:"vertex_labels"`
+	Shards   int `json:"shards"`
+	Writers  int `json:"writers"`
+	Rounds   int `json:"rounds"`
+	Batch    int `json:"batch"`
+	Seed     int `json:"seed"`
+	MaxProcs int `json:"gomaxprocs"`
+}
+
+// sideReport is one setup's measurements.
+type sideReport struct {
+	Mutations       int     `json:"mutations"`
+	MutationSeconds float64 `json:"mutation_seconds"`
+	MutationsPerSec float64 `json:"mutations_per_sec"`
+	Matches         int     `json:"matches"`
+	MatchP50Ms      float64 `json:"match_p50_ms"`
+	MatchP99Ms      float64 `json:"match_p99_ms"`
+	Embeddings      uint64  `json:"embeddings"`
+}
+
+type report struct {
+	Config  config     `json:"config"`
+	Single  sideReport `json:"single_store"`
+	Sharded sideReport `json:"sharded"`
+	Speedup float64    `json:"mutation_speedup"`
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("cscebenchserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out     = fs.String("out", "BENCH_serve.json", "output file (\"-\" writes to stdout)")
+		shards  = fs.Int("shards", 4, "shard count for the sharded side")
+		writers = fs.Int("writers", 4, "concurrent mutation clients")
+		rounds  = fs.Int("rounds", 120, "insert+delete rounds per writer")
+		batch   = fs.Int("batch", 32, "edges per insert (and per delete) batch")
+		n       = fs.Int("vertices", 12000, "data-graph vertices")
+		degree  = fs.Int("degree", 3, "data-graph average degree")
+		labels  = fs.Int("labels", 8, "data-graph vertex labels")
+		seed    = fs.Int("seed", 42, "data-graph seed")
+		check   = fs.Bool("check", false, "fail unless sharded mutation throughput beats single-store by -want-speedup")
+		wantX   = fs.Float64("want-speedup", 2.0, "minimum sharded/single mutation-throughput ratio for -check")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *writers < 1 || *shards < 1 || *rounds < 1 || *batch < 1 {
+		return fmt.Errorf("writers, shards, rounds, batch must all be >= 1")
+	}
+	if *writers > *shards {
+		// Each writer owns the ID stripe of one shard so its batches never
+		// collide with another writer's; more writers than stripes would
+		// race on duplicate inserts.
+		return fmt.Errorf("writers (%d) must not exceed shards (%d)", *writers, *shards)
+	}
+
+	cfg := config{
+		Vertices: *n, Degree: *degree, Labels: *labels, Shards: *shards,
+		Writers: *writers, Rounds: *rounds, Batch: *batch, Seed: *seed,
+		MaxProcs: runtime.GOMAXPROCS(0),
+	}
+	g := buildGraph(cfg)
+	fmt.Fprintf(stdout, "cscebenchserve: graph %d vertices / %d edges, %d writers x %d rounds x %d edges\n",
+		g.NumVertices(), g.NumEdges(), cfg.Writers, cfg.Rounds, cfg.Batch)
+
+	ctx := context.Background()
+	single, err := benchSingle(ctx, g, cfg)
+	if err != nil {
+		return fmt.Errorf("single-store side: %w", err)
+	}
+	fmt.Fprintf(stdout, "cscebenchserve: single-store %.0f mutations/s, match p50 %.2fms p99 %.2fms\n",
+		single.MutationsPerSec, single.MatchP50Ms, single.MatchP99Ms)
+
+	sharded, err := benchSharded(ctx, g, cfg)
+	if err != nil {
+		return fmt.Errorf("sharded side: %w", err)
+	}
+	fmt.Fprintf(stdout, "cscebenchserve: sharded(K=%d) %.0f mutations/s, match p50 %.2fms p99 %.2fms\n",
+		cfg.Shards, sharded.MutationsPerSec, sharded.MatchP50Ms, sharded.MatchP99Ms)
+
+	rep := report{Config: cfg, Single: single, Sharded: sharded}
+	if single.MutationsPerSec > 0 {
+		rep.Speedup = sharded.MutationsPerSec / single.MutationsPerSec
+	}
+	fmt.Fprintf(stdout, "cscebenchserve: sharded mutation throughput %.2fx single-store\n", rep.Speedup)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		_, err = stdout.Write(buf)
+	} else {
+		err = os.WriteFile(*out, buf, 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	if *check && rep.Speedup < *wantX {
+		return fmt.Errorf("sharded mutation throughput %.2fx single-store, want >= %.2fx", rep.Speedup, *wantX)
+	}
+	return nil
+}
+
+// buildGraph makes a connected random graph: a ring plus random chords,
+// labels assigned round-robin. All base edges use edge label 0; the bench
+// writers mutate edges with label 1 so they never collide with base data.
+func buildGraph(cfg config) *graph.Graph {
+	rng := rand.New(rand.NewSource(int64(cfg.Seed)))
+	b := graph.NewBuilder(false)
+	for i := 0; i < cfg.Vertices; i++ {
+		b.AddVertex(graph.Label(i % cfg.Labels))
+	}
+	for i := 0; i < cfg.Vertices; i++ {
+		b.AddEdge(graph.VertexID(i), graph.VertexID((i+1)%cfg.Vertices), 0)
+	}
+	extra := cfg.Vertices * (cfg.Degree - 2) / 2
+	seen := make(map[[2]int]bool, extra)
+	for len(seen) < extra {
+		u, v := rng.Intn(cfg.Vertices), rng.Intn(cfg.Vertices)
+		if u > v {
+			u, v = v, u
+		}
+		if u == v || v == u+1 || (u == 0 && v == cfg.Vertices-1) || seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		b.AddEdge(graph.VertexID(u), graph.VertexID(v), 0)
+	}
+	return b.MustBuild()
+}
+
+// writerBatches precomputes writer w's per-round insert batches. Every
+// endpoint is congruent to w modulo the shard count, so under SchemeID
+// each batch lands entirely on shard w mod K — the workload K shards can
+// absorb in parallel and a single store must serialize.
+func writerBatches(cfg config, w int) [][]live.Mutation {
+	stripe := make([]graph.VertexID, 0, cfg.Vertices/cfg.Shards)
+	for v := w % cfg.Shards; v < cfg.Vertices; v += cfg.Shards {
+		stripe = append(stripe, graph.VertexID(v))
+	}
+	m := len(stripe)
+	out := make([][]live.Mutation, cfg.Rounds)
+	for r := 0; r < cfg.Rounds; r++ {
+		muts := make([]live.Mutation, 0, cfg.Batch)
+		for i := 0; len(muts) < cfg.Batch; i++ {
+			src := stripe[i%m]
+			dst := stripe[(i+r+1)%m]
+			if src == dst {
+				continue
+			}
+			muts = append(muts, live.Mutation{Op: live.OpInsertEdge, Src: src, Dst: dst, EdgeLabel: 1})
+		}
+		out[r] = muts
+	}
+	return out
+}
+
+// deletesFor inverts one insert batch.
+func deletesFor(inserts []live.Mutation) []live.Mutation {
+	out := make([]live.Mutation, len(inserts))
+	for i, m := range inserts {
+		out[i] = live.Mutation{Op: live.OpDeleteEdge, Src: m.Src, Dst: m.Dst, EdgeLabel: m.EdgeLabel}
+	}
+	return out
+}
+
+// applyFn applies one mutation batch; matchFn runs one triangle match and
+// returns how many embeddings it saw.
+type (
+	applyFn func(ctx context.Context, muts []live.Mutation) error
+	matchFn func(ctx context.Context) (uint64, error)
+)
+
+// drive runs the shared workload: cfg.Writers goroutines each applying
+// their insert/delete rounds through apply, while one reader loops match
+// until the writers finish. It returns the measurements.
+func drive(ctx context.Context, cfg config, apply applyFn, match matchFn) (sideReport, error) {
+	var rep sideReport
+	batches := make([][][]live.Mutation, cfg.Writers)
+	for w := range batches {
+		batches[w] = writerBatches(cfg, w)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	writersDone := make(chan struct{})
+	var matchDurs []time.Duration
+	var embeddings uint64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-writersDone:
+				return
+			case <-ctx.Done():
+				return
+			default:
+			}
+			t0 := time.Now()
+			n, err := match(ctx)
+			if err != nil {
+				fail(fmt.Errorf("match: %w", err))
+				return
+			}
+			matchDurs = append(matchDurs, time.Since(t0))
+			embeddings += n
+		}
+	}()
+
+	start := time.Now()
+	var wwg sync.WaitGroup
+	for w := 0; w < cfg.Writers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			for _, ins := range batches[w] {
+				if ctx.Err() != nil {
+					return
+				}
+				if err := apply(ctx, ins); err != nil {
+					fail(fmt.Errorf("writer %d insert: %w", w, err))
+					return
+				}
+				if err := apply(ctx, deletesFor(ins)); err != nil {
+					fail(fmt.Errorf("writer %d delete: %w", w, err))
+					return
+				}
+			}
+		}(w)
+	}
+	wwg.Wait()
+	elapsed := time.Since(start)
+	close(writersDone)
+	wg.Wait()
+	if firstErr != nil {
+		return rep, firstErr
+	}
+
+	total := 0
+	for w := range batches {
+		for _, ins := range batches[w] {
+			total += 2 * len(ins)
+		}
+	}
+	rep.Mutations = total
+	rep.MutationSeconds = elapsed.Seconds()
+	rep.MutationsPerSec = float64(total) / elapsed.Seconds()
+	rep.Matches = len(matchDurs)
+	rep.MatchP50Ms = quantileMs(matchDurs, 0.50)
+	rep.MatchP99Ms = quantileMs(matchDurs, 0.99)
+	rep.Embeddings = embeddings
+	return rep, nil
+}
+
+var triangle = graph.MustParse("t undirected\nv 0 0\nv 1 0\nv 2 0\ne 0 1\ne 1 2\ne 0 2\n")
+
+func benchSingle(ctx context.Context, g *graph.Graph, cfg config) (sideReport, error) {
+	lg, err := live.Open("bench-single", core.NewEngine(g), live.Options{})
+	if err != nil {
+		return sideReport{}, err
+	}
+	defer lg.Close()
+	return drive(ctx, cfg,
+		func(ctx context.Context, muts []live.Mutation) error {
+			_, err := lg.Mutate(ctx, muts)
+			return err
+		},
+		func(ctx context.Context) (uint64, error) {
+			snap := lg.Acquire()
+			defer snap.Release()
+			res, err := snap.Engine().Match(triangle, core.MatchOptions{
+				Variant: graph.EdgeInduced, Limit: 2000, Context: ctx,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.Embeddings, nil
+		})
+}
+
+func benchSharded(ctx context.Context, g *graph.Graph, cfg config) (sideReport, error) {
+	coord, err := shard.Open("bench-sharded", ccsr.Build(g), shard.Options{K: cfg.Shards, Scheme: shard.SchemeID})
+	if err != nil {
+		return sideReport{}, err
+	}
+	defer coord.Close()
+	return drive(ctx, cfg,
+		func(ctx context.Context, muts []live.Mutation) error {
+			_, err := coord.Mutate(ctx, muts)
+			return err
+		},
+		func(ctx context.Context) (uint64, error) {
+			res, err := coord.Match(ctx, triangle, shard.MatchOptions{
+				Variant: graph.EdgeInduced, Limit: 2000,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.Embeddings, nil
+		})
+}
+
+func quantileMs(durs []time.Duration, q float64) float64 {
+	if len(durs) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}

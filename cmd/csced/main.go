@@ -30,6 +30,13 @@
 // pre-crash seq and epoch. Disconnected subscribers resume gapless with
 // /subscribe?from_seq=N; history already truncated answers 410 Gone.
 //
+// Sharding: -shards=K partitions every loaded graph into K label- or
+// ID-range shards (pick with -shard-scheme), each with its own store, WAL
+// directory, and mutation applier, behind a scatter-gather coordinator
+// that decomposes patterns into rooted twigs and joins per-shard partial
+// embeddings. Graphs can also be loaded at runtime, sharded or not, with
+// POST /v1/graphs/{name}?shards=K.
+//
 // Observability: every query carries a trace ID (X-Trace-Id header, NDJSON
 // summary, structured log lines on stderr); /metrics exposes latency
 // quantiles per query phase and endpoint; /debug/slowlog holds the most
@@ -57,6 +64,7 @@ import (
 	"csce/internal/dataset"
 	"csce/internal/live"
 	"csce/internal/server"
+	"csce/internal/shard"
 )
 
 func main() {
@@ -105,6 +113,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, started c
 		segKeep  = fs.Int("wal-keep-segments", 4, "sealed segments kept before a checkpoint truncates the log")
 		debugAdr = fs.String("debug-addr", "", "serve net/http/pprof on this address (empty disables; keep it private)")
 		logLevel = fs.String("log-level", "info", "structured-log level on stderr (debug, info, warn, error, off)")
+		shardsN  = fs.Int("shards", 0, "partition every loaded graph into K shards behind a scatter-gather coordinator (0 serves single-store)")
+		shardSch = fs.String("shard-scheme", "id", "vertex->shard assignment for -shards: id (v mod K) or label")
 	)
 	fs.Var(&graphs, "graph", "name=path of a data graph to serve (repeatable)")
 	fs.Var(&datasets, "dataset", "synthetic dataset from the catalog to serve (repeatable); see cmd/cscegen")
@@ -119,6 +129,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, started c
 		return err
 	}
 	fsync, err := live.ParseFsyncPolicy(*fsyncPol)
+	if err != nil {
+		return err
+	}
+	if *shardsN < 0 || *shardsN > 1024 {
+		return fmt.Errorf("bad -shards %d (0..1024)", *shardsN)
+	}
+	scheme, err := shard.ParseScheme(*shardSch)
 	if err != nil {
 		return err
 	}
@@ -152,7 +169,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, started c
 		if !ok || name == "" || path == "" {
 			return fmt.Errorf("bad -graph %q: want name=path", spec)
 		}
-		if err := loadGraphFile(srv, name, path, stdout); err != nil {
+		if err := loadGraphFile(srv, name, path, *shardsN, scheme, stdout); err != nil {
 			return err
 		}
 	}
@@ -167,15 +184,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, started c
 			g.Names = server.NumericLabels(g)
 		}
 		engine := csce.NewEngine(g)
-		if _, err := srv.Registry().Add(name, engine); err != nil {
+		if err := register(srv, name, engine, *shardsN, scheme); err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "csced: dataset %s: %d vertices, %d edges, %d clusters (generated+clustered in %v)\n",
-			name, g.NumVertices(), g.NumEdges(), engine.Store().NumClusters(), time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "csced: dataset %s: %d vertices, %d edges, %d clusters%s (generated+clustered in %v)\n",
+			name, g.NumVertices(), g.NumEdges(), engine.Store().NumClusters(),
+			shardSuffix(*shardsN, scheme), time.Since(start).Round(time.Millisecond))
 	}
 
 	if *walDir != "" {
 		for _, e := range srv.Registry().List() {
+			if e.Live == nil {
+				// Sharded graphs recover per shard; the coordinator already
+				// reconciled any shard that lagged the others.
+				fmt.Fprintf(stdout, "csced: wal %s: recovered %d shards at epochs %v\n",
+					e.Name, e.Sharded.K(), e.Sharded.EpochVector())
+				continue
+			}
 			rec := e.Live.Recovery()
 			fmt.Fprintf(stdout, "csced: wal %s: recovered seq=%d epoch=%d (checkpoint=%v replayed=%d torn_tail=%v in %v)\n",
 				e.Name, rec.RecoveredSeq, rec.RecoveredEpoch, rec.HasCheckpoint, rec.ReplayedRecords,
@@ -255,7 +280,7 @@ func startDebugServer(addr string) (*http.Server, string, error) {
 	return srv, ln.Addr().String(), nil
 }
 
-func loadGraphFile(srv *server.Server, name, path string, stdout io.Writer) error {
+func loadGraphFile(srv *server.Server, name, path string, shards int, scheme shard.Scheme, stdout io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -267,10 +292,30 @@ func loadGraphFile(srv *server.Server, name, path string, stdout io.Writer) erro
 		return fmt.Errorf("parse %s: %w", path, err)
 	}
 	engine := csce.NewEngine(g)
-	if _, err := srv.Registry().Add(name, engine); err != nil {
+	if err := register(srv, name, engine, shards, scheme); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "csced: graph %s (%s): %d vertices, %d edges, %d clusters (loaded+clustered in %v)\n",
-		name, path, g.NumVertices(), g.NumEdges(), engine.Store().NumClusters(), time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stdout, "csced: graph %s (%s): %d vertices, %d edges, %d clusters%s (loaded+clustered in %v)\n",
+		name, path, g.NumVertices(), g.NumEdges(), engine.Store().NumClusters(),
+		shardSuffix(shards, scheme), time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// register adds an engine to the registry, sharded behind a coordinator
+// when -shards is set.
+func register(srv *server.Server, name string, engine *csce.Engine, shards int, scheme shard.Scheme) error {
+	var err error
+	if shards > 0 {
+		_, err = srv.Registry().AddSharded(name, engine, shards, scheme)
+	} else {
+		_, err = srv.Registry().Add(name, engine)
+	}
+	return err
+}
+
+func shardSuffix(shards int, scheme shard.Scheme) string {
+	if shards <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(", %d shards (%s)", shards, scheme)
 }

@@ -35,8 +35,11 @@ var CtxPropagation = &Check{
 // context would silently detach every downstream span. internal/live is
 // included because mutation batches run delta enumerations under the
 // writer lock — a dropped context there would hold the lock for the full
-// search after the client has gone.
-var ctxCheckedPkgs = []string{"internal/exec", "internal/server", "internal/obs", "internal/live"}
+// search after the client has gone. internal/shard is included because the
+// coordinator fans twig matches out to goroutine-per-shard scatters — a
+// scatter goroutine that cannot observe cancellation would keep K local
+// searches running after the query's deadline fired.
+var ctxCheckedPkgs = []string{"internal/exec", "internal/server", "internal/obs", "internal/live", "internal/shard"}
 
 func ctxApplies(p *Package) bool {
 	rel := strings.TrimPrefix(p.Path, p.ModulePath+"/")

@@ -1,0 +1,73 @@
+// Fixture for the ctxpropagation check in csce/internal/shard: the
+// coordinator scatters twig matches to one goroutine per shard and joins
+// the partials — both the scatter goroutines and the join loop must be
+// able to observe the query's cancellation, or a disconnect leaves K
+// shard-local searches burning cores.
+package shard
+
+import (
+	"context"
+	"sync"
+)
+
+type fakeShard struct {
+	id int
+}
+
+func (sh *fakeShard) matchOne() bool { return false }
+
+// goodScatter launches one goroutine per shard; each references the
+// caller's ctx, so cancellation reaches every local search.
+func goodScatter(ctx context.Context, shards []*fakeShard) {
+	var wg sync.WaitGroup
+	for _, sh := range shards {
+		wg.Add(1)
+		go func(sh *fakeShard) {
+			defer wg.Done()
+			for ctx.Err() == nil && sh.matchOne() {
+			}
+		}(sh)
+	}
+	wg.Wait()
+}
+
+// goodJoin polls cancellation between probe rows.
+func goodJoin(ctx context.Context, rows [][]int) (int, error) {
+	n := 0
+	for range rows {
+		if err := ctx.Err(); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// badJoin accepts a context and never consults it: the join runs to
+// completion even after the client disconnected.
+func badJoin(ctx context.Context, rows [][]int) int { // want `context parameter ctx is never used`
+	n := 0
+	for range rows {
+		n++
+	}
+	return n
+}
+
+// badScatterRoot mints a fresh root for the fan-out, severing the query's
+// deadline from every shard-local search.
+func badScatterRoot(ctx context.Context, shards []*fakeShard) error {
+	sub, cancel := context.WithCancel(context.Background()) // want `context.Background\(\) discards the caller's context`
+	defer cancel()
+	_ = ctx
+	return sub.Err()
+}
+
+// badScatterPump loops in a goroutine with nothing cancellation can reach.
+func badScatterPump(shards []*fakeShard) {
+	for _, sh := range shards {
+		go func(sh *fakeShard) { // want `goroutine loops without a reachable context`
+			for sh.matchOne() {
+			}
+		}(sh)
+	}
+}

@@ -123,6 +123,11 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.mutAdm.release()
 
+	if ent.Sharded != nil {
+		s.mutateSharded(w, tr, rctx, start, ent, muts)
+		return
+	}
+
 	com, err := ent.Live.Mutate(rctx, muts)
 	if err != nil {
 		if errors.Is(err, live.ErrClosed) {
@@ -170,6 +175,13 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	ent, ok := s.reg.Get(name)
 	if !ok {
 		jsonError(w, http.StatusNotFound, fmt.Sprintf("unknown graph %q", name))
+		return
+	}
+	if ent.Sharded != nil {
+		// Continuous queries would need delta embeddings joined across
+		// shards; sharded graphs serve /match only.
+		jsonError(w, http.StatusUnprocessableEntity,
+			"sharded graphs do not support subscriptions; poll /match instead")
 		return
 	}
 	q := r.URL.Query()
@@ -378,11 +390,15 @@ func (s *Server) handleSlowlogThreshold(w http.ResponseWriter, r *http.Request) 
 	writeJSON(w, http.StatusOK, map[string]any{"threshold_ms": durMs(s.slowlog.Threshold())})
 }
 
-// liveDoc snapshots every graph's live-ingest counters for /metrics.
+// liveDoc snapshots every single-store graph's live-ingest counters for
+// /metrics. Sharded graphs report per shard under the "shard" block.
 func (s *Server) liveDoc() map[string]live.Stats {
 	entries := s.reg.List()
 	out := make(map[string]live.Stats, len(entries))
 	for _, e := range entries {
+		if e.Live == nil {
+			continue
+		}
 		out[e.Name] = e.Live.Stats()
 	}
 	return out

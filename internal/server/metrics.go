@@ -23,9 +23,20 @@ var metricsPhases = []string{phaseAdmission, phasePlan, phaseExec, phaseStream, 
 // metricsEndpoints lists the instrumented HTTP endpoints. Every route in
 // Handler records its latency under one of these names.
 var metricsEndpoints = []string{
-	"match", "mutate", "subscribe", "graphs", "metrics", "healthz",
+	"match", "mutate", "subscribe", "graphs", "load", "metrics", "healthz",
 	"slowlog", "slowlog_threshold",
 }
+
+// Shard stage names index the scatter-gather latency histograms: one full
+// fan-out, one shard's local twig matching, and one cross-shard join.
+const (
+	shardStageScatter = "scatter"
+	shardStageLocal   = "local"
+	shardStageJoin    = "join"
+)
+
+// metricsShardStages lists the shard histogram keys in render order.
+var metricsShardStages = []string{shardStageScatter, shardStageLocal, shardStageJoin}
 
 // WAL operation names index the durable-log latency histograms.
 const (
@@ -74,12 +85,20 @@ type metrics struct {
 	execMicros        atomic.Uint64 // summed execution-stage wall time (µs)
 	planMicros        atomic.Uint64 // summed plan-stage wall time (µs); cache hits contribute ~0
 
-	// Latency histograms: per query phase, per HTTP endpoint, and per
-	// durable-WAL operation. Allocated once by newMetrics; recording is
-	// lock-free (obs.Histogram).
+	// Scatter-gather volume (sharded graphs only). shardJoinCandidates is
+	// the join-explosion signal: hash-bucket entries probed while joining
+	// partial embeddings across shards.
+	shardQueries        atomic.Uint64 // matches served through a coordinator
+	shardPartials       atomic.Uint64 // twig rows returned by shards, summed
+	shardJoinCandidates atomic.Uint64 // cross-shard join candidates probed
+
+	// Latency histograms: per query phase, per HTTP endpoint, per
+	// durable-WAL operation, and per scatter-gather stage. Allocated once
+	// by newMetrics; recording is lock-free (obs.Histogram).
 	phases    map[string]*obs.Histogram
 	endpoints map[string]*obs.Histogram
 	wal       map[string]*obs.Histogram
+	shard     map[string]*obs.Histogram
 }
 
 func newMetrics() *metrics {
@@ -87,6 +106,7 @@ func newMetrics() *metrics {
 		phases:    make(map[string]*obs.Histogram, len(metricsPhases)),
 		endpoints: make(map[string]*obs.Histogram, len(metricsEndpoints)),
 		wal:       make(map[string]*obs.Histogram, len(metricsWALOps)),
+		shard:     make(map[string]*obs.Histogram, len(metricsShardStages)),
 	}
 	for _, p := range metricsPhases {
 		m.phases[p] = &obs.Histogram{}
@@ -96,6 +116,9 @@ func newMetrics() *metrics {
 	}
 	for _, op := range metricsWALOps {
 		m.wal[op] = &obs.Histogram{}
+	}
+	for _, st := range metricsShardStages {
+		m.shard[st] = &obs.Histogram{}
 	}
 	return m
 }
@@ -117,6 +140,13 @@ func (m *metrics) recordEndpoint(name string, d time.Duration) {
 // recordWAL adds one observation to a durable-WAL operation histogram.
 func (m *metrics) recordWAL(op string, d time.Duration) {
 	if h := m.wal[op]; h != nil {
+		h.Record(d)
+	}
+}
+
+// recordShard adds one observation to a scatter-gather stage histogram.
+func (m *metrics) recordShard(stage string, d time.Duration) {
+	if h := m.shard[stage]; h != nil {
 		h.Record(d)
 	}
 }
@@ -145,6 +175,9 @@ func (m *metrics) counterDoc() map[string]any {
 		"candidate_reuses":      m.candidateReuses.Load(),
 		"exec_micros":           m.execMicros.Load(),
 		"plan_micros":           m.planMicros.Load(),
+		"shard_queries":         m.shardQueries.Load(),
+		"shard_partials":        m.shardPartials.Load(),
+		"shard_join_candidates": m.shardJoinCandidates.Load(),
 	}
 }
 
@@ -163,9 +196,14 @@ func (m *metrics) latencyDoc() map[string]any {
 	for name, h := range m.wal {
 		wal[name] = h.Snapshot().Doc()
 	}
+	shard := make(map[string]any, len(m.shard))
+	for name, h := range m.shard {
+		shard[name] = h.Snapshot().Doc()
+	}
 	return map[string]any{
 		"phases":    phases,
 		"endpoints": endpoints,
 		"wal":       wal,
+		"shard":     shard,
 	}
 }

@@ -12,6 +12,7 @@ import (
 
 	"csce/internal/live"
 	"csce/internal/obs"
+	"csce/internal/shard"
 )
 
 // wantsProm reports whether /metrics should answer in Prometheus text
@@ -64,9 +65,15 @@ func (s *Server) writeProm(w http.ResponseWriter) {
 
 	// Per-graph live-ingest series. Stats are snapshotted once per graph,
 	// then rendered one family at a time so each TYPE header appears once.
+	// Sharded graphs render separately below with a shard label.
 	entries := s.reg.List()
+	liveEntries := make([]*Entry, 0, len(entries))
 	liveStats := make(map[string]live.Stats, len(entries))
 	for _, e := range entries {
+		if e.Live == nil {
+			continue
+		}
+		liveEntries = append(liveEntries, e)
 		liveStats[e.Name] = e.Live.Stats()
 	}
 	liveFamilies := []struct {
@@ -102,8 +109,44 @@ func (s *Server) writeProm(w http.ResponseWriter) {
 	}
 	for _, fam := range liveFamilies {
 		fmt.Fprintf(bw, "# TYPE %s %s\n", fam.name, fam.typ)
-		for _, e := range entries {
+		for _, e := range liveEntries {
 			fmt.Fprintf(bw, "%s{graph=%q} %s\n", fam.name, e.Name, promFloat(fam.val(liveStats[e.Name])))
+		}
+	}
+
+	// Per-shard series for sharded graphs: one sample per (graph, shard).
+	shardStats := make(map[string][]shard.Stats)
+	shardNames := make([]string, 0)
+	for _, e := range entries {
+		if e.Sharded == nil {
+			continue
+		}
+		shardStats[e.Name] = e.Sharded.ShardStats()
+		shardNames = append(shardNames, e.Name)
+	}
+	if len(shardNames) > 0 {
+		shardFamilies := []struct {
+			name string
+			typ  string
+			val  func(st shard.Stats) float64
+		}{
+			{"csce_shard_epoch", "gauge", func(st shard.Stats) float64 { return float64(st.Epoch) }},
+			{"csce_shard_vertices", "gauge", func(st shard.Stats) float64 { return float64(st.Vertices) }},
+			{"csce_shard_local_vertices", "gauge", func(st shard.Stats) float64 { return float64(st.LocalVertices) }},
+			{"csce_shard_edges", "gauge", func(st shard.Stats) float64 { return float64(st.Edges) }},
+			{"csce_shard_boundary_edges", "gauge", func(st shard.Stats) float64 { return float64(st.BoundaryEdges) }},
+			{"csce_shard_batches", "counter", func(st shard.Stats) float64 { return float64(st.Live.Batches) }},
+			{"csce_shard_batches_failed", "counter", func(st shard.Stats) float64 { return float64(st.Live.BatchesFailed) }},
+			{"csce_shard_wal_disk_bytes", "gauge", func(st shard.Stats) float64 { return float64(st.Live.WALDiskBytes) }},
+		}
+		for _, fam := range shardFamilies {
+			fmt.Fprintf(bw, "# TYPE %s %s\n", fam.name, fam.typ)
+			for _, name := range shardNames {
+				for _, st := range shardStats[name] {
+					fmt.Fprintf(bw, "%s{graph=%q,shard=\"%d\"} %s\n",
+						fam.name, name, st.ID, promFloat(fam.val(st)))
+				}
+			}
 		}
 	}
 
@@ -111,6 +154,7 @@ func (s *Server) writeProm(w http.ResponseWriter) {
 	promHistFamily(bw, "csce_phase_latency_seconds", "phase", metricsPhases, s.metrics.phases)
 	promHistFamily(bw, "csce_endpoint_latency_seconds", "endpoint", metricsEndpoints, s.metrics.endpoints)
 	promHistFamily(bw, "csce_wal_latency_seconds", "op", metricsWALOps, s.metrics.wal)
+	promHistFamily(bw, "csce_shard_latency_seconds", "stage", metricsShardStages, s.metrics.shard)
 }
 
 // promScalar writes one unlabeled sample with its TYPE header.

@@ -12,15 +12,19 @@ import (
 	"csce/internal/core"
 	"csce/internal/graph"
 	"csce/internal/live"
+	"csce/internal/shard"
 )
 
-// Entry is one resident dataset, wrapped for live mutation: queries pin
-// the current published snapshot through Live (lock-free reads against an
-// immutable CCSR store), mutations commit new epochs through the same
-// handle.
+// Entry is one resident dataset. A single-store graph is wrapped for live
+// mutation through Live: queries pin the current published snapshot
+// (lock-free reads against an immutable CCSR store), mutations commit new
+// epochs through the same handle. A graph registered sharded has Live nil
+// and Sharded set: queries scatter-gather through the coordinator, which
+// owns one live.Graph per shard.
 type Entry struct {
 	Name     string
-	Live     *live.Graph
+	Live     *live.Graph        // single-store graphs; nil when sharded
+	Sharded  *shard.Coordinator // sharded graphs; nil when single-store
 	Names    *graph.LabelTable
 	Directed bool
 	LoadedAt time.Time
@@ -32,12 +36,24 @@ type Entry struct {
 func (e *Entry) Queries() uint64 { return e.queries.Load() }
 
 // Epoch returns the currently published snapshot epoch (0 until the first
-// mutation commits).
-func (e *Entry) Epoch() uint64 { return e.Live.Epoch() }
+// mutation commits). A sharded graph has no single epoch — see
+// Sharded.EpochVector — so this reports 0.
+func (e *Entry) Epoch() uint64 {
+	if e.Live == nil {
+		return 0
+	}
+	return e.Live.Epoch()
+}
 
 // Counts reads the current snapshot's sizes. They move with mutations, so
-// callers get point-in-time values, not registration-time ones.
+// callers get point-in-time values, not registration-time ones. Sharded
+// graphs report logical totals (boundary replicas de-duplicated) and no
+// cluster count (clusters are per shard).
 func (e *Entry) Counts() (vertices, edges, clusters int) {
+	if e.Sharded != nil {
+		v, ed := e.Sharded.Counts()
+		return v, ed, 0
+	}
 	snap := e.Live.Acquire()
 	defer snap.Release()
 	st := snap.Store()
@@ -52,8 +68,12 @@ type Registry struct {
 	// sets it from its config before loading datasets.
 	LiveOpts live.Options
 	// WALRoot, when non-empty, makes every added graph durable: graph
-	// <name> logs to and recovers from WALRoot/<name>.
+	// <name> logs to and recovers from WALRoot/<name> (sharded graphs use
+	// one subdirectory per shard underneath it).
 	WALRoot string
+	// ShardObserver receives scatter/local/join durations from every
+	// sharded graph's coordinator; the server wires it to its histograms.
+	ShardObserver shard.Observer
 
 	mu      sync.RWMutex
 	entries map[string]*Entry
@@ -103,14 +123,57 @@ func (r *Registry) Add(name string, engine *core.Engine) (*Entry, error) {
 	return e, nil
 }
 
-// CloseAll closes every resident live graph: mutations start failing with
-// ErrClosed and all subscription streams end. Shutdown calls it so
-// long-lived subscribe handlers drain before the HTTP server waits on
-// them.
+// AddSharded registers an engine partitioned into k shards behind a
+// scatter-gather coordinator. Each shard wraps its own live.Graph with its
+// own WAL directory (WALRoot/<name>/shard-<i> when durable), so mutation
+// batches on different shards commit through k independent writers.
+func (r *Registry) AddSharded(name string, engine *core.Engine, k int, scheme shard.Scheme) (*Entry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("server: graph name must be non-empty")
+	}
+	opts := shard.Options{
+		K:        k,
+		Scheme:   scheme,
+		Live:     r.LiveOpts,
+		Observer: r.ShardObserver,
+	}
+	if r.WALRoot != "" {
+		opts.WALDir = filepath.Join(r.WALRoot, name)
+	}
+	st := engine.Store()
+	coord, err := shard.Open(name, st, opts)
+	if err != nil {
+		return nil, fmt.Errorf("server: open sharded graph %q: %w", name, err)
+	}
+	e := &Entry{
+		Name:     name,
+		Sharded:  coord,
+		Names:    coord.Names(),
+		Directed: st.Directed(),
+		LoadedAt: time.Now(),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[name]; dup {
+		coord.Close()
+		return nil, fmt.Errorf("server: graph %q already registered", name)
+	}
+	r.entries[name] = e
+	return e, nil
+}
+
+// CloseAll closes every resident live graph (each shard of the sharded
+// ones): mutations start failing with ErrClosed and all subscription
+// streams end. Shutdown calls it so long-lived subscribe handlers drain
+// before the HTTP server waits on them.
 func (r *Registry) CloseAll() {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	for _, e := range r.entries {
+		if e.Sharded != nil {
+			e.Sharded.Close()
+			continue
+		}
 		e.Live.Close()
 	}
 }

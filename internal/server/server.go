@@ -42,6 +42,7 @@ import (
 	"csce/internal/live"
 	"csce/internal/obs"
 	"csce/internal/plan"
+	"csce/internal/shard"
 )
 
 // Config sizes the daemon. The zero value is usable: New fills defaults.
@@ -227,6 +228,11 @@ func New(cfg Config) *Server {
 		},
 	}
 	s.reg.WALRoot = cfg.WALDir
+	s.reg.ShardObserver = shard.Observer{
+		Scatter: func(d time.Duration) { s.metrics.recordShard(shardStageScatter, d) },
+		Local:   func(d time.Duration) { s.metrics.recordShard(shardStageLocal, d) },
+		Join:    func(d time.Duration) { s.metrics.recordShard(shardStageJoin, d) },
+	}
 	return s
 }
 
@@ -237,6 +243,7 @@ func (s *Server) Registry() *Registry { return s.reg }
 // Every route records its end-to-end latency in a per-endpoint histogram.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/graphs/{name}", s.instrument("load", s.handleLoadGraph))
 	mux.HandleFunc("POST /v1/graphs/{name}/match", s.instrument("match", s.handleMatch))
 	mux.HandleFunc("POST /v1/graphs/{name}/mutate", s.instrument("mutate", s.handleMutate))
 	mux.HandleFunc("GET /v1/graphs/{name}/subscribe", s.instrument("subscribe", s.handleSubscribe))
@@ -451,6 +458,13 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.adm.release()
 	ent.queries.Add(1)
+
+	if ent.Sharded != nil {
+		s.matchSharded(w, r, shardedMatchArgs{
+			start: start, tr: tr, rctx: rctx, ent: ent, params: params, pattern: p,
+		})
+		return
+	}
 
 	// Pin the current snapshot for the whole query: concurrent mutation
 	// batches publish new epochs without touching it, and it is released
@@ -732,23 +746,35 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 		LastSeq  uint64    `json:"last_seq"`
 		LoadedAt time.Time `json:"loaded_at"`
 		Queries  uint64    `json:"queries"`
+		// Sharded graphs: shard count, partition scheme, and the per-shard
+		// epoch vector (there is no single epoch).
+		Shards      int      `json:"shards,omitempty"`
+		ShardScheme string   `json:"shard_scheme,omitempty"`
+		Epochs      []uint64 `json:"epochs,omitempty"`
 	}
 	entries := s.reg.List()
 	out := make([]graphInfo, 0, len(entries))
 	for _, e := range entries {
 		v, ed, cl := e.Counts()
-		st := e.Live.Stats()
-		out = append(out, graphInfo{
+		info := graphInfo{
 			Name:     e.Name,
 			Vertices: v,
 			Edges:    ed,
 			Clusters: cl,
 			Directed: e.Directed,
-			Epoch:    st.Epoch,
-			LastSeq:  st.LastSeq,
 			LoadedAt: e.LoadedAt,
 			Queries:  e.Queries(),
-		})
+		}
+		if e.Sharded != nil {
+			info.Shards = e.Sharded.K()
+			info.ShardScheme = e.Sharded.Scheme().String()
+			info.Epochs = e.Sharded.EpochVector()
+		} else {
+			st := e.Live.Stats()
+			info.Epoch = st.Epoch
+			info.LastSeq = st.LastSeq
+		}
+		out = append(out, info)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"graphs": out})
 }
@@ -779,6 +805,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	doc["mutate_queue_depth"] = s.cfg.MutateQueueDepth
 	doc["graphs"] = s.reg.Len()
 	doc["live"] = s.liveDoc()
+	if sd := s.shardDoc(); len(sd) > 0 {
+		doc["shard"] = sd
+	}
 	doc["uptime_seconds"] = time.Since(s.started).Seconds()
 	doc["slow_query_threshold_ms"] = durMs(s.slowlog.Threshold())
 	doc["slowlog_len"] = s.slowlog.Len()

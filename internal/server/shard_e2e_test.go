@@ -1,0 +1,305 @@
+package server
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+
+	"csce/internal/core"
+	"csce/internal/graph"
+	"csce/internal/shard"
+)
+
+// startShardedServer boots a daemon serving the same graph twice: once as
+// a plain single-store entry ("solo") and once partitioned into k shards
+// behind a coordinator ("sharded"), so tests can compare the two paths on
+// identical data.
+func startShardedServer(t *testing.T, cfg Config, g *graph.Graph, k int) (string, *Server) {
+	t.Helper()
+	base, s := startServer(t, cfg, map[string]*graph.Graph{"solo": g})
+	if _, err := s.Registry().AddSharded("sharded", core.NewEngine(g), k, shard.SchemeID); err != nil {
+		t.Fatal(err)
+	}
+	return base, s
+}
+
+// shardTestGraph builds a deterministic connected random graph: a ring for
+// connectivity plus extra chords, all vertices label 0.
+func shardTestGraph(n, extra int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(false)
+	b.AddVertices(n, 0)
+	for i := 0; i < n; i++ {
+		b.AddEdge(graph.VertexID(i), graph.VertexID((i+1)%n), 0)
+	}
+	seen := make(map[[2]int]bool, extra)
+	for len(seen) < extra {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u > v {
+			u, v = v, u
+		}
+		if u == v || v == u+1 || (u == 0 && v == n-1) || seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		b.AddEdge(graph.VertexID(u), graph.VertexID(v), 0)
+	}
+	return b.MustBuild()
+}
+
+func getBody(t *testing.T, u string) string {
+	t.Helper()
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", u, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestShardedMatchParity(t *testing.T) {
+	base, _ := startShardedServer(t, Config{}, shardTestGraph(48, 120, 7), 4)
+
+	for _, pattern := range []string{pathPattern2, pathPattern3, triPattern} {
+		_, soloSum := readStream(t, postMatch(t, base, "solo", pattern, nil))
+		_, shardSum := readStream(t, postMatch(t, base, "sharded", pattern, nil))
+		if soloSum["embeddings"] != shardSum["embeddings"] {
+			t.Fatalf("pattern %q: sharded counted %v embeddings, single-store %v",
+				pattern, shardSum["embeddings"], soloSum["embeddings"])
+		}
+		if shardSum["sharded"] != true {
+			t.Fatalf("sharded summary not flagged: %v", shardSum)
+		}
+		if n, _ := shardSum["twigs"].(float64); n < 1 {
+			t.Fatalf("sharded summary missing twigs: %v", shardSum)
+		}
+		if eps, _ := shardSum["epochs"].([]any); len(eps) != 4 {
+			t.Fatalf("sharded summary should carry a 4-entry epoch vector: %v", shardSum)
+		}
+	}
+
+	// The homomorphic variant must agree too (no injectivity filter at the
+	// join).
+	homo := url.Values{"variant": {"homo"}}
+	_, soloSum := readStream(t, postMatch(t, base, "solo", triPattern, homo))
+	_, shardSum := readStream(t, postMatch(t, base, "sharded", triPattern, homo))
+	if soloSum["embeddings"] != shardSum["embeddings"] {
+		t.Fatalf("homomorphic: sharded %v != single-store %v",
+			shardSum["embeddings"], soloSum["embeddings"])
+	}
+}
+
+func TestShardedDecompCacheAndEpochInvalidation(t *testing.T) {
+	base, _ := startShardedServer(t, Config{}, pathOf(10), 4)
+
+	_, first := readStream(t, postMatch(t, base, "sharded", pathPattern3, nil))
+	if first["decomp_cache"] != "miss" {
+		t.Fatalf("first sharded query should miss the decomposition cache: %v", first)
+	}
+	_, second := readStream(t, postMatch(t, base, "sharded", pathPattern3, nil))
+	if second["decomp_cache"] != "hit" {
+		t.Fatalf("repeated sharded query should hit the decomposition cache: %v", second)
+	}
+
+	// A mutation bumps some shard epochs; the cache key is the epoch
+	// VECTOR, so the next identical query must miss.
+	resp, _ := postMutate(t, base, "sharded",
+		`{"mutations":[{"op":"insert_edge","src":0,"dst":2}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate status %d", resp.StatusCode)
+	}
+	_, third := readStream(t, postMatch(t, base, "sharded", pathPattern3, nil))
+	if third["decomp_cache"] != "miss" {
+		t.Fatalf("query after mutation should miss the decomposition cache: %v", third)
+	}
+}
+
+func TestShardedMutateRoutesToCoordinator(t *testing.T) {
+	base, _ := startShardedServer(t, Config{}, pathOf(9), 3)
+
+	before := matchCount(t, base, "sharded", pathPattern2)
+
+	// Vertex 0 is owned by shard 0 and vertex 2 by shard 2 under SchemeID,
+	// so the insert is a cross-shard boundary edge.
+	resp, doc := postMutate(t, base, "sharded", `{"mutations":[
+		{"op":"add_vertex","label":"0"},
+		{"op":"insert_edge","src":0,"dst":2}
+	]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate status %d: %v", resp.StatusCode, doc)
+	}
+	if doc["sharded"] != true {
+		t.Fatalf("mutate response missing sharded flag: %v", doc)
+	}
+	if n, _ := doc["shards_touched"].(float64); n != 3 {
+		// The add_vertex broadcasts the label row to every shard.
+		t.Fatalf("shards_touched = %v, want 3: %v", doc["shards_touched"], doc)
+	}
+	if adds, _ := doc["added_vertices"].([]any); len(adds) != 1 || adds[0].(float64) != 9 {
+		t.Fatalf("added_vertices wrong: %v", doc)
+	}
+
+	// One new undirected edge = two more ordered path-2 embeddings, and
+	// both sides of the boundary must see it.
+	if after := matchCount(t, base, "sharded", pathPattern2); after != before+2 {
+		t.Fatalf("after cross-shard insert: %d path-2 embeddings, want %d", after, before+2)
+	}
+
+	// Deleting it restores the original count.
+	resp, doc = postMutate(t, base, "sharded",
+		`{"mutations":[{"op":"delete_edge","src":0,"dst":2}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d: %v", resp.StatusCode, doc)
+	}
+	if after := matchCount(t, base, "sharded", pathPattern2); after != before {
+		t.Fatalf("after delete: %d path-2 embeddings, want %d", after, before)
+	}
+}
+
+func TestShardedRejectsVertexInducedAndSubscribe(t *testing.T) {
+	base, _ := startShardedServer(t, Config{}, graph.Clique(8, 0), 2)
+
+	resp := postMatch(t, base, "sharded", triPattern, url.Values{"variant": {"vertex"}})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("vertex-induced on sharded graph: status %d, want 422", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	sub, err := http.Get(base + "/v1/graphs/sharded/subscribe?pattern=" + url.QueryEscape(pathPattern2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("subscribe on sharded graph: status %d, want 422", sub.StatusCode)
+	}
+	sub.Body.Close()
+
+	// A disconnected pattern is the client's error (422), not a 500.
+	disc := "t undirected\nv 0 0\nv 1 0\nv 2 0\nv 3 0\ne 0 1\ne 2 3\n"
+	resp = postMatch(t, base, "sharded", disc, nil)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("disconnected pattern on sharded graph: status %d, want 422", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestShardedLoadEndpoint(t *testing.T) {
+	base, _ := startServer(t, Config{}, map[string]*graph.Graph{"seed": graph.Clique(4, 0)})
+
+	g := shardTestGraph(30, 40, 11)
+	var sb strings.Builder
+	if err := graph.Format(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+
+	resp, doc := postJSON(t, base+"/v1/graphs/runtime?shards=4&scheme=label", body)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("load status %d: %v", resp.StatusCode, doc)
+	}
+	if doc["shards"].(float64) != 4 || doc["scheme"] != "label" {
+		t.Fatalf("load response missing shard info: %v", doc)
+	}
+	if doc["vertices"].(float64) != 30 {
+		t.Fatalf("load response vertex count: %v", doc)
+	}
+
+	// The loaded graph answers queries through the coordinator, and counts
+	// match a single-store load of the same bytes.
+	resp, _ = postJSON(t, base+"/v1/graphs/plain", body)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("plain load status %d", resp.StatusCode)
+	}
+	_, sum := readStream(t, postMatch(t, base, "runtime", triPattern, nil))
+	if sum["sharded"] != true || sum["shards"].(float64) != 4 {
+		t.Fatalf("runtime-loaded graph not sharded: %v", sum)
+	}
+	if plain := matchCount(t, base, "plain", triPattern); plain != uint64(sum["embeddings"].(float64)) {
+		t.Fatalf("runtime sharded load counted %v, plain load %d", sum["embeddings"], plain)
+	}
+
+	// /v1/graphs reports the shard layout and epoch vector.
+	listing := getBody(t, base+"/v1/graphs")
+	for _, want := range []string{`"shards": 4`, `"shard_scheme": "label"`, `"epochs"`} {
+		if !strings.Contains(listing, want) {
+			t.Fatalf("/v1/graphs missing %s: %s", want, listing)
+		}
+	}
+
+	// Duplicate name is a conflict; bad parameters are client errors.
+	if resp, _ = postJSON(t, base+"/v1/graphs/runtime?shards=2", body); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate load: status %d, want 409", resp.StatusCode)
+	}
+	if resp, _ = postJSON(t, base+"/v1/graphs/bad?shards=0", body); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("shards=0: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ = postJSON(t, base+"/v1/graphs/bad?shards=2&scheme=nope", body); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad scheme: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestShardedMetricsSurface(t *testing.T) {
+	base, _ := startShardedServer(t, Config{}, graph.Clique(10, 0), 3)
+	for i := 0; i < 2; i++ {
+		readStream(t, postMatch(t, base, "sharded", triPattern, nil))
+	}
+
+	m := getMetrics(t, base)
+	if metric(t, m, "shard_queries") != 2 {
+		t.Fatalf("shard_queries = %v, want 2", m["shard_queries"])
+	}
+	if metric(t, m, "shard_partials") < 2 {
+		t.Fatalf("shard_partials did not move: %v", m["shard_partials"])
+	}
+	if metric(t, m, "shard_join_candidates") < 1 {
+		t.Fatalf("shard_join_candidates did not move: %v", m["shard_join_candidates"])
+	}
+	sd, ok := m["shard"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics missing shard section: %v", m["shard"])
+	}
+	coord, ok := sd["sharded"].(map[string]any)
+	if !ok {
+		t.Fatalf("shard section missing coordinator doc: %v", sd)
+	}
+	if coord["k"].(float64) != 3 || coord["matches"].(float64) != 2 {
+		t.Fatalf("coordinator doc wrong: %v", coord)
+	}
+	if shards, _ := coord["shards"].([]any); len(shards) != 3 {
+		t.Fatalf("coordinator doc missing per-shard stats: %v", coord)
+	}
+	lat, ok := m["latency"].(map[string]any)
+	if !ok || lat["shard"] == nil {
+		t.Fatalf("metrics missing shard latency block: %v", m["latency"])
+	}
+
+	// Prometheus rendering: per-shard gauges with graph+shard labels, the
+	// join-candidates counter, and the scatter/local/join histogram family.
+	prom := getBody(t, base+"/metrics?format=prom")
+	for _, want := range []string{
+		"csce_shard_join_candidates",
+		`csce_shard_vertices{graph="sharded",shard="0"}`,
+		`csce_shard_boundary_edges{graph="sharded",shard="2"}`,
+		`csce_shard_latency_seconds_bucket{stage="scatter"`,
+		`csce_shard_latency_seconds_bucket{stage="join"`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("prom output missing %q", want)
+		}
+	}
+	// A sharded graph must not leak a bogus series into the single-store
+	// live families.
+	if strings.Contains(prom, `csce_live_epoch{graph="sharded"}`) {
+		t.Fatalf("sharded graph leaked into live families")
+	}
+}

@@ -1,0 +1,97 @@
+package shard
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"csce/internal/graph"
+	"csce/internal/plan"
+)
+
+// decompCache is the sharded path's plan cache: a bounded LRU of twig
+// decompositions. The key includes the FULL shard-set epoch vector, not a
+// single epoch — a mutation on any one shard changes that shard's label
+// statistics, and a key carrying only (say) shard 0's epoch would keep
+// serving a decomposition whose root-selectivity inputs are stale for the
+// mutated shard. Superseded vectors age out of the LRU.
+type decompCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[string]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type decompEntry struct {
+	key string
+	dec *Decomposition
+}
+
+func newDecompCache(capacity int) *decompCache {
+	return &decompCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *decompCache) get(key string) (*Decomposition, bool) {
+	if c.cap <= 0 {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*decompEntry).dec, true
+}
+
+func (c *decompCache) put(key string, dec *Decomposition) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*decompEntry).dec = dec
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&decompEntry{key: key, dec: dec})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*decompEntry).key)
+	}
+}
+
+func (c *decompCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// decompKey builds the cache key: variant, mode, the epoch of EVERY shard
+// in shard order, and the pattern signature.
+func decompKey(variant graph.Variant, mode plan.Mode, epochs []uint64, p *graph.Graph) string {
+	var b strings.Builder
+	b.Grow(32 + 12*len(epochs) + 16*p.NumVertices())
+	b.WriteString(strconv.Itoa(int(variant)))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(int(mode)))
+	b.WriteByte('|')
+	for _, e := range epochs {
+		b.WriteString(strconv.FormatUint(e, 10))
+		b.WriteByte(',')
+	}
+	b.WriteByte('|')
+	b.WriteString(patternSignature(p))
+	return b.String()
+}

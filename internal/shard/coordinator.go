@@ -1,0 +1,513 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"csce/internal/ccsr"
+	"csce/internal/core"
+	"csce/internal/graph"
+	"csce/internal/live"
+	"csce/internal/obs"
+	"csce/internal/plan"
+)
+
+// Options configures one sharded graph; the zero value of everything but
+// K takes defaults.
+type Options struct {
+	// K is the shard count (required, >= 1).
+	K int
+	// Scheme maps vertices to shards (default SchemeID).
+	Scheme Scheme
+	// Live is the per-shard live.Graph template. Durability.Dir inside it
+	// is ignored; WALDir governs durability.
+	Live live.Options
+	// WALDir, when non-empty, gives every shard its own durable WAL under
+	// WALDir/shard-<i>; reopening the same directory recovers each shard
+	// and reconciles vertex counts across them.
+	WALDir string
+	// PlanCacheSize bounds the decomposition LRU (default 128; negative
+	// disables caching).
+	PlanCacheSize int
+	// Observer receives scatter/local/join durations for external
+	// histogramming. All hooks optional.
+	Observer Observer
+}
+
+// Observer carries the coordinator's latency hooks.
+type Observer struct {
+	// Scatter observes one full fan-out (all shards, all twigs).
+	Scatter func(time.Duration)
+	// Local observes one shard's MatchPartial call.
+	Local func(time.Duration)
+	// Join observes one cross-shard join.
+	Join func(time.Duration)
+}
+
+// Coordinator owns K shards of one logical graph and serves scatter-
+// gather matches and routed mutation batches over them. All methods are
+// safe for concurrent use.
+type Coordinator struct {
+	name     string
+	k        int
+	scheme   Scheme
+	directed bool
+	names    *graph.LabelTable
+	obsv     Observer
+
+	shards []Shard       // the narrow interface the scatter path uses
+	locals []*localShard // same shards, for cheap epoch/owner bookkeeping
+
+	// own maps every vertex to its shard; vmu serializes ownership
+	// growth: vertex-adding batches hold it exclusively (all shards must
+	// append vertices in lockstep), edge-only batches share it.
+	own *ownership
+	vmu sync.RWMutex
+
+	decomp *decompCache
+
+	// statsMu guards the per-shard stats cache, keyed by shard epoch —
+	// the GraphMini-style candidate summaries the decomposer reads.
+	statsMu    sync.Mutex
+	statsCache []cachedStats
+
+	matches        atomic.Uint64
+	partials       atomic.Uint64
+	joinCandidates atomic.Uint64
+	mutBatches     atomic.Uint64
+	mutFailed      atomic.Uint64
+}
+
+type cachedStats struct {
+	epoch uint64
+	ok    bool
+	st    Stats
+	freq  map[graph.Label]int
+}
+
+// Open partitions a built store into K shards, wraps each in its own
+// live.Graph (own WAL directory under opts.WALDir), and returns the
+// coordinator. With durable WALs, each shard first recovers its own log;
+// a crash between two shards' appends can leave vertex counts skewed, so
+// Open reconciles by topping lagging shards up to the most advanced one
+// (labels copied from it — vertex adds are broadcast identically to every
+// shard, so the most advanced shard has them all).
+func Open(name string, base *ccsr.Store, opts Options) (*Coordinator, error) {
+	if opts.K < 1 {
+		return nil, fmt.Errorf("shard: K must be >= 1, got %d", opts.K)
+	}
+	if opts.PlanCacheSize == 0 {
+		opts.PlanCacheSize = 128
+	}
+	c := &Coordinator{
+		name:     name,
+		k:        opts.K,
+		scheme:   opts.Scheme,
+		directed: base.Directed(),
+		names:    base.Names(),
+		obsv:     opts.Observer,
+		own:      &ownership{},
+		decomp:   newDecompCache(opts.PlanCacheSize),
+	}
+	owners := make([]uint16, base.NumVertices())
+	for v := range owners {
+		owners[v] = uint16(c.scheme.assign(graph.VertexID(v), base.VertexLabel(graph.VertexID(v)), c.k))
+	}
+	c.own.append(owners...)
+
+	stores, _, err := base.Partition(c.k, func(v graph.VertexID) int {
+		return int(owners[v])
+	})
+	if err != nil {
+		return nil, err
+	}
+	lopts := opts.Live
+	for i, st := range stores {
+		lopts.Durability.Dir = ""
+		if opts.WALDir != "" {
+			lopts.Durability.Dir = filepath.Join(opts.WALDir, fmt.Sprintf("shard-%d", i))
+		}
+		lg, err := live.Open(fmt.Sprintf("%s/shard-%d", name, i), core.FromStore(st), lopts)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("shard: open shard %d: %w", i, err)
+		}
+		sh := newLocalShard(i, lg, c.own)
+		c.locals = append(c.locals, sh)
+		c.shards = append(c.shards, sh)
+	}
+	c.statsCache = make([]cachedStats, c.k)
+	if err := c.reconcileRecovered(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	if err := c.seedCounters(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// reconcileRecovered aligns per-shard vertex counts after WAL recovery
+// and extends the ownership map past the base partition.
+func (c *Coordinator) reconcileRecovered() error {
+	counts := make([]int, c.k)
+	maxN, ref := 0, 0
+	for i, sh := range c.locals {
+		st, _, release := sh.engineSnapshot()
+		counts[i] = st.NumVertices()
+		release()
+		if counts[i] > maxN {
+			maxN, ref = counts[i], i
+		}
+	}
+	if maxN > c.own.len() {
+		refStore, _, release := c.locals[ref].engineSnapshot()
+		extra := make([]uint16, 0, maxN-c.own.len())
+		for v := c.own.len(); v < maxN; v++ {
+			l := refStore.VertexLabel(graph.VertexID(v))
+			extra = append(extra, uint16(c.scheme.assign(graph.VertexID(v), l, c.k)))
+		}
+		release()
+		c.own.append(extra...)
+	}
+	for i, sh := range c.locals {
+		if counts[i] == maxN {
+			continue
+		}
+		refStore, _, release := c.locals[ref].engineSnapshot()
+		muts := make([]live.Mutation, 0, maxN-counts[i])
+		for v := counts[i]; v < maxN; v++ {
+			muts = append(muts, live.Mutation{Op: live.OpAddVertex, VertexLabel: refStore.VertexLabel(graph.VertexID(v))})
+		}
+		release()
+		if _, err := sh.ApplyBatch(context.Background(), muts); err != nil {
+			return fmt.Errorf("shard: reconcile shard %d vertices: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// seedCounters scans each shard's snapshot once to initialize the
+// maintained local-vertex and boundary-edge gauges.
+func (c *Coordinator) seedCounters() error {
+	owners := c.own.snapshot()
+	localVerts := make([]int, c.k)
+	for _, o := range owners {
+		localVerts[o]++
+	}
+	for i, sh := range c.locals {
+		st, _, release := sh.engineSnapshot()
+		boundary := 0
+		err := st.EdgesAll(func(src, dst graph.VertexID, _ graph.EdgeLabel) {
+			if owners[src] != owners[dst] {
+				boundary++
+			}
+		})
+		release()
+		if err != nil {
+			return fmt.Errorf("shard: scan shard %d: %w", i, err)
+		}
+		sh.seedCounts(localVerts[i], boundary)
+	}
+	return nil
+}
+
+// Name returns the coordinator's registry name.
+func (c *Coordinator) Name() string { return c.name }
+
+// K returns the shard count.
+func (c *Coordinator) K() int { return c.k }
+
+// Scheme returns the partitioning scheme.
+func (c *Coordinator) Scheme() Scheme { return c.scheme }
+
+// Directed reports the sharded graph's directedness.
+func (c *Coordinator) Directed() bool { return c.directed }
+
+// Names returns the shared label table (all shards intern through it).
+func (c *Coordinator) Names() *graph.LabelTable { return c.names }
+
+// EpochVector returns every shard's published epoch, in shard order. Two
+// vectors are equal iff no shard committed in between — this is the
+// freshness component of the decomposition cache key.
+func (c *Coordinator) EpochVector() []uint64 {
+	out := make([]uint64, c.k)
+	for i, sh := range c.locals {
+		out[i] = sh.g.Epoch()
+	}
+	return out
+}
+
+// Counts returns the logical graph's current vertex and edge totals. A
+// cross-shard edge is stored twice and counted by both owners' boundary
+// gauges, so the global count is Σ stored − Σ boundary / 2.
+func (c *Coordinator) Counts() (vertices, edges int) {
+	vertices = c.own.len()
+	stored, boundary := 0, 0
+	for _, sh := range c.locals {
+		st, _, release := sh.engineSnapshot()
+		stored += st.NumEdges()
+		release()
+		boundary += int(sh.boundary.Load())
+	}
+	return vertices, stored - boundary/2
+}
+
+// ShardStats returns every shard's stats, served from the epoch-keyed
+// cache: a shard's summary is recomputed only after it commits a new
+// epoch (purely monotonic live counters may lag one epoch).
+func (c *Coordinator) ShardStats() []Stats {
+	out := make([]Stats, c.k)
+	for i := range c.locals {
+		st, _ := c.cachedShardStats(i)
+		out[i] = st
+	}
+	return out
+}
+
+func (c *Coordinator) cachedShardStats(i int) (Stats, map[graph.Label]int) {
+	epoch := c.locals[i].g.Epoch()
+	c.statsMu.Lock()
+	if cs := c.statsCache[i]; cs.ok && cs.epoch == epoch {
+		c.statsMu.Unlock()
+		return cs.st, cs.freq
+	}
+	c.statsMu.Unlock()
+	// Recompute outside the lock: Stats pins a snapshot and copies maps.
+	st := c.locals[i].Stats()
+	store, _, release := c.locals[i].engineSnapshot()
+	freq := store.LabelFrequencies()
+	release()
+	c.statsMu.Lock()
+	c.statsCache[i] = cachedStats{epoch: st.Epoch, ok: true, st: st, freq: freq}
+	c.statsMu.Unlock()
+	return st, freq
+}
+
+// aggregateLabelFreq merges the per-shard label statistics for root
+// selection. Vertex labels are replicated to every shard, so the merge
+// takes the max per label (all shards agree; max tolerates a shard
+// observed mid-commit).
+func (c *Coordinator) aggregateLabelFreq() map[graph.Label]int {
+	agg := make(map[graph.Label]int)
+	for i := range c.locals {
+		_, freq := c.cachedShardStats(i)
+		for l, n := range freq {
+			if n > agg[l] {
+				agg[l] = n
+			}
+		}
+	}
+	return agg
+}
+
+// CacheStats reports the decomposition cache's counters.
+func (c *Coordinator) CacheStats() (size int, hits, misses uint64) {
+	return c.decomp.len(), c.decomp.hits.Load(), c.decomp.misses.Load()
+}
+
+// CoordStats is the coordinator-level stats document.
+type CoordStats struct {
+	K              int     `json:"k"`
+	Scheme         string  `json:"scheme"`
+	Vertices       int     `json:"vertices"`
+	Edges          int     `json:"edges"`
+	Matches        uint64  `json:"matches"`
+	Partials       uint64  `json:"partials"`
+	JoinCandidates uint64  `json:"join_candidates"`
+	MutationOK     uint64  `json:"mutation_batches"`
+	MutationFailed uint64  `json:"mutation_batches_failed"`
+	DecompHits     uint64  `json:"decomp_cache_hits"`
+	DecompMisses   uint64  `json:"decomp_cache_misses"`
+	DecompSize     int     `json:"decomp_cache_size"`
+	Shards         []Stats `json:"shards"`
+}
+
+// Stats returns the coordinator document, including per-shard stats.
+func (c *Coordinator) Stats() CoordStats {
+	v, e := c.Counts()
+	size, hits, misses := c.CacheStats()
+	return CoordStats{
+		K:              c.k,
+		Scheme:         c.scheme.String(),
+		Vertices:       v,
+		Edges:          e,
+		Matches:        c.matches.Load(),
+		Partials:       c.partials.Load(),
+		JoinCandidates: c.joinCandidates.Load(),
+		MutationOK:     c.mutBatches.Load(),
+		MutationFailed: c.mutFailed.Load(),
+		DecompHits:     hits,
+		DecompMisses:   misses,
+		DecompSize:     size,
+		Shards:         c.ShardStats(),
+	}
+}
+
+// Close closes every shard's live graph. Idempotent.
+func (c *Coordinator) Close() {
+	for _, sh := range c.locals {
+		sh.g.Close()
+	}
+}
+
+// MatchOptions are the knobs of one scatter-gather match.
+type MatchOptions struct {
+	// Variant selects edge-induced or homomorphic matching;
+	// vertex-induced returns ErrVertexInduced.
+	Variant graph.Variant
+	// Mode selects each shard's local plan-optimization pipeline.
+	Mode plan.Mode
+	// Limit stops after this many embeddings (0 = all), exact.
+	Limit uint64
+	// Workers sizes each shard's local executor (<=1 serial).
+	Workers int
+	// OnEmbedding receives each full embedding, indexed by pattern
+	// vertex. The slice is reused between calls — copy to retain. Return
+	// false to stop.
+	OnEmbedding func(mapping []graph.VertexID) bool
+}
+
+// MatchResult reports one scatter-gather match.
+type MatchResult struct {
+	Embeddings uint64
+	// Twigs is the decomposition width; Partials the total twig rows the
+	// shards returned; JoinCandidates the hash-bucket entries probed.
+	Twigs          int
+	Partials       uint64
+	JoinCandidates uint64
+	Steps          uint64
+	// Epochs is the snapshot epoch each shard actually answered at.
+	Epochs    []uint64
+	Cancelled bool
+	LimitHit  bool
+	// DecompCacheHit reports whether the twig decomposition came from the
+	// epoch-vector-keyed cache.
+	DecompCacheHit bool
+	ScatterTime    time.Duration
+	JoinTime       time.Duration
+}
+
+// Match runs one pattern over all shards: decompose (cached by pattern +
+// variant + mode + epoch vector), scatter every twig to every shard in
+// parallel, then join the partials on shared query vertices, streaming
+// full embeddings. When ctx carries an obs.Trace, "shard.scatter",
+// per-shard "shard.local", and "shard.join" spans record the breakdown.
+// Cancellation mid-search is graceful: partial counts return with
+// Cancelled set and a nil error, mirroring core.Match.
+func (c *Coordinator) Match(ctx context.Context, p *graph.Graph, opts MatchOptions) (MatchResult, error) {
+	var res MatchResult
+	if opts.Variant == graph.VertexInduced {
+		return res, ErrVertexInduced
+	}
+	if p.Directed() != c.directed {
+		return res, fmt.Errorf("shard: pattern directedness does not match graph %q", c.name)
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	c.matches.Add(1)
+	tr := obs.TraceFrom(ctx)
+
+	key := decompKey(opts.Variant, opts.Mode, c.EpochVector(), p)
+	dec, hit := c.decomp.get(key)
+	if !hit {
+		freq := c.aggregateLabelFreq()
+		var err error
+		dec, err = Decompose(p, func(l graph.Label) int { return freq[l] })
+		if err != nil {
+			return res, err
+		}
+		c.decomp.put(key, dec)
+	}
+	res.DecompCacheHit = hit
+	res.Twigs = len(dec.Twigs)
+
+	// Scatter: one MatchPartial per shard, all twigs against one pinned
+	// snapshot each, in parallel.
+	endScatter := tr.StartSpan("shard.scatter")
+	scatterStart := time.Now()
+	req := PartialRequest{Twigs: dec.Twigs, Mode: opts.Mode, Workers: opts.Workers}
+	results := make([]PartialResult, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i, sh := range c.shards {
+		wg.Add(1)
+		go func(i int, sh Shard) {
+			defer wg.Done()
+			endLocal := tr.StartSpan("shard.local")
+			localStart := time.Now()
+			results[i], errs[i] = sh.MatchPartial(ctx, req)
+			endLocal()
+			if c.obsv.Local != nil {
+				c.obsv.Local(time.Since(localStart))
+			}
+		}(i, sh)
+	}
+	wg.Wait()
+	res.ScatterTime = time.Since(scatterStart)
+	endScatter()
+	if c.obsv.Scatter != nil {
+		c.obsv.Scatter(res.ScatterTime)
+	}
+
+	res.Epochs = make([]uint64, len(results))
+	for i, r := range results {
+		res.Epochs[i] = r.Epoch
+		res.Steps += r.Steps
+		if r.Cancelled {
+			res.Cancelled = true
+		}
+	}
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			res.Cancelled = true
+			continue
+		}
+		return res, err
+	}
+	if res.Cancelled {
+		return res, nil
+	}
+
+	// Assemble per-twig relations across shards.
+	rels := make([]partialRel, len(dec.Twigs))
+	for ti, tw := range dec.Twigs {
+		rels[ti].cols = tw.QVerts
+		for _, r := range results {
+			rels[ti].rows = append(rels[ti].rows, r.Twigs[ti].Rows...)
+		}
+		res.Partials += uint64(len(rels[ti].rows))
+	}
+	c.partials.Add(res.Partials)
+
+	endJoin := tr.StartSpan("shard.join")
+	joinStart := time.Now()
+	emit := func(m []graph.VertexID) bool {
+		if opts.OnEmbedding != nil && !opts.OnEmbedding(m) {
+			return false
+		}
+		res.Embeddings++
+		return opts.Limit == 0 || res.Embeddings < opts.Limit
+	}
+	jst := joinPartials(ctx, p.NumVertices(), rels, opts.Variant.Injective(), emit)
+	res.JoinTime = time.Since(joinStart)
+	endJoin()
+	if c.obsv.Join != nil {
+		c.obsv.Join(res.JoinTime)
+	}
+	res.JoinCandidates = jst.Candidates
+	c.joinCandidates.Add(jst.Candidates)
+	res.Cancelled = jst.Cancelled
+	res.LimitHit = opts.Limit > 0 && res.Embeddings >= opts.Limit
+	return res, nil
+}

@@ -1,0 +1,160 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"csce/internal/dataset"
+	"csce/internal/graph"
+)
+
+func uniformFreq(graph.Label) int { return 1 }
+
+// checkCover asserts the twigs cover every pattern edge exactly once, are
+// stars around their roots, and (after the first) root at already-bound
+// pattern vertices.
+func checkCover(t *testing.T, p *graph.Graph, dec *Decomposition) {
+	t.Helper()
+	type pe struct {
+		src, dst graph.VertexID
+		label    graph.EdgeLabel
+	}
+	canon := func(src, dst graph.VertexID, el graph.EdgeLabel) pe {
+		if !p.Directed() && dst < src {
+			src, dst = dst, src
+		}
+		return pe{src, dst, el}
+	}
+	covered := make(map[pe]int)
+	bound := make(map[graph.VertexID]bool)
+	for ti, tw := range dec.Twigs {
+		if tw.Root != 0 {
+			t.Fatalf("twig %d root %d, want 0", ti, tw.Root)
+		}
+		if len(tw.QVerts) != tw.Sub.NumVertices() {
+			t.Fatalf("twig %d: %d qverts for %d sub vertices", ti, len(tw.QVerts), tw.Sub.NumVertices())
+		}
+		rootQ := tw.QVerts[0]
+		if ti > 0 && !bound[rootQ] {
+			t.Fatalf("twig %d root %d not bound by earlier twigs", ti, rootQ)
+		}
+		for i, qv := range tw.QVerts {
+			if tw.Sub.Label(graph.VertexID(i)) != p.Label(qv) {
+				t.Fatalf("twig %d vertex %d label mismatch", ti, i)
+			}
+		}
+		tw.Sub.Edges(func(src, dst graph.VertexID, el graph.EdgeLabel) {
+			if src != 0 && dst != 0 {
+				t.Fatalf("twig %d has non-star edge %d-%d", ti, src, dst)
+			}
+			covered[canon(tw.QVerts[src], tw.QVerts[dst], el)]++
+		})
+		for _, qv := range tw.QVerts {
+			bound[qv] = true
+		}
+	}
+	total := 0
+	p.Edges(func(src, dst graph.VertexID, el graph.EdgeLabel) {
+		total++
+		if covered[canon(src, dst, el)] != 1 {
+			t.Fatalf("pattern edge %d-%d covered %d times", src, dst, covered[canon(src, dst, el)])
+		}
+	})
+	distinct := 0
+	for _, n := range covered {
+		distinct += n
+	}
+	if distinct != total {
+		t.Fatalf("cover has %d edges, pattern has %d", distinct, total)
+	}
+}
+
+func TestDecomposeTriangle(t *testing.T) {
+	b := graph.NewBuilder(false)
+	b.AddVertices(3, 0)
+	b.AddEdge(0, 1, 0)
+	b.AddEdge(1, 2, 0)
+	b.AddEdge(0, 2, 0)
+	p := b.MustBuild()
+	dec, err := Decompose(p, uniformFreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCover(t, p, dec)
+	if len(dec.Twigs) != 2 {
+		t.Fatalf("triangle decomposed into %d twigs, want 2", len(dec.Twigs))
+	}
+	// First twig should take the max-degree root's full star (2 edges).
+	if dec.Twigs[0].Sub.NumEdges() != 2 || dec.Twigs[1].Sub.NumEdges() != 1 {
+		t.Fatalf("twig sizes %d,%d; want 2,1",
+			dec.Twigs[0].Sub.NumEdges(), dec.Twigs[1].Sub.NumEdges())
+	}
+}
+
+func TestDecomposePrefersRareLabels(t *testing.T) {
+	// Path a-b with freq(a)=1000, freq(b)=1: root must be the b vertex.
+	b := graph.NewBuilder(false)
+	b.AddVertex(0)
+	b.AddVertex(1)
+	b.AddEdge(0, 1, 0)
+	p := b.MustBuild()
+	freq := func(l graph.Label) int {
+		if l == 0 {
+			return 1000
+		}
+		return 1
+	}
+	dec, err := Decompose(p, freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dec.Twigs[0].QVerts[0]; got != 1 {
+		t.Fatalf("root pattern vertex %d, want the rare-labeled 1", got)
+	}
+}
+
+func TestDecomposeSingleVertex(t *testing.T) {
+	b := graph.NewBuilder(false)
+	b.AddVertex(3)
+	p := b.MustBuild()
+	dec, err := Decompose(p, uniformFreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Twigs) != 1 || dec.Twigs[0].Sub.NumVertices() != 1 {
+		t.Fatalf("unexpected decomposition %+v", dec)
+	}
+}
+
+func TestDecomposeRejectsDisconnected(t *testing.T) {
+	b := graph.NewBuilder(false)
+	b.AddVertices(4, 0)
+	b.AddEdge(0, 1, 0)
+	b.AddEdge(2, 3, 0)
+	p := b.MustBuild()
+	if _, err := Decompose(p, uniformFreq); err == nil {
+		t.Fatal("disconnected pattern should be rejected")
+	}
+	b2 := graph.NewBuilder(false)
+	b2.AddVertices(2, 0)
+	if _, err := Decompose(b2.MustBuild(), uniformFreq); err == nil {
+		t.Fatal("edgeless multi-vertex pattern should be rejected")
+	}
+}
+
+func TestDecomposeSampledPatterns(t *testing.T) {
+	g := dataset.Spec{Kind: dataset.PPI, Vertices: 400, TargetEdges: 1400, VertexLabels: 6, Seed: 7}.Generate()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		size := 3 + rng.Intn(5)
+		p, err := dataset.SamplePattern(g, size, i%2 == 0, rng)
+		if err != nil {
+			continue
+		}
+		dec, err := Decompose(p, func(l graph.Label) int { return g.LabelFrequency(l) })
+		if err != nil {
+			t.Fatalf("pattern %d: %v", i, err)
+		}
+		checkCover(t, p, dec)
+	}
+}
