@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race live-race crash-race shard-race vet lint ci bench-obs bench-serve
+.PHONY: build test race live-race crash-race shard-race vet lint alloc-gate ci bench-obs bench-serve
 
 build:
 	$(GO) build ./...
@@ -43,11 +43,19 @@ vet:
 
 # Project-specific static analysis: stdlib-only imports, atomic access
 # consistency, mutex discipline, context propagation, enum-exhaustive
-# switches, unchecked errors. See internal/lint and DESIGN.md.
+# switches, unchecked errors, snapshot refcount balance, lock ordering,
+# goroutine exit paths. See internal/lint and DESIGN.md.
 lint:
 	$(GO) run ./cmd/cscelint ./...
 
-ci: build vet lint test race live-race crash-race shard-race
+# The hot-path allocation gate in isolation: //csce:hotpath functions are
+# checked against the compiler's escape analysis, with known allocations
+# pinned (and justified) in ALLOC_BUDGET.json. `lint` already includes
+# this; the standalone target is for iterating on hot-path code.
+alloc-gate:
+	$(GO) run ./cmd/cscelint -checks allocfree ./...
+
+ci: build vet lint alloc-gate test race live-race crash-race shard-race
 
 # Observability hot-path benchmarks plus the enforced <50ns/op budget on
 # histogram recording (OBS_BENCH=1 turns the measurement into an

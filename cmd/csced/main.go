@@ -231,6 +231,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, started c
 
 	<-ctx.Done()
 	fmt.Fprintf(stdout, "csced: draining (up to %v)...\n", *drainTO)
+	//lint:ignore ctxpropagation ctx is already cancelled here; deriving the drain deadline from it would make it pre-expired
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {

@@ -34,7 +34,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		checksFlag = fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
-		jsonOut    = fs.Bool("json", false, "emit findings as a JSON array")
+		jsonOut    = fs.Bool("json", false, "emit a versioned JSON report ({schema_version, findings})")
 		dir        = fs.String("C", ".", "module directory to analyze")
 		list       = fs.Bool("list", false, "list available checks and exit")
 	)
@@ -76,6 +76,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "cscelint: %v\n", err)
 		return 2
 	}
+	// The allocation gate needs the compiler's escape-analysis diagnostics
+	// on top of the type information; only pay for that build when the
+	// check is selected and some package actually declares a hot path.
+	for _, c := range checks {
+		if c == lint.AllocFree && lint.HasHotPathAnnotations(pkgs) {
+			if err := lint.AttachAllocs(*dir, pkgs, patterns...); err != nil {
+				fmt.Fprintf(stderr, "cscelint: %v\n", err)
+				return 2
+			}
+			break
+		}
+	}
 	diags := lint.Run(pkgs, checks)
 
 	if *jsonOut {
@@ -86,9 +98,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Check   string `json:"check"`
 			Message string `json:"message"`
 		}
-		out := make([]finding, 0, len(diags))
+		type report struct {
+			SchemaVersion int       `json:"schema_version"`
+			Findings      []finding `json:"findings"`
+		}
+		out := report{SchemaVersion: 1, Findings: make([]finding, 0, len(diags))}
 		for _, d := range diags {
-			out = append(out, finding{
+			out.Findings = append(out.Findings, finding{
 				File:    relPath(*dir, d.Pos.Filename),
 				Line:    d.Pos.Line,
 				Column:  d.Pos.Column,

@@ -76,22 +76,33 @@ func TestJSONOutput(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1", code)
 	}
-	var findings []struct {
-		File    string `json:"file"`
-		Line    int    `json:"line"`
-		Column  int    `json:"column"`
-		Check   string `json:"check"`
-		Message string `json:"message"`
+	var report struct {
+		SchemaVersion int `json:"schema_version"`
+		Findings      []struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Column  int    `json:"column"`
+			Check   string `json:"check"`
+			Message string `json:"message"`
+		} `json:"findings"`
 	}
-	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
 		t.Fatalf("output is not JSON: %v\n%s", err, out)
 	}
-	if len(findings) != 6 {
-		t.Fatalf("got %d findings, want 6: %+v", len(findings), findings)
+	if report.SchemaVersion != 1 {
+		t.Fatalf("schema_version = %d, want 1", report.SchemaVersion)
 	}
-	f := findings[0]
+	if len(report.Findings) != 6 {
+		t.Fatalf("got %d findings, want 6: %+v", len(report.Findings), report.Findings)
+	}
+	f := report.Findings[0]
 	if f.File != "fixture.go" || f.Line != 20 || f.Check != "errchecklite" || !strings.Contains(f.Message, "mayFail") {
 		t.Errorf("unexpected first finding %+v", f)
+	}
+	// Determinism: findings are sorted by position, so two runs byte-match.
+	code2, out2, _ := runLint(t, "-C", fixture("errchecklite"), "-json", "./...")
+	if code2 != code || out2 != out {
+		t.Errorf("JSON output is not deterministic across runs")
 	}
 }
 
@@ -115,7 +126,7 @@ func TestListChecks(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"stdlibonly", "atomicconsistency", "mutexdiscipline", "ctxpropagation", "enumexhaustive", "errchecklite"} {
+	for _, name := range []string{"stdlibonly", "atomicconsistency", "mutexdiscipline", "ctxpropagation", "enumexhaustive", "errchecklite", "allocfree", "refbalance", "lockorder", "goroleak"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing %s:\n%s", name, out)
 		}

@@ -62,6 +62,10 @@ type level struct {
 	// pinned restricts this level to a single data vertex (delta matching).
 	pinned    bool
 	pinnedVal graph.VertexID
+	// pinnedSlice is the fixed one-element candidate list match hands out
+	// for a pinned level, built once at construction so the hot loop never
+	// materializes it per visit.
+	pinnedSlice []graph.VertexID
 }
 
 type engine struct {
@@ -81,6 +85,11 @@ type engine struct {
 	done     <-chan struct{} // Options.Ctx.Done(); nil when uncancellable
 	stop     bool
 
+	// rowsBuf is buildCandidates' scratch for the positive parent rows,
+	// sized once to the widest constraint list; buildCandidates is never
+	// reentered, so one buffer per engine suffices.
+	rowsBuf [][]graph.VertexID
+
 	// shared coordinates the workers of a RunParallel invocation; nil for
 	// single-threaded runs.
 	shared *sharedState
@@ -93,6 +102,13 @@ type engine struct {
 // returns (nil, nil) when some pattern edge has no matching cluster, which
 // means the result is trivially empty.
 func newEngine(view *ccsr.View, pl *plan.Plan, opts Options) (*engine, error) {
+	return buildEngine(view, pl, opts, nil)
+}
+
+// buildEngine is newEngine with an optional preset depth-0 pool: RunParallel
+// workers pass their chunk of the prototype's pool so each worker skips the
+// cluster scan and label filter buildPool would redo.
+func buildEngine(view *ccsr.View, pl *plan.Plan, opts Options, presetPool []graph.VertexID) (*engine, error) {
 	p := pl.Pattern
 	n := len(pl.Order)
 	e := &engine{
@@ -158,12 +174,22 @@ func newEngine(view *ccsr.View, pl *plan.Plan, opts Options) (*engine, error) {
 
 	// Depth 0 candidate pool: the smallest incident cluster's non-empty
 	// rows, filtered to the right label.
-	if err := e.buildPool(); err != nil {
+	if presetPool != nil {
+		e.levels[0].pool = presetPool
+	} else if err := e.buildPool(); err != nil {
 		return nil, err
 	}
 	if e.levels[0].pool == nil {
 		return nil, nil
 	}
+
+	maxPos := 0
+	for d := range e.levels {
+		if len(e.levels[d].pos) > maxPos {
+			maxPos = len(e.levels[d].pos)
+		}
+	}
+	e.rowsBuf = make([][]graph.VertexID, maxPos)
 
 	e.bindNECAliases(depthOf)
 
@@ -188,6 +214,7 @@ func newEngine(view *ccsr.View, pl *plan.Plan, opts Options) (*engine, error) {
 		lv := &e.levels[d]
 		lv.pinned = true
 		lv.pinnedVal = v
+		lv.pinnedSlice = []graph.VertexID{v}
 		lv.factorizable = false
 	}
 	if len(opts.SymmetryConstraints) > 0 || opts.OnEmbedding != nil || opts.DisableFactorization {
@@ -461,6 +488,8 @@ func (e *engine) run() {
 
 // match extends the partial embedding at depth d; factor is the product of
 // factorized level counts accumulated so far.
+//
+//csce:hotpath the per-embedding extension loop; one allocation here scales with Steps
 func (e *engine) match(d int, factor uint64) {
 	if e.stop {
 		return
@@ -479,8 +508,7 @@ func (e *engine) match(d int, factor uint64) {
 		if !containsSorted(cands, lv.pinnedVal) {
 			return
 		}
-		cands = cands[:0:0]
-		cands = append(cands, lv.pinnedVal)
+		cands = lv.pinnedSlice
 	}
 
 	if lv.factorizable {
@@ -549,6 +577,8 @@ func (e *engine) match(d int, factor uint64) {
 // counted, and in parallel runs the budget lives in a shared counter whose
 // slots are reserved with CompareAndSwap, so no worker can push the total
 // past the limit between check and emission.
+//
+//csce:hotpath runs once per embedding; counting must not allocate
 func (e *engine) emit(factor uint64) {
 	switch {
 	case e.shared != nil && e.shared.limit > 0:
@@ -594,6 +624,8 @@ func (e *engine) emit(factor uint64) {
 
 // candidates returns the candidate list of depth d, reusing the SCE cache
 // when no parent mapping changed since it was built.
+//
+//csce:hotpath the cache-hit path must stay allocation-free
 func (e *engine) candidates(d int) []graph.VertexID {
 	lv := &e.levels[d]
 	if d == 0 {
@@ -644,8 +676,10 @@ func (e *engine) candidates(d int) []graph.VertexID {
 // negation filter. The returned slice aliases lv.candsBuf unless there is a
 // single positive constraint and no negation, in which case it aliases
 // cluster memory directly (zero copy).
+//
+//csce:hotpath rebuilt on every cache miss; row scratch and output buffer are engine-owned
 func (e *engine) buildCandidates(lv *level) []graph.VertexID {
-	rows := make([][]graph.VertexID, len(lv.pos))
+	rows := e.rowsBuf[:len(lv.pos)]
 	smallest := 0
 	for i, c := range lv.pos {
 		rows[i] = c.csr.Row(e.mapping[c.parentDepth])
@@ -692,6 +726,7 @@ func (e *engine) buildCandidates(lv *level) []graph.VertexID {
 	return out
 }
 
+//csce:hotpath checked once per candidate vertex
 func (e *engine) symOK(lv *level, v graph.VertexID) bool {
 	for _, s := range lv.sym {
 		w := e.mapping[s.parentDepth]
@@ -736,6 +771,8 @@ func (e *engine) overDeadline() bool {
 }
 
 // containsSorted reports whether v occurs in the ascending slice xs.
+//
+//csce:hotpath the intersection probe; pure index arithmetic
 func containsSorted(xs []graph.VertexID, v graph.VertexID) bool {
 	lo, hi := 0, len(xs)
 	for lo < hi {

@@ -99,7 +99,10 @@ func RunParallel(view *ccsr.View, pl *plan.Plan, opts Options, workers int) (Sta
 			defer wg.Done()
 			workerOpts := sharedOpts
 			workerOpts.Limit = 0 // the shared counter enforces the limit
-			e, err := newEngine(view, pl, workerOpts)
+			// The prototype already scanned the clusters and label-filtered
+			// the depth-0 pool; hand each worker its chunk directly instead
+			// of rebuilding the pool K times.
+			e, err := buildEngine(view, pl, workerOpts, pool[lo:hi])
 			if err != nil {
 				errs[w] = err
 				return
@@ -110,7 +113,6 @@ func RunParallel(view *ccsr.View, pl *plan.Plan, opts Options, workers int) (Sta
 			if workerOpts.Profile {
 				e.prof = newProfiler(e)
 			}
-			e.levels[0].pool = pool[lo:hi]
 			e.shared = &sharedState{total: &total, stop: &stopFlag, limit: opts.Limit}
 			start := time.Now()
 			e.run()

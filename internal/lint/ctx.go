@@ -38,8 +38,11 @@ var CtxPropagation = &Check{
 // search after the client has gone. internal/shard is included because the
 // coordinator fans twig matches out to goroutine-per-shard scatters — a
 // scatter goroutine that cannot observe cancellation would keep K local
-// searches running after the query's deadline fired.
-var ctxCheckedPkgs = []string{"internal/exec", "internal/server", "internal/obs", "internal/live", "internal/shard"}
+// searches running after the query's deadline fired. cmd is included
+// because the binaries (csced, cscebenchserve) wire signal handling into
+// the same chain — a dropped context at the outermost layer defeats every
+// propagation rule below it.
+var ctxCheckedPkgs = []string{"internal/exec", "internal/server", "internal/obs", "internal/live", "internal/shard", "cmd"}
 
 func ctxApplies(p *Package) bool {
 	rel := strings.TrimPrefix(p.Path, p.ModulePath+"/")

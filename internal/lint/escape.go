@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// This file is the suite's second loader mode: where loader.go feeds
+// go/types from `go list` + export data, AttachAllocs feeds the allocfree
+// check from the compiler's escape analysis. `go build -gcflags='-m -m'`
+// is the only stdlib-sanctioned way to see where the gc compiler places
+// allocations, so the gate shells out, parses the diagnostics, and maps
+// them onto the loaded ASTs. The build cache replays compiler diagnostics
+// on cache hits, so repeated gate runs are cheap and still see the full
+// output.
+
+// AllocSite is one heap-allocation site the compiler reported: a
+// `... escapes to heap` or `moved to heap: x` diagnostic.
+type AllocSite struct {
+	Pos token.Position
+	// Expr is the compiler's rendering of the allocating expression
+	// ("make([]uint32, 0, len(pool))", "&engine{...}", "moved to heap: s").
+	// Note the compiler prints underlying types (graph.VertexID shows as
+	// uint32); budget entries must quote this rendering verbatim.
+	Expr string
+}
+
+// escapeRe matches the two allocation diagnostics. The detailed -m -m form
+// repeats each site with a trailing colon and indented flow lines; those
+// duplicates are folded by the seen set in parseEscapes.
+var escapeRe = regexp.MustCompile(`^(.+?):(\d+):(\d+): (.*escapes to heap|moved to heap: .+?):?$`)
+
+// AttachAllocs compiles the module packages with escape-analysis
+// diagnostics enabled and attaches the parsed allocation sites to each
+// loaded package. dir and patterns must be the ones Load was called with.
+// It is required before running the allocfree check; without it the check
+// reports a configuration finding rather than silently passing.
+func AttachAllocs(dir string, pkgs []*Package, patterns ...string) error {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"build", "-gcflags=-m -m"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// Same rule as the type loader: analysis never touches the network.
+	cmd.Env = append(cmd.Environ(), "GOPROXY=off")
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go build -gcflags='-m -m' %s: %v\n%s", strings.Join(patterns, " "), err, out.String())
+	}
+	byPkg := parseEscapes(dir, out.Bytes())
+	for _, p := range pkgs {
+		p.Allocs = byPkg[p.Path]
+		p.AllocsLoaded = true
+	}
+	return nil
+}
+
+// parseEscapes splits the compiler output into per-package allocation
+// sites. Lines are grouped by the "# importpath" headers go build emits;
+// relative file names are resolved against dir so they match the absolute
+// Filenames the loader records.
+func parseEscapes(dir string, out []byte) map[string][]AllocSite {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		abs = dir
+	}
+	byPkg := map[string][]AllocSite{}
+	seen := map[string]bool{}
+	pkg := ""
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "# "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		m := escapeRe.FindStringSubmatch(line)
+		if m == nil || pkg == "" {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(abs, file)
+		}
+		lineNo, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		expr := strings.TrimSuffix(m[4], ":")
+		// "X escapes to heap" → "X"; the "moved to heap: x" form already
+		// reads as a description and stays whole.
+		expr = strings.TrimSuffix(expr, " escapes to heap")
+		key := fmt.Sprintf("%s:%d:%d:%s", file, lineNo, col, expr)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		byPkg[pkg] = append(byPkg[pkg], AllocSite{
+			Pos:  token.Position{Filename: file, Line: lineNo, Column: col},
+			Expr: expr,
+		})
+	}
+	return byPkg
+}
+
+// HasHotPathAnnotations reports whether any loaded package declares a
+// //csce:hotpath function — the driver uses it to decide whether the
+// escape-analysis build is needed at all.
+func HasHotPathAnnotations(pkgs []*Package) bool {
+	for _, p := range pkgs {
+		if len(hotPathDecls(p)) > 0 {
+			return true
+		}
+	}
+	return false
+}

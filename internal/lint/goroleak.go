@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GoroLeak flags goroutines that can never exit. The long-lived processes
+// in this repo (the query server, the live-graph mutator, the shard
+// coordinator, and the command binaries that drive them) all follow the
+// same worker shape — `go func() { for { ... } }()` — and a worker whose
+// loop neither receives from a channel nor consults a context runs until
+// process death no matter what Close/Shutdown does. Each one pins its
+// captures (snapshots, stores, connections) and shows up as a -race /
+// goroutine-dump ghost long after the subsystem that spawned it is gone.
+//
+// The rule: a `go func` literal whose body contains an unbounded loop
+// (`for { ... }` with no condition) must contain, somewhere in the body,
+// at least one of
+//
+//   - a channel receive (`<-ch`, `v, ok := <-ch`, or a select case) —
+//     close(ch) can unblock it;
+//   - a range over a channel — it ends when the channel closes;
+//   - a use of a context-typed value — ctx.Done()/ctx.Err() can stop it.
+//
+// This is deliberately stricter than ctxpropagation's goroutine rule,
+// which accepts a mere *reference* to a channel-typed value: sending on a
+// channel, or holding one without receiving, does not give the goroutine
+// an exit path. Bounded loops (`for i := 0; i < n; i++`, range over a
+// slice) terminate on their own and are not flagged. The check cannot
+// verify the received-from channel is ever closed, or that the context is
+// ever cancelled — it checks that an exit path exists, not that it is
+// taken.
+var GoroLeak = &Check{
+	Name: "goroleak",
+	Doc:  "unbounded goroutine loops must observe a ctx.Done()/channel-close exit path",
+	Run:  runGoroLeak,
+}
+
+// goroLeakPkgs scopes the check to the packages that spawn long-lived
+// goroutines: the serving/ingest/sharding subsystems and every command
+// binary (csced and cscebenchserve run workers of their own that no
+// internal package reviews).
+var goroLeakPkgs = []string{"internal/server", "internal/live", "internal/shard", "cmd"}
+
+// pkgInScope reports whether the package's module-relative path falls
+// under one of the listed prefixes.
+func pkgInScope(p *Package, prefixes []string) bool {
+	rel := strings.TrimPrefix(p.Path, p.ModulePath+"/")
+	for _, sfx := range prefixes {
+		if rel == sfx || strings.HasPrefix(rel, sfx+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runGoroLeak(p *Pass) {
+	if !pkgInScope(p.Package, goroLeakPkgs) {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					checkGoroExit(p, g)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkGoroExit applies the exit-path rule to one go statement.
+func checkGoroExit(p *Pass, g *ast.GoStmt) {
+	fl, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		// `go method()` launches code reviewed where it is declared.
+		return
+	}
+	unbounded := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if unbounded {
+			return false
+		}
+		if fs, ok := n.(*ast.ForStmt); ok && fs.Cond == nil {
+			unbounded = true
+		}
+		return true
+	})
+	if !unbounded {
+		return
+	}
+	if goroBodyObservesExit(p, fl.Body) {
+		return
+	}
+	p.Reportf(g.Pos(), "goroutine loops forever with no exit path: no channel receive, range-over-channel, or context use in its body — it outlives Close/Shutdown and leaks (receive from a close-able channel or consult ctx.Done())")
+}
+
+// goroBodyObservesExit scans a goroutine body for any of the accepted exit
+// observations. Nested function literals count: a loop body that calls
+// through a closure which receives still has the receive lexically inside
+// the goroutine.
+func goroBodyObservesExit(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			// `<-ch` in any position: statement, assignment, select case.
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := p.Info.Types[n.X].Type; t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			// A *use* of a context-typed value (a declaration alone gives
+			// the body nothing to consult).
+			if v, ok := p.Info.Uses[n].(*types.Var); ok && isContextType(v.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -38,6 +38,11 @@ type Check struct {
 	Doc string
 	// Run inspects one package.
 	Run func(*Pass)
+	// Finish, when non-nil, runs once after every package was inspected,
+	// with the same Session each Run saw. This is how whole-module checks
+	// (lockorder's cross-package lock graph, allocfree's budget staleness)
+	// aggregate before reporting; the Pass it receives has a nil Package.
+	Finish func(*Pass)
 }
 
 // Checks returns the full suite in a stable order.
@@ -49,6 +54,10 @@ func Checks() []*Check {
 		CtxPropagation,
 		EnumExhaustive,
 		ErrcheckLite,
+		AllocFree,
+		RefBalance,
+		LockOrder,
+		GoroLeak,
 	}
 }
 
@@ -73,17 +82,46 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
 }
 
-// Pass is the per-(check, package) context handed to Check.Run.
+// Session carries state across the packages of one Run invocation, for
+// checks whose invariant spans package boundaries. Each check sees its own
+// private slot.
+type Session struct {
+	state map[string]any
+}
+
+// State returns the check's cross-package state, initializing it with init
+// on first use.
+func (s *Session) State(check string, init func() any) any {
+	if s.state == nil {
+		s.state = map[string]any{}
+	}
+	v, ok := s.state[check]
+	if !ok {
+		v = init()
+		s.state[check] = v
+	}
+	return v
+}
+
+// Pass is the per-(check, package) context handed to Check.Run. For
+// Check.Finish, Package is nil and only Session/ReportAt are usable.
 type Pass struct {
 	*Package
-	check *Check
-	sink  *[]Diagnostic
+	Session *Session
+	check   *Check
+	sink    *[]Diagnostic
 }
 
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportAt(p.Fset.Position(pos), format, args...)
+}
+
+// ReportAt records a diagnostic at an already-resolved position — the form
+// Finish hooks use, since they outlive any single package's FileSet.
+func (p *Pass) ReportAt(pos token.Position, format string, args ...any) {
 	*p.sink = append(*p.sink, Diagnostic{
-		Pos:     p.Fset.Position(pos),
+		Pos:     pos,
 		Check:   p.check.Name,
 		Message: fmt.Sprintf(format, args...),
 	})
@@ -100,12 +138,18 @@ func Run(pkgs []*Package, checks []*Check) []Diagnostic {
 		known[c.Name] = true
 	}
 	var ignores []ignoreDirective
+	session := &Session{}
 	for _, pkg := range pkgs {
 		dirs, bad := collectIgnores(pkg, known)
 		ignores = append(ignores, dirs...)
 		diags = append(diags, bad...)
 		for _, c := range checks {
-			c.Run(&Pass{Package: pkg, check: c, sink: &diags})
+			c.Run(&Pass{Package: pkg, Session: session, check: c, sink: &diags})
+		}
+	}
+	for _, c := range checks {
+		if c.Finish != nil {
+			c.Finish(&Pass{Session: session, check: c, sink: &diags})
 		}
 	}
 	diags = filterIgnored(diags, ignores)

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"os"
 	"path/filepath"
 	"regexp"
 	"sort"
@@ -21,6 +22,10 @@ var goldenChecks = map[string][]string{
 	"enumexhaustive":    {"enumexhaustive"},
 	"errchecklite":      {"errchecklite"},
 	"ignore":            {"errchecklite"},
+	"allocfree":         {"allocfree"},
+	"refbalance":        {"refbalance"},
+	"lockorder":         {"lockorder"},
+	"goroleak":          {"goroleak"},
 }
 
 // wantRe matches golden expectations: want `regex`, repeatable within one
@@ -50,6 +55,11 @@ func loadFixture(t *testing.T, name string, checkNames []string) ([]Diagnostic, 
 			t.Fatalf("unknown check %q", cn)
 		}
 		checks = append(checks, c)
+		if c == AllocFree {
+			if err := AttachAllocs(dir, pkgs, "./..."); err != nil {
+				t.Fatalf("AttachAllocs(%s): %v", dir, err)
+			}
+		}
 	}
 	return Run(pkgs, checks), pkgs
 }
@@ -137,6 +147,72 @@ func TestMalformedDirectives(t *testing.T) {
 		if !strings.Contains(d.Message, "lint:ignore") {
 			t.Errorf("directive diagnostic should explain the syntax, got %q", d.Message)
 		}
+	}
+}
+
+// TestAllocBudgetDiscipline drives the two budget failure modes that
+// cannot carry want annotations (they are reported at ALLOC_BUDGET.json,
+// not at a Go line): a stale entry fails the run, and removing the escape
+// data turns annotated functions into loud configuration findings.
+func TestAllocBudgetDiscipline(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "allocfree")
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	// Without AttachAllocs the gate must not silently pass.
+	diags := Run(pkgs, []*Check{AllocFree})
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "escape analysis was not loaded") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing escape data should be a loud configuration finding, got %v", diags)
+	}
+
+	// A budget entry matching no site is stale and fails the run. Point a
+	// doctored module at the same sources via an overlay directory.
+	stale := t.TempDir()
+	for _, name := range []string{"go.mod", "fixture.go"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(stale, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	budget := `{"schema_version":1,"allocations":[` +
+		`{"func":"csce.pinnedHot","alloc":"make([]int, 0, n)","count":1,"why":"real"},` +
+		`{"func":"csce.goodHot","alloc":"make([]int, 99)","count":1,"why":"stale: goodHot allocates nothing"}]}`
+	if err := os.WriteFile(filepath.Join(stale, "ALLOC_BUDGET.json"), []byte(budget), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err = Load(stale, "./...")
+	if err != nil {
+		t.Fatalf("Load(stale): %v", err)
+	}
+	if err := AttachAllocs(stale, pkgs, "./..."); err != nil {
+		t.Fatalf("AttachAllocs(stale): %v", err)
+	}
+	var staleFindings, unexpected []string
+	for _, d := range Run(pkgs, []*Check{AllocFree}) {
+		switch {
+		case strings.Contains(d.Message, "stale budget entry"):
+			staleFindings = append(staleFindings, d.Message)
+		case strings.Contains(d.Message, "badHot"):
+			// badHot's seeded regression still fires alongside.
+		default:
+			unexpected = append(unexpected, d.String())
+		}
+	}
+	if len(staleFindings) != 1 || !strings.Contains(staleFindings[0], "csce.goodHot") {
+		t.Errorf("want exactly one stale-entry finding for csce.goodHot, got %v", staleFindings)
+	}
+	if len(unexpected) > 0 {
+		t.Errorf("unexpected findings: %v", unexpected)
 	}
 }
 

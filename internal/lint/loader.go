@@ -26,8 +26,11 @@ type Package struct {
 	Path string
 	// ModulePath is the enclosing module ("csce").
 	ModulePath string
-	Fset       *token.FileSet
-	Files      []*ast.File
+	// ModuleDir is the module root on disk — where module-level companion
+	// files (ALLOC_BUDGET.json) are resolved from.
+	ModuleDir string
+	Fset      *token.FileSet
+	Files     []*ast.File
 	// Filenames holds the absolute path of Files[i].
 	Filenames []string
 	Types     *types.Package
@@ -35,6 +38,13 @@ type Package struct {
 	// Stdlib reports whether an import path names a standard-library
 	// package, as determined authoritatively by the go tool.
 	Stdlib map[string]bool
+
+	// Allocs holds the package's heap-allocation sites parsed from the
+	// compiler's escape analysis, attached by AttachAllocs. Nil until then;
+	// AllocsLoaded distinguishes "not loaded" from "loaded, none found" so
+	// the allocfree check can fail loudly instead of passing vacuously.
+	Allocs       []AllocSite
+	AllocsLoaded bool
 }
 
 // Load lists, parses, and typechecks every module package matched by the
@@ -66,6 +76,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 
 	type listModule struct {
 		Path string
+		Dir  string
 	}
 	type listPackage struct {
 		ImportPath string
@@ -81,6 +92,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	exports := map[string]string{}
 	stdlib := map[string]bool{}
 	modulePath := ""
+	moduleDir := ""
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var lp listPackage
@@ -96,6 +108,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if lp.Module != nil && !lp.Standard {
 			if modulePath == "" {
 				modulePath = lp.Module.Path
+				moduleDir = lp.Module.Dir
 			}
 			if lp.Module.Path == modulePath {
 				// -deps emits dependencies before dependents, so appending
@@ -154,6 +167,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		pkgs = append(pkgs, &Package{
 			Path:       lp.ImportPath,
 			ModulePath: modulePath,
+			ModuleDir:  moduleDir,
 			Fset:       fset,
 			Files:      files,
 			Filenames:  filenames,

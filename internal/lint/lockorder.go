@@ -1,0 +1,566 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds a module-wide lock-ordering graph over *named* mutexes
+// — mutexes identifiable across functions and packages, i.e. fields of
+// named structs ("live.Graph.mu") and package-level variables — and
+// reports cycles as potential deadlocks. Four hand-rolled protocols in
+// this repo nest locks across package boundaries (the shard coordinator's
+// vmu over each shard's live.Graph.mu over the WAL's mu, the registry over
+// graph commit locks), and a consistent global order is the only deadlock
+// argument any of them has; no test can prove its absence.
+//
+// Edges come from two sources, both collected during the per-package walk
+// with the same conservative held-set interpretation mutexdiscipline uses:
+//
+//   - direct: Lock(B) executed while A is held adds A → B;
+//   - interprocedural: calling f() while A is held adds A → X for every
+//     mutex X that f (transitively, through module-internal calls) may
+//     lock. Function summaries reach fixpoint in Finish, so the graph sees
+//     nesting that spans packages (Coordinator.Mutate holding vmu calls
+//     live.Graph.Mutate which locks g.mu).
+//
+// A cycle A → B → A means two executions can acquire A and B in opposite
+// orders and deadlock; it is reported once, anchored at one witness
+// acquisition. RLock participates like Lock: a read lock opposite a write
+// lock still deadlocks.
+var LockOrder = &Check{
+	Name:   "lockorder",
+	Doc:    "named mutexes must have an acyclic module-wide acquisition order",
+	Run:    runLockOrder,
+	Finish: finishLockOrder,
+}
+
+// lockEdge is one A-before-B observation with its witness position.
+type lockEdge struct {
+	from, to string
+	pos      token.Position
+	// via names the call chain for interprocedural edges ("" for direct).
+	via string
+}
+
+// callRec is one call made while holding locks.
+type callRec struct {
+	callee string
+	held   []string
+	pos    token.Position
+}
+
+// fnSummary is what one function does to the lock graph.
+type fnSummary struct {
+	acquires map[string]token.Position // named locks this function may take
+	calls    []callRec
+}
+
+// lockSession aggregates summaries and direct edges across packages.
+type lockSession struct {
+	fns   map[string]*fnSummary
+	edges []lockEdge
+}
+
+func lockOrderState(p *Pass) *lockSession {
+	return p.Session.State("lockorder", func() any {
+		return &lockSession{fns: map[string]*fnSummary{}}
+	}).(*lockSession)
+}
+
+// lockWitness is the sample acquisition backing one edge in the graph.
+type lockWitness struct {
+	pos token.Position
+	via string
+}
+
+// namedLockKey renders the receiver of a Lock/Unlock call as a
+// module-wide identity: "pkg.Type.field" for struct fields,
+// "pkg.var" for package-level mutexes. Locals return "" (no stable
+// cross-function identity).
+func namedLockKey(p *Package, recv ast.Expr) string {
+	switch e := ast.Unparen(recv).(type) {
+	case *ast.Ident:
+		obj := p.Info.Uses[e]
+		if obj == nil {
+			return ""
+		}
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		return ""
+	case *ast.SelectorExpr:
+		sel, ok := p.Info.Selections[e]
+		if !ok {
+			return ""
+		}
+		field, ok := sel.Obj().(*types.Var)
+		if !ok || !field.IsField() {
+			return ""
+		}
+		t := sel.Recv()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return ""
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil {
+			return ""
+		}
+		return obj.Pkg().Path() + "." + obj.Name() + "." + field.Name()
+	case *ast.StarExpr:
+		return namedLockKey(p, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return namedLockKey(p, e.X)
+		}
+	}
+	return ""
+}
+
+// calleeID resolves a call to a module-internal function's stable
+// identity (types.Func.FullName), or "" for calls the analysis cannot or
+// need not follow (stdlib, interface methods, function values).
+func calleeID(p *Package, call *ast.CallExpr) string {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[fun.Sel]
+	default:
+		return ""
+	}
+	f, ok := obj.(*types.Func)
+	if !ok || f.Pkg() == nil {
+		return ""
+	}
+	if f.Pkg().Path() != p.ModulePath && !strings.HasPrefix(f.Pkg().Path(), p.ModulePath+"/") {
+		return ""
+	}
+	return f.FullName()
+}
+
+// fnID is the summary identity of a declared function.
+func fnID(p *Package, fd *ast.FuncDecl) string {
+	if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+		return obj.FullName()
+	}
+	return p.Path + "." + fd.Name.Name
+}
+
+func runLockOrder(p *Pass) {
+	s := lockOrderState(p)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sum := &fnSummary{acquires: map[string]token.Position{}}
+			w := &lockWalker{p: p.Package, s: s, sum: sum}
+			w.walkStmts(fd.Body.List, map[string]token.Position{})
+			s.fns[fnID(p.Package, fd)] = sum
+		}
+	}
+}
+
+// lockWalker interprets one function body, held-set style (clone into
+// branches, merge by intersection — same conservatism as
+// mutexdiscipline), recording acquisitions, direct edges, and calls made
+// under locks.
+type lockWalker struct {
+	p   *Package
+	s   *lockSession
+	sum *fnSummary
+}
+
+type heldSet = map[string]token.Position
+
+func cloneHeld(h heldSet) heldSet {
+	c := make(heldSet, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+func intersectHeld(a, b heldSet) heldSet {
+	c := heldSet{}
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			c[k] = v
+		}
+	}
+	return c
+}
+
+func heldKeys(h heldSet) []string {
+	out := make([]string, 0, len(h))
+	for k := range h {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, held heldSet) (heldSet, bool) {
+	for _, stmt := range stmts {
+		var term bool
+		held, term = w.walkStmt(stmt, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (w *lockWalker) walkStmt(stmt ast.Stmt, held heldSet) (heldSet, bool) {
+	// Calls can hide anywhere in a statement (RHS of assign, condition,
+	// argument). Scan the whole statement for them — except nested
+	// literals and the lock ops themselves — before interpreting control
+	// flow.
+	w.scanCalls(stmt, held)
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if op, ok := mutexCallOp(w.p, s.X); ok {
+			key := namedLockKey(w.p, calleeSelector(ast.Unparen(s.X).(*ast.CallExpr)).X)
+			if key == "" {
+				return held, false
+			}
+			pos := w.p.Fset.Position(op.pos.Pos())
+			if op.lock {
+				w.sum.acquires[key] = pos
+				for from := range held {
+					if from != key {
+						w.s.edges = append(w.s.edges, lockEdge{from: from, to: key, pos: pos})
+					}
+				}
+				held = cloneHeld(held)
+				held[key] = pos
+			} else {
+				held = cloneHeld(held)
+				delete(held, key)
+			}
+		}
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held to function end; model it
+		// by simply not removing (defer is scanned for calls above).
+		return held, false
+	case *ast.ReturnStmt:
+		return held, true
+	case *ast.BranchStmt:
+		return held, true
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, held)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, held)
+	case *ast.IfStmt:
+		thenH, thenT := w.walkStmts(s.Body.List, cloneHeld(held))
+		elseH, elseT := held, false
+		if s.Else != nil {
+			elseH, elseT = w.walkStmt(s.Else, cloneHeld(held))
+		}
+		switch {
+		case thenT && elseT:
+			return held, true
+		case thenT:
+			return elseH, false
+		case elseT:
+			return thenH, false
+		default:
+			return intersectHeld(thenH, elseH), false
+		}
+	case *ast.ForStmt:
+		bodyH, _ := w.walkStmts(s.Body.List, cloneHeld(held))
+		return intersectHeld(held, bodyH), false
+	case *ast.RangeStmt:
+		bodyH, _ := w.walkStmts(s.Body.List, cloneHeld(held))
+		return intersectHeld(held, bodyH), false
+	case *ast.SwitchStmt:
+		return w.walkCases(caseBodies(s.Body), hasDefaultClause(s.Body), held)
+	case *ast.TypeSwitchStmt:
+		return w.walkCases(caseBodies(s.Body), hasDefaultClause(s.Body), held)
+	case *ast.SelectStmt:
+		var bodies [][]ast.Stmt
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				bodies = append(bodies, cc.Body)
+			}
+		}
+		return w.walkCases(bodies, true, held)
+	}
+	return held, false
+}
+
+func (w *lockWalker) walkCases(bodies [][]ast.Stmt, exhaustive bool, held heldSet) (heldSet, bool) {
+	merged := heldSet(nil)
+	allTerm := len(bodies) > 0
+	for _, b := range bodies {
+		caseH, term := w.walkStmts(b, cloneHeld(held))
+		if term {
+			continue
+		}
+		allTerm = false
+		if merged == nil {
+			merged = caseH
+		} else {
+			merged = intersectHeld(merged, caseH)
+		}
+	}
+	if !exhaustive {
+		if merged == nil {
+			merged = held
+		} else {
+			merged = intersectHeld(merged, held)
+		}
+		allTerm = false
+	}
+	if allTerm {
+		return held, true
+	}
+	if merged == nil {
+		merged = held
+	}
+	return merged, false
+}
+
+// scanCalls records module-internal calls lexically inside one statement,
+// with the current held set. Nested function literals are skipped (they
+// execute later, under whatever locks their call site holds); control-flow
+// statements are scanned shallowly, their bodies get their own walk.
+func (w *lockWalker) scanCalls(stmt ast.Stmt, held heldSet) {
+	if len(held) == 0 {
+		return
+	}
+	shallow := func(n ast.Node) []ast.Expr {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			return []ast.Expr{s.X}
+		case *ast.AssignStmt:
+			return append(append([]ast.Expr{}, s.Lhs...), s.Rhs...)
+		case *ast.ReturnStmt:
+			return s.Results
+		case *ast.IfStmt:
+			return []ast.Expr{s.Cond}
+		case *ast.ForStmt:
+			if s.Cond != nil {
+				return []ast.Expr{s.Cond}
+			}
+		case *ast.RangeStmt:
+			return []ast.Expr{s.X}
+		case *ast.SwitchStmt:
+			if s.Tag != nil {
+				return []ast.Expr{s.Tag}
+			}
+		case *ast.DeferStmt:
+			return []ast.Expr{s.Call}
+		case *ast.GoStmt:
+			// A goroutine runs without the launcher's locks.
+			return nil
+		case *ast.DeclStmt:
+			if gd, ok := s.Decl.(*ast.GenDecl); ok {
+				var out []ast.Expr
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						out = append(out, vs.Values...)
+					}
+				}
+				return out
+			}
+		case *ast.SendStmt:
+			return []ast.Expr{s.Chan, s.Value}
+		case *ast.IncDecStmt:
+			return []ast.Expr{s.X}
+		}
+		return nil
+	}
+	for _, e := range shallow(stmt) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, isLock := mutexCallOp(w.p, call); isLock {
+				return true
+			}
+			id := calleeID(w.p, call)
+			if id == "" {
+				return true
+			}
+			w.sum.calls = append(w.sum.calls, callRec{
+				callee: id,
+				held:   heldKeys(held),
+				pos:    w.p.Fset.Position(call.Pos()),
+			})
+			return true
+		})
+	}
+}
+
+// finishLockOrder closes the summaries transitively, materializes the
+// interprocedural edges, and reports every elementary cycle once.
+func finishLockOrder(p *Pass) {
+	s := lockOrderState(p)
+
+	// Transitive acquires per function (fixpoint over the call graph;
+	// cycles in the call graph converge because sets only grow).
+	trans := map[string]map[string]bool{}
+	var ids []string
+	for id := range s.fns {
+		ids = append(ids, id)
+		set := map[string]bool{}
+		for k := range s.fns[id].acquires {
+			set[k] = true
+		}
+		trans[id] = set
+	}
+	sort.Strings(ids)
+	for changed := true; changed; {
+		changed = false
+		for _, id := range ids {
+			for _, c := range s.fns[id].calls {
+				callee, ok := trans[c.callee]
+				if !ok {
+					continue
+				}
+				for k := range callee {
+					if !trans[id][k] {
+						trans[id][k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Interprocedural edges: call under held locks → every lock the callee
+	// may (transitively) acquire.
+	edges := append([]lockEdge(nil), s.edges...)
+	for _, id := range ids {
+		for _, c := range s.fns[id].calls {
+			for k := range trans[c.callee] {
+				for _, from := range c.held {
+					if from != k {
+						edges = append(edges, lockEdge{from: from, to: k, pos: c.pos, via: c.callee})
+					}
+				}
+			}
+		}
+	}
+
+	// Adjacency with one witness per (from, to).
+	adj := map[string]map[string]lockWitness{}
+	for _, e := range edges {
+		if adj[e.from] == nil {
+			adj[e.from] = map[string]lockWitness{}
+		}
+		if _, ok := adj[e.from][e.to]; !ok {
+			adj[e.from][e.to] = lockWitness{pos: e.pos, via: e.via}
+		}
+	}
+
+	// Cycle detection: DFS from each node in sorted order; report each
+	// cycle once via a canonical rotation.
+	reported := map[string]bool{}
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	var path []string
+	onPath := map[string]bool{}
+	visited := map[string]bool{}
+	var dfs func(n string)
+	dfs = func(n string) {
+		path = append(path, n)
+		onPath[n] = true
+		var nexts []string
+		for to := range adj[n] {
+			nexts = append(nexts, to)
+		}
+		sort.Strings(nexts)
+		for _, to := range nexts {
+			if onPath[to] {
+				// Extract the cycle to..n.
+				start := 0
+				for i, v := range path {
+					if v == to {
+						start = i
+						break
+					}
+				}
+				cycle := append([]string(nil), path[start:]...)
+				key := canonicalCycle(cycle)
+				if !reported[key] {
+					reported[key] = true
+					reportCycle(p, cycle, adj)
+				}
+				continue
+			}
+			if !visited[to] {
+				dfs(to)
+			}
+		}
+		onPath[n] = false
+		visited[n] = true
+		path = path[:len(path)-1]
+	}
+	for _, n := range nodes {
+		if !visited[n] {
+			dfs(n)
+		}
+	}
+}
+
+// canonicalCycle rotates the cycle so its smallest element leads, giving
+// every discovery of the same cycle one key.
+func canonicalCycle(cycle []string) string {
+	min := 0
+	for i, v := range cycle {
+		if v < cycle[min] {
+			min = i
+		}
+	}
+	rot := append(append([]string(nil), cycle[min:]...), cycle[:min]...)
+	return strings.Join(rot, "→")
+}
+
+// reportCycle emits one diagnostic per cycle, anchored at the witness of
+// the edge leaving the cycle's smallest node, listing the full order and
+// the call chain of each hop.
+func reportCycle(p *Pass, cycle []string, adj map[string]map[string]lockWitness) {
+	min := 0
+	for i, v := range cycle {
+		if v < cycle[min] {
+			min = i
+		}
+	}
+	rot := append(append([]string(nil), cycle[min:]...), cycle[:min]...)
+	var hops []string
+	var anchor token.Position
+	for i, from := range rot {
+		to := rot[(i+1)%len(rot)]
+		w := adj[from][to]
+		if i == 0 {
+			anchor = w.pos
+		}
+		hop := fmt.Sprintf("%s → %s (%s:%d", from, to, w.pos.Filename, w.pos.Line)
+		if w.via != "" {
+			hop += " via " + w.via
+		}
+		hop += ")"
+		hops = append(hops, hop)
+	}
+	p.ReportAt(anchor, "lock-order cycle (potential deadlock): %s", strings.Join(hops, "; "))
+}

@@ -1,0 +1,422 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// RefBalance enforces the snapshot refcount protocol that keeps live-graph
+// epochs collectable: every pinned snapshot must be unpinned. A call to a
+// method named Acquire whose result is a (pointer to a) named type with a
+// Release() method — live.Graph.Acquire returning *live.Snapshot is the
+// instance this repo cares about — starts an obligation on the assigned
+// variable, and the obligation must be discharged on every path out of the
+// function by x.Release() or defer x.Release(). A leaked snapshot pins its
+// epoch's whole store: the swap-based commit protocol can never free it,
+// which is invisible to the race detector and to every test that doesn't
+// measure memory.
+//
+// The analysis is the same conservative abstract interpretation over the
+// statement tree as mutexdiscipline, with two traps called out explicitly:
+//
+//   - defer x.Release() inside a loop runs at function exit, not per
+//     iteration, so snapshots acquired per iteration pile up — reported at
+//     the defer;
+//   - a return between Acquire and Release leaks on that path — reported
+//     at the return.
+//
+// Ownership transfer is recognized and ends the obligation: returning the
+// snapshot, passing it (or its Release method value) to another function,
+// or storing it anywhere escapes the variable, and the receiver becomes
+// responsible. Discarding the result of Acquire outright is always a leak.
+var RefBalance = &Check{
+	Name: "refbalance",
+	Doc:  "every snapshot Acquire() needs a Release() on all paths",
+	Run:  runRefBalance,
+}
+
+// isAcquireCall reports whether call is x.Acquire() returning a
+// releasable handle (a named type, possibly behind a pointer, with a
+// Release() method in its method set).
+func isAcquireCall(p *Package, call *ast.CallExpr) bool {
+	sel := calleeSelector(call)
+	if sel == nil || sel.Sel.Name != "Acquire" {
+		return false
+	}
+	tv, ok := p.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return hasReleaseMethod(tv.Type)
+}
+
+func hasReleaseMethod(t types.Type) bool {
+	if _, ok := t.(*types.Tuple); ok {
+		return false
+	}
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		if f, ok := ms.At(i).Obj().(*types.Func); ok && f.Name() == "Release" {
+			sig := f.Type().(*types.Signature)
+			if sig.Params().Len() == 0 && sig.Results().Len() == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func runRefBalance(p *Pass) {
+	funcDecls(p.Package, func(name string, ft *ast.FuncType, body *ast.BlockStmt) {
+		analyzeRefBalance(p, body)
+	})
+}
+
+// refOp is one tracked acquisition.
+type refOp struct {
+	obj     types.Object // the variable holding the handle
+	display string
+	pos     ast.Node
+}
+
+type refState map[types.Object]refOp
+
+func (s refState) clone() refState {
+	c := make(refState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+func (s refState) intersect(o refState) refState {
+	c := refState{}
+	for k, v := range s {
+		if _, ok := o[k]; ok {
+			c[k] = v
+		}
+	}
+	return c
+}
+
+// refScope accumulates function-level facts for one body.
+type refScope struct {
+	p *Pass
+	// escaped holds handle variables whose ownership leaves the function
+	// (returned, passed along, stored, or Release used as a method value);
+	// they are never tracked.
+	escaped map[types.Object]bool
+	// deferred holds variables covered by a deferred Release outside any
+	// loop (a defer inside a loop is the trap, reported separately).
+	deferred map[types.Object]bool
+}
+
+func analyzeRefBalance(p *Pass, body *ast.BlockStmt) {
+	sc := &refScope{p: p, escaped: map[types.Object]bool{}, deferred: map[types.Object]bool{}}
+	sc.prescan(body)
+	st, terminated := sc.walkRefStmts(body.List, refState{})
+	if !terminated {
+		sc.reportHeld(st, "end of function")
+	}
+}
+
+// prescan finds (a) escaping uses of handle variables and (b) deferred
+// Releases, classifying defers inside loops as the pile-up trap.
+func (sc *refScope) prescan(body *ast.BlockStmt) {
+	// Handle variables: every object assigned from an Acquire call.
+	handles := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literals are analyzed as functions in their own right
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isAcquireCall(sc.p.Package, call) || len(as.Lhs) != 1 {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			if obj := sc.p.Info.Defs[id]; obj != nil {
+				handles[obj] = true
+			} else if obj := sc.p.Info.Uses[id]; obj != nil {
+				handles[obj] = true
+			}
+		}
+		return true
+	})
+	if len(handles) == 0 {
+		return
+	}
+	// Uses that transfer ownership. A use is safe only as the receiver of
+	// a method call, a field read, or an assignment target; anything else
+	// (return value, call argument, assignment source, composite literal
+	// element, method value like x.Release handed away) escapes the handle
+	// and the receiver becomes responsible for releasing it.
+	parent := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parent[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := sc.p.Info.Uses[id]
+		if !handles[obj] {
+			return true
+		}
+		switch par := parent[ast.Node(id)].(type) {
+		case *ast.SelectorExpr:
+			if par.X != ast.Expr(id) {
+				return true
+			}
+			if call, ok := parent[ast.Node(par)].(*ast.CallExpr); ok && call.Fun == ast.Expr(par) {
+				return true // receiver of a method call
+			}
+			if _, isField := sc.p.Info.Uses[par.Sel].(*types.Var); isField {
+				return true // field read
+			}
+			sc.escaped[obj] = true // method value: x.Release handed away
+		case *ast.AssignStmt:
+			for _, lhs := range par.Lhs {
+				if lhs == ast.Expr(id) {
+					return true // assignment target (the Acquire itself)
+				}
+			}
+			sc.escaped[obj] = true // assignment source: aliased away
+		default:
+			sc.escaped[obj] = true
+		}
+		return true
+	})
+	// Deferred releases; loop-resident defers are the pile-up trap.
+	sc.scanDefers(body, false)
+}
+
+// scanDefers records defer x.Release() coverage, reporting the loop trap.
+func (sc *refScope) scanDefers(n ast.Node, inLoop bool) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.FuncLit:
+		return
+	case *ast.ForStmt:
+		sc.scanDefers(n.Body, true)
+		return
+	case *ast.RangeStmt:
+		sc.scanDefers(n.Body, true)
+		return
+	case *ast.DeferStmt:
+		obj := sc.releaseTarget(n.Call)
+		if obj == nil {
+			// A deferred closure releasing the handle also covers it.
+			if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(fl.Body, func(m ast.Node) bool {
+					if es, ok := m.(*ast.ExprStmt); ok {
+						if o := sc.releaseTarget(es.X); o != nil && !inLoop {
+							sc.deferred[o] = true
+						}
+					}
+					return true
+				})
+			}
+			return
+		}
+		if inLoop {
+			sc.p.Reportf(n.Pos(), "defer %s.Release() inside a loop runs at function exit, not per iteration; snapshots acquired in the loop pile up — release explicitly each iteration", objName(obj))
+		} else {
+			sc.deferred[obj] = true
+		}
+		return
+	}
+	// Generic recursion over children.
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == n {
+			return true
+		}
+		switch m.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt, *ast.DeferStmt:
+			sc.scanDefers(m, inLoop)
+			return false
+		}
+		return true
+	})
+}
+
+// releaseTarget decodes expr as x.Release() on a tracked-looking handle
+// and returns x's object (nil otherwise).
+func (sc *refScope) releaseTarget(expr ast.Expr) types.Object {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel := calleeSelector(call)
+	if sel == nil || sel.Sel.Name != "Release" {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return sc.p.Info.Uses[id]
+}
+
+func objName(obj types.Object) string {
+	if obj == nil {
+		return "snapshot"
+	}
+	return obj.Name()
+}
+
+func (sc *refScope) reportHeld(st refState, where string) {
+	for obj, op := range st {
+		if sc.deferred[obj] {
+			continue
+		}
+		sc.p.Reportf(op.pos.Pos(), "%s acquired here is not released at %s on some path (Release it or defer the Release); a leaked snapshot pins its epoch forever", op.display, where)
+	}
+}
+
+func (sc *refScope) walkRefStmts(stmts []ast.Stmt, st refState) (refState, bool) {
+	for _, stmt := range stmts {
+		var terminated bool
+		st, terminated = sc.walkRefStmt(stmt, st)
+		if terminated {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (sc *refScope) walkRefStmt(stmt ast.Stmt, st refState) (refState, bool) {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 && len(s.Lhs) == 1 {
+			if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok && isAcquireCall(sc.p.Package, call) {
+				if id, ok := s.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+					obj := sc.p.Info.Defs[id]
+					if obj == nil {
+						obj = sc.p.Info.Uses[id]
+					}
+					if obj != nil && !sc.escaped[obj] {
+						if held, already := st[obj]; already && !sc.deferred[obj] {
+							sc.p.Reportf(call.Pos(), "%s is reassigned while the snapshot acquired at line %d is still pinned; the old snapshot leaks",
+								id.Name, sc.p.Fset.Position(held.pos.Pos()).Line)
+						}
+						st = st.clone()
+						st[obj] = refOp{obj: obj, display: id.Name, pos: call}
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && isAcquireCall(sc.p.Package, call) {
+			sc.p.Reportf(call.Pos(), "result of Acquire() is discarded; the snapshot can never be released")
+			return st, false
+		}
+		if obj := sc.releaseTarget(s.X); obj != nil {
+			st = st.clone()
+			delete(st, obj)
+		}
+	case *ast.ReturnStmt:
+		sc.reportHeld(st, fmt.Sprintf("the return on line %d", sc.p.Fset.Position(s.Pos()).Line))
+		return st, true
+	case *ast.BranchStmt:
+		return st, true
+	case *ast.BlockStmt:
+		return sc.walkRefStmts(s.List, st)
+	case *ast.LabeledStmt:
+		return sc.walkRefStmt(s.Stmt, st)
+	case *ast.IfStmt:
+		thenSt, thenTerm := sc.walkRefStmts(s.Body.List, st.clone())
+		elseSt, elseTerm := st, false
+		if s.Else != nil {
+			elseSt, elseTerm = sc.walkRefStmt(s.Else, st.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return thenSt.intersect(elseSt), false
+		}
+	case *ast.ForStmt:
+		return sc.walkRefLoop(s.Body, st)
+	case *ast.RangeStmt:
+		return sc.walkRefLoop(s.Body, st)
+	case *ast.SwitchStmt:
+		return sc.walkRefCases(caseBodies(s.Body), hasDefaultClause(s.Body), st)
+	case *ast.TypeSwitchStmt:
+		return sc.walkRefCases(caseBodies(s.Body), hasDefaultClause(s.Body), st)
+	case *ast.SelectStmt:
+		var bodies [][]ast.Stmt
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				bodies = append(bodies, cc.Body)
+			}
+		}
+		return sc.walkRefCases(bodies, true, st)
+	}
+	return st, false
+}
+
+// walkRefLoop checks that acquisitions made inside a loop body are also
+// released inside it: a handle still pinned at the end of an iteration
+// accumulates once per iteration.
+func (sc *refScope) walkRefLoop(body *ast.BlockStmt, st refState) (refState, bool) {
+	bodySt, _ := sc.walkRefStmts(body.List, st.clone())
+	for obj, op := range bodySt {
+		if _, before := st[obj]; before || sc.deferred[obj] {
+			continue
+		}
+		sc.p.Reportf(op.pos.Pos(), "%s is acquired inside the loop but still pinned at the end of the iteration; release it before the next iteration", op.display)
+	}
+	return st.intersect(bodySt), false
+}
+
+func (sc *refScope) walkRefCases(bodies [][]ast.Stmt, exhaustive bool, st refState) (refState, bool) {
+	merged := refState(nil)
+	allTerm := len(bodies) > 0
+	for _, b := range bodies {
+		caseSt, term := sc.walkRefStmts(b, st.clone())
+		if term {
+			continue
+		}
+		allTerm = false
+		if merged == nil {
+			merged = caseSt
+		} else {
+			merged = merged.intersect(caseSt)
+		}
+	}
+	if !exhaustive {
+		if merged == nil {
+			merged = st
+		} else {
+			merged = merged.intersect(st)
+		}
+		allTerm = false
+	}
+	if allTerm {
+		return st, true
+	}
+	if merged == nil {
+		merged = st
+	}
+	return merged, false
+}

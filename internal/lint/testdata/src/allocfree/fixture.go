@@ -1,0 +1,51 @@
+// Fixture for the allocfree check: //csce:hotpath functions gated by the
+// compiler's escape analysis, with one allocation pinned in the module's
+// ALLOC_BUDGET.json and one unbudgeted regression that must fire.
+package allocfree
+
+// sink keeps returned slices reachable so the compiler cannot prove
+// anything stack-local.
+var sink []int
+
+// badHot regresses the gate: a fresh make on an annotated hot path with
+// no budget entry covering it.
+//
+//csce:hotpath
+func badHot(n int) {
+	buf := make([]int, n) // want `hot path csce.badHot allocates`
+	sink = buf
+}
+
+// goodHot is genuinely allocation-free: index arithmetic over a caller
+// buffer.
+//
+//csce:hotpath
+func goodHot(xs []int, v int) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// pinnedHot allocates, but the site is pinned in ALLOC_BUDGET.json with a
+// justification, so the gate admits it.
+//
+//csce:hotpath
+func pinnedHot(n int) {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	sink = out
+}
+
+// coldPath allocates freely; only annotated functions are gated.
+func coldPath(n int) {
+	sink = make([]int, n)
+}

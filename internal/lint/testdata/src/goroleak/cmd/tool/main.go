@@ -1,0 +1,28 @@
+// The cmd half of the goroleak fixture: command binaries spawn workers of
+// their own, so the check covers cmd/... too.
+package main
+
+import "time"
+
+func tick() {}
+
+func main() {
+	go func() { // want `goroutine loops forever with no exit path`
+		for {
+			tick()
+			time.Sleep(time.Second)
+		}
+	}()
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tick()
+			}
+		}
+	}()
+	close(stop)
+}

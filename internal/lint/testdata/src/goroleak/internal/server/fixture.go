@@ -1,0 +1,78 @@
+// Fixture for the goroleak check: unbounded goroutine loops must observe
+// a ctx.Done()/channel-close exit path. The package path matters — the
+// check covers internal/{server,live,shard} and cmd.
+package server
+
+import (
+	"context"
+	"time"
+)
+
+func poll() {}
+
+// badForever has no exit path at all: Close/Shutdown cannot stop it.
+func badForever() {
+	go func() { // want `goroutine loops forever with no exit path`
+		for {
+			poll()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+// badSendOnly only sends; holding a channel without receiving gives the
+// loop nothing a close can unblock (this is the case ctxpropagation's
+// weaker reference-only rule accepts).
+func badSendOnly(out chan<- int) {
+	go func() { // want `goroutine loops forever with no exit path`
+		for {
+			out <- 1
+		}
+	}()
+}
+
+// goodCtxSelect consults the context every iteration.
+func goodCtxSelect(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				poll()
+			}
+		}
+	}()
+}
+
+// goodDoneChannel blocks on a channel a close can release.
+func goodDoneChannel(done chan struct{}, tick *time.Ticker) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				poll()
+			}
+		}
+	}()
+}
+
+// goodRangeChannel drains until the producer closes the channel.
+func goodRangeChannel(jobs chan int) {
+	go func() {
+		for range jobs {
+			poll()
+		}
+	}()
+}
+
+// goodBounded terminates on its own; bounded loops need no exit signal.
+func goodBounded() {
+	go func() {
+		for i := 0; i < 3; i++ {
+			poll()
+		}
+	}()
+}

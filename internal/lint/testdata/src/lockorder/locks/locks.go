@@ -1,0 +1,40 @@
+// Package locks declares the named mutexes the lockorder fixture orders
+// (and misorders) across packages.
+package locks
+
+import "sync"
+
+// Pair carries the two mutexes involved in the seeded deadlock.
+type Pair struct {
+	MuA sync.Mutex
+	MuB sync.Mutex
+}
+
+// P is the shared instance both packages lock.
+var P Pair
+
+// Good carries an independent mutex pair that is always taken in a
+// consistent order; it must stay silent.
+type Good struct {
+	MuC sync.Mutex
+	MuD sync.Mutex
+}
+
+// G is the shared consistent-order instance.
+var G Good
+
+// AcquireBThenA nests MuA under MuB — the direct half of the cycle.
+func AcquireBThenA() {
+	P.MuB.Lock()
+	P.MuA.Lock()
+	P.MuA.Unlock()
+	P.MuB.Unlock()
+}
+
+// CThenD is the consistent order for the good pair.
+func CThenD() {
+	G.MuC.Lock()
+	G.MuD.Lock()
+	G.MuD.Unlock()
+	G.MuC.Unlock()
+}

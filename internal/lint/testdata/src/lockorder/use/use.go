@@ -1,0 +1,24 @@
+// Package use closes the lock-order cycle from a different package than
+// the one that opened it: the inversion is only visible to a module-wide
+// graph with interprocedural summaries.
+package use
+
+import "csce/locks"
+
+// AThenB holds MuA while calling into locks.AcquireBThenA, which takes
+// MuB then MuA — so the module orders MuA before MuB here and MuB before
+// MuA there. Two goroutines running the two paths deadlock.
+func AThenB() {
+	locks.P.MuA.Lock()
+	locks.AcquireBThenA() // want `lock-order cycle \(potential deadlock\)`
+	locks.P.MuA.Unlock()
+}
+
+// AlsoCThenD repeats the good pair's order from a second package; a
+// consistent order never forms a cycle.
+func AlsoCThenD() {
+	locks.G.MuC.Lock()
+	locks.G.MuD.Lock()
+	locks.G.MuD.Unlock()
+	locks.G.MuC.Unlock()
+}

@@ -49,6 +49,9 @@ func (w *wal) peekNextSeq() uint64 {
 // from peekNextSeq (the durable WAL needs finished records before the
 // in-memory tail may admit them). It returns the records retention pushed
 // out, oldest first, so the caller can roll its resume base forward.
+//
+//csce:hotpath runs under the writer lock on every committed batch; the
+// common (no-truncation) path must not allocate beyond amortized append
 func (w *wal) appendRecords(recs []Record) (dropped []Record) {
 	if len(recs) == 0 {
 		return nil

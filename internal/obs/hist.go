@@ -31,6 +31,8 @@ type Histogram struct {
 
 // bucketIndex maps a duration to its bucket: Len64 of the duration in
 // whole microseconds, clamped to the top bucket.
+//
+//csce:hotpath pure arithmetic on the per-request metrics path
 func bucketIndex(d time.Duration) int {
 	if d <= 0 {
 		return 0
@@ -44,6 +46,8 @@ func bucketIndex(d time.Duration) int {
 
 // Record adds one observation. Safe for concurrent use; negative
 // durations clamp to zero.
+//
+//csce:hotpath called on every served request; must stay atomics-only
 func (h *Histogram) Record(d time.Duration) {
 	if d < 0 {
 		d = 0

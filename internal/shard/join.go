@@ -213,6 +213,8 @@ func buildHashIndex(right partialRel, shared []sharedCol) map[string][][]graph.V
 
 // appendJoinKey encodes the left row's shared-column values in the same
 // layout buildHashIndex used.
+//
+//csce:hotpath once per probe row; writes into the caller's reused buffer
 func appendJoinKey(key []byte, _ []graph.VertexID, row []graph.VertexID, shared []sharedCol) []byte {
 	for _, sc := range shared {
 		key = appendVert(key, row[sc.left])
@@ -220,11 +222,15 @@ func appendJoinKey(key []byte, _ []graph.VertexID, row []graph.VertexID, shared 
 	return key
 }
 
+//csce:hotpath the key-encoding primitive under both index build and probe
 func appendVert(b []byte, v graph.VertexID) []byte {
 	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 }
 
 // mergeRow extends a left row with the right row's novel columns.
+//
+//csce:hotpath once per joined row pair; its output make is pinned in the
+// budget because each merged row must own distinct backing memory
 func mergeRow(left, right []graph.VertexID, rightNewIdx []int) []graph.VertexID {
 	out := make([]graph.VertexID, 0, len(left)+len(rightNewIdx))
 	out = append(out, left...)
@@ -235,6 +241,9 @@ func mergeRow(left, right []graph.VertexID, rightNewIdx []int) []graph.VertexID 
 }
 
 // hashJoin materializes one intermediate join step.
+//
+//csce:hotpath the cross-shard join inner loop; per-step setup allocations
+// are pinned, per-row work must reuse the probe key buffer
 func hashJoin(left, right partialRel, injective bool, candidates *uint64) partialRel {
 	shared, nc := splitColumns(left.cols, right.cols)
 	idx := buildHashIndex(right, shared)
@@ -267,6 +276,7 @@ func filterInjective(r partialRel) partialRel {
 	return out
 }
 
+//csce:hotpath injectivity scan per merged row; pure comparisons
 func distinctRow(row []graph.VertexID) bool {
 	for i := 1; i < len(row); i++ {
 		for j := 0; j < i; j++ {
