@@ -57,11 +57,13 @@ alloc-gate:
 
 ci: build vet lint alloc-gate test race live-race crash-race shard-race
 
-# Observability hot-path benchmarks plus the enforced <50ns/op budget on
-# histogram recording (OBS_BENCH=1 turns the measurement into an
-# assertion; without it the budget test only logs).
+# Observability hot-path benchmarks plus the enforced budgets: <50ns/op on
+# histogram recording and <150ns/op on the span-export enqueue — the two
+# operations the query path pays per request (OBS_BENCH=1 turns the
+# measurements into assertions; without it the budget tests only log).
 bench-obs:
 	OBS_BENCH=1 $(GO) test ./internal/obs -run TestHistogramRecordBudget -bench . -benchmem
+	OBS_BENCH=1 $(GO) test ./internal/obs/export -run TestEnqueueBudget -bench . -benchmem
 
 # Concurrent-load serving benchmark: the same graph as one single-store
 # live graph vs a K=4 scatter-gather coordinator, 4 writers + 1 reader.

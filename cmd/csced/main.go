@@ -39,10 +39,20 @@
 //
 // Observability: every query carries a trace ID (X-Trace-Id header, NDJSON
 // summary, structured log lines on stderr); /metrics exposes latency
-// quantiles per query phase and endpoint; /debug/slowlog holds the most
-// recent queries slower than -slow-query with their plan summary and
-// per-level execution profile; -debug-addr serves net/http/pprof on a
-// separate (private) listener.
+// quantiles per query phase and endpoint plus runtime gauges (goroutines,
+// heap, GC pause, polled every -runtime-stats); /debug/slowlog holds the
+// most recent queries slower than -slow-query with their plan summary and
+// per-level execution profile, each linked to /debug/trace/{id} where the
+// full span tree of the last -trace-ring queries is retained; -debug-addr
+// serves net/http/pprof on a separate (private) listener.
+//
+// Trace export: with -trace-endpoint set, every finished query trace is
+// shipped asynchronously to a collector as OTLP/JSON (-trace-export=otlp,
+// POST /v1/traces) or Zipkin v2 JSON (-trace-export=zipkin, POST
+// /api/v2/spans). The queue is bounded (-trace-queue): a stalled collector
+// costs dropped traces (counted in csce_trace_export_dropped), never query
+// latency. On shutdown the queue is drained after the HTTP listener, so no
+// tail spans are lost.
 package main
 
 import (
@@ -63,6 +73,7 @@ import (
 	"csce"
 	"csce/internal/dataset"
 	"csce/internal/live"
+	"csce/internal/obs/export"
 	"csce/internal/server"
 	"csce/internal/shard"
 )
@@ -115,6 +126,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, started c
 		logLevel = fs.String("log-level", "info", "structured-log level on stderr (debug, info, warn, error, off)")
 		shardsN  = fs.Int("shards", 0, "partition every loaded graph into K shards behind a scatter-gather coordinator (0 serves single-store)")
 		shardSch = fs.String("shard-scheme", "id", "vertex->shard assignment for -shards: id (v mod K) or label")
+		traceFmt = fs.String("trace-export", "otlp", "span export wire format: otlp (OTLP/JSON) or zipkin (Zipkin v2 JSON)")
+		traceEP  = fs.String("trace-endpoint", "", "collector URL to POST finished traces to, e.g. http://localhost:4318/v1/traces (empty disables export)")
+		traceQ   = fs.Int("trace-queue", 4096, "bounded export queue; a full queue drops traces instead of blocking queries")
+		traceRg  = fs.Int("trace-ring", 256, "completed traces retained for /debug/trace/{id} (negative disables)")
+		rtStats  = fs.Duration("runtime-stats", 10*time.Second, "runtime/metrics polling interval for goroutine/heap/GC gauges (negative disables)")
 	)
 	fs.Var(&graphs, "graph", "name=path of a data graph to serve (repeatable)")
 	fs.Var(&datasets, "dataset", "synthetic dataset from the catalog to serve (repeatable); see cmd/cscegen")
@@ -139,6 +155,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, started c
 	if err != nil {
 		return err
 	}
+	var exporter *export.Exporter
+	if *traceEP != "" {
+		format, err := export.ParseFormat(*traceFmt)
+		if err != nil {
+			return err
+		}
+		exporter, err = export.New(export.Config{
+			Endpoint:  *traceEP,
+			Format:    format,
+			QueueSize: *traceQ,
+			Logger:    logger,
+		})
+		if err != nil {
+			return err
+		}
+	}
 
 	srv := server.New(server.Config{
 		Addr:                 *addr,
@@ -162,6 +194,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, started c
 		WALSegmentSize:       *segSize,
 		WALKeepSegments:      *segKeep,
 		Logger:               logger,
+		TraceExporter:        exporter,
+		TraceRingSize:        *traceRg,
+		RuntimeStatsInterval: *rtStats,
 	})
 
 	for _, spec := range graphs {

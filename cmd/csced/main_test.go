@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -212,6 +213,91 @@ func TestDaemonObservabilityEndpoints(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("daemon did not drain and exit")
+	}
+}
+
+// TestDaemonDrainFlushesTraceExport proves the shutdown ordering contract:
+// the HTTP listener drains first, then the exporter flushes everything
+// queued — so the traces of the last served queries reach the collector
+// before run() returns, even with a linger window far longer than the
+// whole test (no lost tail spans on SIGTERM).
+func TestDaemonDrainFlushesTraceExport(t *testing.T) {
+	var colMu sync.Mutex
+	var colBodies []string
+	collector := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		colMu.Lock()
+		colBodies = append(colBodies, string(body))
+		colMu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer collector.Close()
+
+	path := writeTempGraph(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var out bytes.Buffer
+	errOut := &lockedBuffer{}
+	started := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-graph", "tiny=" + path,
+			"-trace-export", "otlp",
+			"-trace-endpoint", collector.URL,
+		}, &out, errOut, started)
+	}()
+
+	var addr string
+	select {
+	case addr = <-started:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v\n%s", err, errOut.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not start")
+	}
+	base := "http://" + addr
+
+	// Serve a few queries and SIGTERM immediately: with the default 200ms
+	// linger, these traces are still sitting in the exporter's batch when
+	// the shutdown starts — only the drain can deliver them.
+	pattern := "t undirected\nv 0 A\nv 1 A\ne 0 1\n"
+	var traceIDs []string
+	for i := 0; i < 3; i++ {
+		mresp, err := http.Post(base+"/v1/graphs/tiny/match", "text/plain", strings.NewReader(pattern))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, mresp.Body)
+		mresp.Body.Close()
+		if tid := mresp.Header.Get("X-Trace-Id"); tid != "" {
+			traceIDs = append(traceIDs, tid)
+		}
+	}
+	if len(traceIDs) != 3 {
+		t.Fatalf("collected %d trace IDs, want 3", len(traceIDs))
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v\n%s", err, errOut.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain and exit")
+	}
+
+	// Every served query's trace must already be at the collector — run()
+	// has returned, so nothing can deliver them later.
+	colMu.Lock()
+	all := strings.Join(colBodies, "\n")
+	colMu.Unlock()
+	for _, tid := range traceIDs {
+		if !strings.Contains(all, `"traceId":"0000000000000000`+tid+`"`) {
+			t.Fatalf("tail trace %s not flushed before exit; collector saw:\n%.2000s", tid, all)
+		}
 	}
 }
 

@@ -178,19 +178,19 @@ func (e *Engine) Match(p *graph.Graph, opts MatchOptions) (MatchResult, error) {
 			return res, err
 		}
 	}
-	tr := obs.TraceFrom(opts.Context)
-	endRead := tr.StartSpan("core.read")
+	_, endRead := obs.StartSpanCtx(opts.Context, "core.read")
 	readStart := time.Now()
 	view, err := e.store.ReadCSR(p, opts.Variant)
 	if err != nil {
 		return res, fmt.Errorf("core: read clusters: %w", err)
 	}
-	endRead()
+	endRead(obs.Int("clusters", int64(view.NumClusters())),
+		obs.Int("view_bytes", int64(view.DecompressedBytes())))
 	res.ReadTime = time.Since(readStart)
 	res.ClustersRead = view.NumClusters()
 	res.ViewBytes = view.DecompressedBytes()
 
-	endPlan := tr.StartSpan("core.plan")
+	_, endPlan := obs.StartSpanCtx(opts.Context, "core.plan")
 	planStart := time.Now()
 	pl := opts.PreparedPlan
 	if pl == nil {
@@ -214,7 +214,10 @@ func (e *Engine) Match(p *graph.Graph, opts MatchOptions) (MatchResult, error) {
 		execOpts.SymmetryConstraints = plan.SymmetryConstraints(p, auts)
 		res.Automorphisms = len(auts)
 	}
-	endPlan()
+	endPlan(obs.Str("mode", pl.Mode.String()),
+		obs.Int("sce_vertices", int64(pl.SCE.SCEVertices)),
+		obs.Int("cluster_sce_vertices", int64(pl.SCE.ClusterSCEVertices)),
+		obs.Int("automorphisms", int64(res.Automorphisms)))
 	res.PlanTime = time.Since(planStart)
 	res.Plan = pl
 

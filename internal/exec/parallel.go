@@ -31,8 +31,13 @@ func RunParallel(view *ccsr.View, pl *plan.Plan, opts Options, workers int) (Sta
 	if workers <= 1 {
 		return Run(view, pl, opts)
 	}
-	endSpan := obs.TraceFrom(opts.Ctx).StartSpan("exec.search")
-	defer endSpan()
+	var out Stats
+	_, endSpan := obs.StartSpanCtx(opts.Ctx, "exec.search")
+	defer func() {
+		endSpan(obs.Int("embeddings", int64(out.Embeddings)),
+			obs.Int("steps", int64(out.Steps)),
+			obs.Int("workers", int64(workers)))
+	}()
 
 	// Build a prototype engine to materialize the depth-0 pool (and to
 	// fail fast on structural problems).
@@ -125,7 +130,6 @@ func RunParallel(view *ccsr.View, pl *plan.Plan, opts Options, workers int) (Sta
 	}
 	wg.Wait()
 
-	var out Stats
 	for w := 0; w < workers; w++ {
 		if errs[w] != nil {
 			return out, errs[w]

@@ -39,10 +39,11 @@ var GoroLeak = &Check{
 }
 
 // goroLeakPkgs scopes the check to the packages that spawn long-lived
-// goroutines: the serving/ingest/sharding subsystems and every command
+// goroutines: the serving/ingest/sharding subsystems, the span-export
+// pipeline (its sender loop must observe shutdown), and every command
 // binary (csced and cscebenchserve run workers of their own that no
 // internal package reviews).
-var goroLeakPkgs = []string{"internal/server", "internal/live", "internal/shard", "cmd"}
+var goroLeakPkgs = []string{"internal/server", "internal/live", "internal/shard", "internal/obs/export", "cmd"}
 
 // pkgInScope reports whether the package's module-relative path falls
 // under one of the listed prefixes.

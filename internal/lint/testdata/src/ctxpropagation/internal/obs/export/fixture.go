@@ -1,0 +1,64 @@
+// Fixture for the ctxpropagation check in csce/internal/obs/export: the
+// exporter's HTTP POSTs ride a request context derived from the exporter
+// lifetime, so a helper that drops its context (or mints a fresh root)
+// would keep retry sleeps and in-flight requests alive past Shutdown.
+package export
+
+import "context"
+
+type poster struct {
+	stop chan struct{}
+}
+
+func (p *poster) postOnce() bool { return false }
+
+// goodSend consults the caller's context between retry attempts.
+func (p *poster) goodSend(ctx context.Context, attempts int) error {
+	for i := 0; i < attempts; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		p.postOnce()
+	}
+	return nil
+}
+
+// badSend accepts a context and never consults it: Shutdown cannot abort
+// the retry loop.
+func (p *poster) badSend(ctx context.Context, attempts int) { // want `context parameter ctx is never used`
+	for i := 0; i < attempts; i++ {
+		p.postOnce()
+	}
+}
+
+// badFreshRoot mints a new root for the POST instead of deriving from the
+// exporter's request context.
+func (p *poster) badFreshRoot(ctx context.Context) error {
+	req, cancel := context.WithCancel(context.Background()) // want `context.Background\(\) discards the caller's context`
+	defer cancel()
+	_ = ctx
+	return req.Err()
+}
+
+// goodStopLoop loops over a close-able stop channel — the exporter's
+// accepted shutdown idiom for its sender goroutine.
+func (p *poster) goodStopLoop() {
+	go func() {
+		for {
+			select {
+			case <-p.stop:
+				return
+			default:
+				p.postOnce()
+			}
+		}
+	}()
+}
+
+// badBlindFlusher loops forever with nothing cancellation can reach.
+func badBlindFlusher(flush func() bool) {
+	go func() { // want `goroutine loops without a reachable context`
+		for flush() {
+		}
+	}()
+}

@@ -1,0 +1,72 @@
+// Fixture for the goroleak check in csce/internal/obs/export: the span
+// exporter's sender loop runs for the life of the process, so an exporter
+// goroutine that cannot observe Shutdown pins its queue, HTTP client, and
+// every batched span until process death.
+package export
+
+import "time"
+
+type batch struct{ spans []int }
+
+func post(b batch) {}
+
+// badSenderForever encodes and POSTs in an unbounded loop with nothing a
+// Shutdown can reach — the drain in Shutdown waits forever.
+func badSenderForever(pending batch) {
+	go func() { // want `goroutine loops forever with no exit path`
+		for {
+			post(pending)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+// badQueueSendOnly only sends into the queue; holding the channel without
+// receiving gives close(queue) nothing to unblock.
+func badQueueSendOnly(queue chan<- batch, b batch) {
+	go func() { // want `goroutine loops forever with no exit path`
+		for {
+			queue <- b
+		}
+	}()
+}
+
+// goodSenderLoop mirrors the real exporter shape: select over the queue
+// and a close-able stop channel, draining what remains before returning.
+func goodSenderLoop(queue chan batch, stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case b := <-queue:
+				post(b)
+			case <-stop:
+				for {
+					select {
+					case b := <-queue:
+						post(b)
+					default:
+						return
+					}
+				}
+			}
+		}
+	}()
+}
+
+// goodRangeQueue drains until the producer closes the queue.
+func goodRangeQueue(queue chan batch) {
+	go func() {
+		for b := range queue {
+			post(b)
+		}
+	}()
+}
+
+// goodBoundedRetry terminates on its own after the attempt budget.
+func goodBoundedRetry(b batch, attempts int) {
+	go func() {
+		for i := 0; i < attempts; i++ {
+			post(b)
+		}
+	}()
+}

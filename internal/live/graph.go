@@ -340,7 +340,7 @@ func (g *Graph) Mutate(ctx context.Context, muts []Mutation) (Commit, error) {
 	endApply := tr.StartSpan("live.apply")
 	for i, m := range muts {
 		if err := g.applyLocked(ctx, i, m, &com, staged); err != nil {
-			endApply()
+			endApply(obs.Int("mutations", int64(len(muts))), obs.Str("failed_op", string(m.Op)))
 			g.rollbackLocked()
 			g.stats.batchesFailed.Add(1)
 			return Commit{}, fmt.Errorf("live: mutation %d (%s): %w", i, m.Op, err)
@@ -354,7 +354,10 @@ func (g *Graph) Mutate(ctx context.Context, muts []Mutation) (Commit, error) {
 			edgesDel++
 		}
 	}
-	endApply()
+	endApply(obs.Int("mutations", int64(len(muts))),
+		obs.Int("vertices_added", int64(vertsAdded)),
+		obs.Int("edges_inserted", int64(edgesIns)),
+		obs.Int("edges_deleted", int64(edgesDel)))
 
 	// Commit: log (durably first — a batch the disk refuses is aborted,
 	// not acknowledged), publish, notify. The swap is the commit point
@@ -385,11 +388,14 @@ func (g *Graph) Mutate(ctx context.Context, muts []Mutation) (Commit, error) {
 		}
 	}
 	g.publishLocked()
-	endSwap()
+	endSwap(obs.Int("epoch", int64(com.Epoch)),
+		obs.Int("first_seq", int64(com.FirstSeq)),
+		obs.Int("last_seq", int64(com.LastSeq)))
 
 	endNotify := tr.StartSpan("live.notify")
 	com.Deltas, com.Retractions = g.notifyLocked(com, staged)
-	endNotify()
+	endNotify(obs.Int("deltas", int64(com.Deltas)),
+		obs.Int("retractions", int64(com.Retractions)))
 
 	g.stats.batches.Add(1)
 	g.stats.verticesAdded.Add(vertsAdded)

@@ -1,0 +1,114 @@
+package export
+
+import (
+	"os"
+	"testing"
+
+	"csce/internal/obs"
+)
+
+// benchFinishedTrace builds a representative finished trace: a root plus
+// the four spans every served query records, each with an attribute.
+func benchFinishedTrace() obs.FinishedTrace {
+	tr := obs.NewTrace()
+	for _, name := range []string{"admission", "plan", "exec", "stream"} {
+		end := tr.StartSpan(name)
+		end(obs.Int("n", 1))
+	}
+	ft, _ := tr.Finish("http.match", obs.Str("graph", "bench"))
+	return ft
+}
+
+// benchExporter builds an exporter whose sender loop is not running, so
+// the measurements below see only the query-path side of the queue.
+func benchExporter(queueSize int) *Exporter {
+	return &Exporter{queue: make(chan obs.FinishedTrace, queueSize)}
+}
+
+// BenchmarkEnqueue measures the accept path: one buffered-channel send plus
+// a counter bump. The queue is drained between fills outside the timer so
+// every timed iteration takes the send, not the drop.
+func BenchmarkEnqueue(b *testing.B) {
+	e := benchExporter(4096)
+	ft := benchFinishedTrace()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !e.Enqueue(ft) {
+			b.StopTimer()
+			for len(e.queue) > 0 {
+				<-e.queue
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkEnqueueFull measures the overload path: the queue stays full, so
+// every call is a select-default plus a dropped-counter bump. This is what
+// a stalled collector costs each query.
+func BenchmarkEnqueueFull(b *testing.B) {
+	e := benchExporter(1)
+	ft := benchFinishedTrace()
+	e.Enqueue(ft) // fill the queue
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Enqueue(ft)
+	}
+}
+
+// BenchmarkSpanRecordEnqueue is the full per-request pipeline: record four
+// spans, finish the trace, enqueue it. Finish snapshots the span slice, so
+// this one allocates by design — it bounds the whole observability tax per
+// query, not the hot single operation.
+func BenchmarkSpanRecordEnqueue(b *testing.B) {
+	e := benchExporter(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := obs.NewTrace()
+		tr.Sink = e
+		end := tr.StartSpan("exec")
+		end(obs.Int("embeddings", 12))
+		tr.Finish("http.match", obs.Str("graph", "bench"))
+		if len(e.queue) == cap(e.queue) {
+			b.StopTimer()
+			for len(e.queue) > 0 {
+				<-e.queue
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+// TestEnqueueBudget gates the query-path cost of Enqueue, following the
+// histogram Record budget pattern: the assertion only runs under
+// OBS_BENCH=1 (`make bench-obs` sets it); otherwise the measurement is
+// logged and the test passes. Budget: <150ns/op for the accept path — a
+// buffered channel send is the floor here, so this catches any accidental
+// lock, allocation, or encode sneaking onto the query path, while leaving
+// headroom over the ~50ns raw send cost for scheduler noise.
+func TestEnqueueBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing measurement")
+	}
+	e := benchExporter(4096)
+	ft := benchFinishedTrace()
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !e.Enqueue(ft) {
+				b.StopTimer()
+				for len(e.queue) > 0 {
+					<-e.queue
+				}
+				b.StartTimer()
+			}
+		}
+	})
+	perOp := res.NsPerOp()
+	t.Logf("export Enqueue: %d ns/op (budget 150)", perOp)
+	if os.Getenv("OBS_BENCH") == "" {
+		return
+	}
+	if perOp >= 150 {
+		t.Fatalf("export Enqueue costs %d ns/op, budget is <150", perOp)
+	}
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RuntimeStats is one sample of the Go runtime's health signals, taken via
+// runtime/metrics: how many goroutines are live (a leak shows as monotone
+// growth), how much heap is held by objects, and how the GC is behaving.
+// Pause quantiles come from the runtime's own /gc/pauses histogram, so
+// they cover the whole process lifetime, not just the last interval.
+type RuntimeStats struct {
+	Goroutines int64     `json:"goroutines"`
+	HeapBytes  int64     `json:"heap_bytes"`
+	GCCycles   int64     `json:"gc_cycles"`
+	GCPauseP50 float64   `json:"gc_pause_p50_ms"`
+	GCPauseMax float64   `json:"gc_pause_max_ms"`
+	SampledAt  time.Time `json:"sampled_at"`
+}
+
+// runtimeSamples is the fixed query set handed to metrics.Read each poll.
+const (
+	metricGoroutines = "/sched/goroutines:goroutines"
+	metricHeapBytes  = "/memory/classes/heap/objects:bytes"
+	metricGCCycles   = "/gc/cycles/total:gc-cycles"
+	metricGCPauses   = "/gc/pauses:seconds"
+)
+
+// RuntimeCollector polls runtime/metrics on a fixed interval and exposes
+// the latest sample lock-free. One collector runs per daemon; the sample
+// feeds the /metrics gauge surface (JSON and Prometheus) so operators see
+// goroutine leaks, heap growth, and GC stalls without attaching a
+// profiler.
+type RuntimeCollector struct {
+	interval time.Duration
+	latest   atomic.Pointer[RuntimeStats]
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewRuntimeCollector starts a collector polling every interval (minimum
+// one second, to bound the sampling cost). An initial sample is taken
+// synchronously so Latest never returns a zero-value sample.
+func NewRuntimeCollector(interval time.Duration) *RuntimeCollector {
+	if interval < time.Second {
+		interval = time.Second
+	}
+	c := &RuntimeCollector{
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	c.sample()
+	go c.loop()
+	return c
+}
+
+// Latest returns the most recent sample. Nil-safe: a nil collector (stats
+// disabled) returns the zero sample and false.
+func (c *RuntimeCollector) Latest() (RuntimeStats, bool) {
+	if c == nil {
+		return RuntimeStats{}, false
+	}
+	s := c.latest.Load()
+	if s == nil {
+		return RuntimeStats{}, false
+	}
+	return *s, true
+}
+
+// Close stops the polling goroutine and waits for it to exit. Idempotent
+// and nil-safe.
+func (c *RuntimeCollector) Close() {
+	if c == nil {
+		return
+	}
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.done
+}
+
+func (c *RuntimeCollector) loop() {
+	defer close(c.done)
+	tick := time.NewTicker(c.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+			c.sample()
+		}
+	}
+}
+
+// sample reads the runtime metrics and publishes a fresh snapshot.
+func (c *RuntimeCollector) sample() {
+	samples := []metrics.Sample{
+		{Name: metricGoroutines},
+		{Name: metricHeapBytes},
+		{Name: metricGCCycles},
+		{Name: metricGCPauses},
+	}
+	metrics.Read(samples)
+	s := &RuntimeStats{SampledAt: time.Now()}
+	for _, m := range samples {
+		switch m.Name {
+		case metricGoroutines:
+			s.Goroutines = uint64AsInt64(m.Value)
+		case metricHeapBytes:
+			s.HeapBytes = uint64AsInt64(m.Value)
+		case metricGCCycles:
+			s.GCCycles = uint64AsInt64(m.Value)
+		case metricGCPauses:
+			if m.Value.Kind() == metrics.KindFloat64Histogram {
+				if h := m.Value.Float64Histogram(); h != nil {
+					s.GCPauseP50 = round3(histQuantile(h, 0.5) * 1e3)
+					s.GCPauseMax = round3(histMax(h) * 1e3)
+				}
+			}
+		}
+	}
+	c.latest.Store(s)
+}
+
+// uint64AsInt64 extracts a Uint64 sample, clamping to int64 (the JSON
+// surface) and tolerating KindBad from older/newer runtimes.
+func uint64AsInt64(v metrics.Value) int64 {
+	if v.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	u := v.Uint64()
+	if u > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(u)
+}
+
+// histQuantile estimates the q-th quantile of a runtime Float64Histogram
+// by locating the bucket holding the target rank and taking its midpoint
+// (infinite edge buckets fall back to their finite boundary).
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range h.Counts {
+		cum += float64(c)
+		if cum >= rank && c > 0 {
+			lo, hi := h.Buckets[i], h.Buckets[i+1]
+			if math.IsInf(lo, -1) {
+				return hi
+			}
+			if math.IsInf(hi, 1) {
+				return lo
+			}
+			return (lo + hi) / 2
+		}
+	}
+	return 0
+}
+
+// histMax returns the upper bound of the highest non-empty bucket (the
+// runtime histogram does not retain the exact max).
+func histMax(h *metrics.Float64Histogram) float64 {
+	for i := len(h.Counts) - 1; i >= 0; i-- {
+		if h.Counts[i] == 0 {
+			continue
+		}
+		hi := h.Buckets[i+1]
+		if math.IsInf(hi, 1) {
+			return h.Buckets[i]
+		}
+		return hi
+	}
+	return 0
+}

@@ -27,6 +27,13 @@ type SlowRecord struct {
 	Outcome string `json:"outcome"`
 	// Spans is the trace's phase breakdown at capture time.
 	Spans []Span `json:"spans,omitempty"`
+	// Exported records whether the finished trace was accepted by the
+	// span exporter (false when no exporter is configured or its queue
+	// was full), and TraceURL points at the /debug/trace/{id} endpoint
+	// holding the full span tree — together they close the
+	// "slow query → full trace" loop.
+	Exported bool   `json:"exported"`
+	TraceURL string `json:"trace_url,omitempty"`
 	// Detail is the caller-composed payload: pattern size, plan summary,
 	// per-level execution profile.
 	Detail any `json:"detail,omitempty"`

@@ -75,7 +75,7 @@ func resolveMutations(docs []mutationDoc, names *graph.LabelTable) ([]live.Mutat
 // assigned WAL sequence range and the epoch that made it visible.
 func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	tr := obs.NewTrace()
+	tr := s.newTrace()
 	w.Header().Set("X-Trace-Id", string(tr.ID))
 	rctx := obs.WithTrace(r.Context(), tr)
 
@@ -135,8 +135,15 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.metrics.mutationsFailed.Add(1)
-		jsonError(w, http.StatusUnprocessableEntity, err.Error())
+		// The error doc carries trace_id too: a rejected batch's apply span
+		// is often exactly what the operator wants to see.
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+			"error":    err.Error(),
+			"trace_id": tr.ID,
+		})
 		s.log.Warn("mutation batch rejected", "trace_id", tr.ID, "graph", ent.Name, "error", err)
+		tr.Finish("http.mutate", obs.Str("graph", ent.Name), obs.Str("outcome", "rejected"),
+			obs.Int("mutations", int64(len(muts))))
 		return
 	}
 	s.metrics.mutationsOK.Add(1)
@@ -161,6 +168,14 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	if len(com.AddedVertices) > 0 {
 		doc["added_vertices"] = com.AddedVertices
 	}
+	tr.Finish("http.mutate",
+		obs.Str("graph", ent.Name),
+		obs.Str("outcome", "ok"),
+		obs.Int("mutations", int64(len(muts))),
+		obs.Int("epoch", int64(com.Epoch)),
+		obs.Int("first_seq", int64(com.FirstSeq)),
+		obs.Int("last_seq", int64(com.LastSeq)),
+		obs.Int("deltas", int64(com.Deltas)))
 	writeJSON(w, http.StatusOK, doc)
 }
 
@@ -168,7 +183,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 // embeddings as NDJSON until the client disconnects, the graph closes, or
 // the subscriber falls too far behind and is dropped.
 func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
-	tr := obs.NewTrace()
+	tr := s.newTrace()
 	w.Header().Set("X-Trace-Id", string(tr.ID))
 
 	name := r.PathValue("name")
@@ -236,6 +251,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 				s.metrics.subscriptionsGone.Add(1)
 				writeJSON(w, http.StatusGone, map[string]any{
 					"error":      err.Error(),
+					"trace_id":   tr.ID,
 					"oldest_seq": ent.Live.OldestResumableSeq(),
 					"last_seq":   ent.Live.Stats().LastSeq,
 				})
@@ -266,6 +282,22 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	s.metrics.subscriptionsOpened.Add(1)
 	s.log.Info("subscription opened", "trace_id", tr.ID, "graph", ent.Name,
 		"epoch", sub.JoinEpoch(), "resume", res != nil)
+
+	// The subscription trace finishes when the stream ends (however it
+	// ends), covering the whole lifetime with the delivery counts.
+	var eventsSent, replayed int64
+	defer func() {
+		dropped := "false"
+		if sub.Dropped() {
+			dropped = "true"
+		}
+		tr.Finish("http.subscribe",
+			obs.Str("graph", ent.Name),
+			obs.Int("join_epoch", int64(sub.JoinEpoch())),
+			obs.Int("events", eventsSent),
+			obs.Int("replayed", replayed),
+			obs.Str("dropped", dropped))
+	}()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
@@ -303,6 +335,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 			if !writeLine(doc) {
 				return errClientGone
 			}
+			replayed++
 			return nil
 		})
 		if rerr != nil {
@@ -321,13 +354,16 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		case ev, ok := <-sub.Events():
 			if !ok {
 				// Channel closed by Close/CloseAll or a slow-consumer drop;
-				// tell the client which before ending the stream.
-				_ = writeLine(map[string]any{"done": true, "dropped": sub.Dropped()})
+				// tell the client which before ending the stream. The
+				// trace_id matches the hello line and X-Trace-Id header, so
+				// both ends of the stream correlate to the same trace.
+				_ = writeLine(map[string]any{"done": true, "trace_id": tr.ID, "dropped": sub.Dropped()})
 				return
 			}
 			if !writeLine(s.eventDoc(ent, ev)) {
 				return
 			}
+			eventsSent++
 		}
 	}
 }

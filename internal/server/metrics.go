@@ -24,7 +24,7 @@ var metricsPhases = []string{phaseAdmission, phasePlan, phaseExec, phaseStream, 
 // Handler records its latency under one of these names.
 var metricsEndpoints = []string{
 	"match", "mutate", "subscribe", "graphs", "load", "metrics", "healthz",
-	"slowlog", "slowlog_threshold",
+	"slowlog", "slowlog_threshold", "trace",
 }
 
 // Shard stage names index the scatter-gather latency histograms: one full

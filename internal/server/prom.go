@@ -150,6 +150,31 @@ func (s *Server) writeProm(w http.ResponseWriter) {
 		}
 	}
 
+	// Trace-export self-telemetry: the span pipeline is as observable as
+	// the queries it describes.
+	if s.exporter != nil {
+		st := s.exporter.Stats()
+		promScalar(bw, "csce_trace_export_queued", "counter", st.Queued)
+		promScalar(bw, "csce_trace_export_sent", "counter", st.Sent)
+		promScalar(bw, "csce_trace_export_dropped", "counter", st.Dropped)
+		promScalar(bw, "csce_trace_export_retries", "counter", st.Retries)
+		promScalar(bw, "csce_trace_export_queue_cap", "gauge", s.exporter.QueueCap())
+		promHistSnapshot(bw, "csce_trace_export_latency_seconds", "format",
+			s.exporter.Format().String(), s.exporter.Latency())
+	}
+	if s.traceRing != nil {
+		promScalar(bw, "csce_trace_ring_len", "gauge", s.traceRing.Len())
+	}
+
+	// Runtime-stats gauges from the runtime/metrics collector.
+	if rt, ok := s.runtime.Latest(); ok {
+		promScalar(bw, "csce_goroutines", "gauge", rt.Goroutines)
+		promScalar(bw, "csce_heap_bytes", "gauge", rt.HeapBytes)
+		promScalar(bw, "csce_gc_cycles", "counter", rt.GCCycles)
+		promScalar(bw, "csce_gc_pause_p50_seconds", "gauge", rt.GCPauseP50/1e3)
+		promScalar(bw, "csce_gc_pause_max_seconds", "gauge", rt.GCPauseMax/1e3)
+	}
+
 	// Latency histograms.
 	promHistFamily(bw, "csce_phase_latency_seconds", "phase", metricsPhases, s.metrics.phases)
 	promHistFamily(bw, "csce_endpoint_latency_seconds", "endpoint", metricsEndpoints, s.metrics.endpoints)
@@ -179,6 +204,20 @@ func promValue(v any) string {
 }
 
 func promFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// promHistSnapshot writes one single-member histogram family from an
+// already-taken snapshot (the exporter owns its histogram; only snapshots
+// cross the package boundary).
+func promHistSnapshot(w io.Writer, name, label, key string, snap obs.HistogramSnapshot) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	uppers, cum := snap.PromBuckets()
+	for i, le := range uppers {
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", name, label, key, promFloat(le), cum[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, key, snap.Count)
+	fmt.Fprintf(w, "%s_sum{%s=%q} %s\n", name, label, key, promFloat(snap.SumSeconds()))
+	fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, key, snap.Count)
+}
 
 // promHistFamily writes one histogram family with a label per member:
 // cumulative _bucket series (le in seconds, closing with +Inf), _sum in

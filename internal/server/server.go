@@ -41,6 +41,7 @@ import (
 	"csce/internal/graph"
 	"csce/internal/live"
 	"csce/internal/obs"
+	"csce/internal/obs/export"
 	"csce/internal/plan"
 	"csce/internal/shard"
 )
@@ -114,6 +115,18 @@ type Config struct {
 	// Logger receives one structured line per match query, stamped with
 	// the query's trace ID (default: discard).
 	Logger *slog.Logger
+	// TraceExporter, when set, receives every finished query trace for
+	// asynchronous export (OTLP/JSON or Zipkin v2 — see internal/obs/
+	// export). The server drains it on Shutdown after the HTTP listener
+	// has drained, so no tail spans are lost; it does not create it —
+	// csced builds one from -trace-export/-trace-endpoint.
+	TraceExporter *export.Exporter
+	// TraceRingSize bounds the completed-trace ring behind
+	// /debug/trace/{id} (default 256; negative disables retention).
+	TraceRingSize int
+	// RuntimeStatsInterval is the runtime/metrics polling period for the
+	// goroutine/heap/GC gauge surface (default 10s; negative disables).
+	RuntimeStatsInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -171,6 +184,12 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	if c.TraceRingSize == 0 {
+		c.TraceRingSize = 256
+	}
+	if c.RuntimeStatsInterval == 0 {
+		c.RuntimeStatsInterval = 10 * time.Second
+	}
 	return c
 }
 
@@ -187,6 +206,14 @@ type Server struct {
 	log      *slog.Logger
 	started  time.Time
 	draining atomic.Bool
+
+	// Telemetry export surface: the completed-trace ring behind
+	// /debug/trace/{id}, the (optional, csced-built) span exporter, the
+	// runtime-stats collector, and the composite sink new traces get.
+	traceRing *obs.TraceRing
+	exporter  *export.Exporter
+	runtime   *obs.RuntimeCollector
+	sink      obs.SpanSink
 
 	mu    sync.Mutex // guards http/listener lifecycle
 	http  *http.Server
@@ -208,6 +235,14 @@ func New(cfg Config) *Server {
 		log:     cfg.Logger,
 		started: time.Now(),
 	}
+	if cfg.TraceRingSize > 0 {
+		s.traceRing = obs.NewTraceRing(cfg.TraceRingSize)
+	}
+	s.exporter = cfg.TraceExporter
+	if cfg.RuntimeStatsInterval > 0 {
+		s.runtime = obs.NewRuntimeCollector(cfg.RuntimeStatsInterval)
+	}
+	s.sink = traceSink{ring: s.traceRing, exp: s.exporter}
 	s.reg.LiveOpts = live.Options{
 		SubscriberBuffer: cfg.SubscriberBuffer,
 		WALRetention:     cfg.WALRetention,
@@ -252,6 +287,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /debug/slowlog", s.instrument("slowlog", s.handleSlowlog))
 	mux.HandleFunc("POST /debug/slowlog/threshold", s.instrument("slowlog_threshold", s.handleSlowlogThreshold))
+	mux.HandleFunc("GET /debug/trace/{id}", s.instrument("trace", s.handleDebugTrace))
 	return mux
 }
 
@@ -286,19 +322,30 @@ func (s *Server) Start() (string, error) {
 // in-flight queries run to completion, and if the context expires first
 // the listener is closed, which cancels the remaining queries' contexts
 // and lets cooperative cancellation stop their searches.
+//
+// The telemetry pipeline shuts down strictly after the HTTP drain: only
+// once every in-flight handler has returned (and therefore finished and
+// enqueued its trace) is the exporter asked to flush, so a SIGTERM loses
+// no tail spans. The exporter drain shares the same deadline context.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.reg.CloseAll()
 	s.mu.Lock()
 	srv := s.http
 	s.mu.Unlock()
-	if srv == nil {
-		return nil
+	var err error
+	if srv != nil {
+		if err = srv.Shutdown(ctx); err != nil {
+			err = srv.Close()
+		}
 	}
-	if err := srv.Shutdown(ctx); err != nil {
-		return srv.Close()
+	s.runtime.Close()
+	if s.exporter != nil {
+		if expErr := s.exporter.Shutdown(ctx); err == nil {
+			err = expErr
+		}
 	}
-	return nil
+	return err
 }
 
 // matchParams are the knobs of one match query, parsed and clamped.
@@ -404,7 +451,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	// into every structured log line, into the NDJSON summary, and into
 	// the slow-query log — one grep correlates all four.
 	start := time.Now()
-	tr := obs.NewTrace()
+	tr := s.newTrace()
 	w.Header().Set("X-Trace-Id", string(tr.ID))
 	rctx := obs.WithTrace(r.Context(), tr)
 	defer func() { s.metrics.recordPhase(phaseTotal, time.Since(start)) }()
@@ -494,7 +541,9 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	planDur := time.Since(planStart)
 	s.metrics.recordPhase(phasePlan, planDur)
 	s.metrics.planMicros.Add(uint64(planDur.Microseconds()))
-	endPlan()
+	endPlan(obs.Str("cache", cacheOutcome(cacheHit)),
+		obs.Int("sce_vertices", int64(pl.SCE.SCEVertices)),
+		obs.Int("order_length", int64(len(pl.Order))))
 
 	ctx, cancel := context.WithTimeout(rctx, params.timeout)
 	defer cancel()
@@ -557,8 +606,11 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		execDur = 0
 	}
 	execSpanEnd := time.Since(tr.Begin)
-	tr.AddSpan(phaseExec, execSpanStart, execSpanEnd-streamDur)
-	tr.AddSpan(phaseStream, execSpanEnd-streamDur, execSpanEnd)
+	tr.AddSpan(phaseExec, execSpanStart, execSpanEnd-streamDur,
+		obs.Int("steps", int64(res.Exec.Steps)),
+		obs.Int("candidate_reuses", int64(res.Exec.CandidateReuses)))
+	tr.AddSpan(phaseStream, execSpanEnd-streamDur, execSpanEnd,
+		obs.Int("embeddings", int64(emitted)))
 	s.metrics.recordPhase(phaseExec, execDur)
 	s.metrics.recordPhase(phaseStream, streamDur)
 	s.metrics.embeddingsEmitted.Add(emitted)
@@ -576,6 +628,8 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		s.metrics.queriesErrored.Add(1)
 		jsonError(w, http.StatusInternalServerError, fmt.Sprintf("match: %v", matchErr))
 		s.log.Error("query failed", "trace_id", tr.ID, "graph", ent.Name, "error", matchErr)
+		tr.Finish("http.match", obs.Str("graph", ent.Name), obs.Str("outcome", "error"),
+			obs.Str("error", matchErr.Error()))
 		return
 	}
 	var outcome string
@@ -608,6 +662,16 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		"exec_ms", durMs(execDur),
 		"stream_ms", durMs(streamDur),
 	)
+	// Finish the trace: the root span covers the whole request and carries
+	// the query's headline facts; the FinishedTrace flows to the ring and
+	// the exporter queue via the server sink.
+	ft, exported := tr.Finish("http.match",
+		obs.Str("graph", ent.Name),
+		obs.Str("outcome", outcome),
+		obs.Str("plan_cache", cacheOutcome(cacheHit)),
+		obs.Int("epoch", int64(snap.Epoch())),
+		obs.Int("embeddings", int64(res.Embeddings)),
+		obs.Int("steps", int64(res.Exec.Steps)))
 	if s.slowlog.Qualifies(total) {
 		s.metrics.slowQueries.Add(1)
 		s.slowlog.Add(obs.SlowRecord{
@@ -616,7 +680,9 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 			Duration: total,
 			Graph:    ent.Name,
 			Outcome:  outcome,
-			Spans:    tr.Spans(),
+			Spans:    ft.Spans,
+			Exported: exported,
+			TraceURL: traceURL(tr.ID),
 			Detail:   slowDetail(p, params, pl, res, cacheHit),
 		})
 		s.log.Warn("slow query captured",
@@ -811,7 +877,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	doc["uptime_seconds"] = time.Since(s.started).Seconds()
 	doc["slow_query_threshold_ms"] = durMs(s.slowlog.Threshold())
 	doc["slowlog_len"] = s.slowlog.Len()
-	doc["latency"] = s.metrics.latencyDoc()
+	if s.traceRing != nil {
+		doc["trace_ring_len"] = s.traceRing.Len()
+	}
+	if ed := s.exportDoc(); ed != nil {
+		doc["trace_export"] = ed
+	}
+	if rd := s.runtimeDoc(); rd != nil {
+		doc["runtime"] = rd
+	}
+	latency := s.metrics.latencyDoc()
+	if s.exporter != nil {
+		latency["trace_export"] = s.exporter.Latency().Doc()
+	}
+	doc["latency"] = latency
 	writeJSON(w, http.StatusOK, doc)
 }
 

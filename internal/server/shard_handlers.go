@@ -74,6 +74,7 @@ func (s *Server) matchSharded(w http.ResponseWriter, r *http.Request, a shardedM
 		return true
 	}
 
+	execSpanStart := time.Since(a.tr.Begin)
 	matchStart := time.Now()
 	res, matchErr := coord.Match(ctx, a.pattern, shard.MatchOptions{
 		Variant:     a.params.variant,
@@ -84,6 +85,12 @@ func (s *Server) matchSharded(w http.ResponseWriter, r *http.Request, a shardedM
 	})
 	matchWall := time.Since(matchStart)
 	streamDur := time.Duration(streamNs)
+	execSpanEnd := time.Since(a.tr.Begin)
+	a.tr.AddSpan(phaseExec, execSpanStart, execSpanEnd-streamDur,
+		obs.Int("steps", int64(res.Steps)),
+		obs.Int("partials", int64(res.Partials)))
+	a.tr.AddSpan(phaseStream, execSpanEnd-streamDur, execSpanEnd,
+		obs.Int("embeddings", int64(emitted)))
 	s.metrics.recordPhase(phaseExec, matchWall-streamDur)
 	s.metrics.recordPhase(phaseStream, streamDur)
 	s.metrics.embeddingsEmitted.Add(emitted)
@@ -105,6 +112,8 @@ func (s *Server) matchSharded(w http.ResponseWriter, r *http.Request, a shardedM
 		s.metrics.queriesErrored.Add(1)
 		jsonError(w, http.StatusInternalServerError, fmt.Sprintf("match: %v", matchErr))
 		s.log.Error("query failed", "trace_id", a.tr.ID, "graph", a.ent.Name, "error", matchErr)
+		a.tr.Finish("http.match", obs.Str("graph", a.ent.Name), obs.Str("outcome", "error"),
+			obs.Str("error", matchErr.Error()))
 		return
 	}
 	var outcome string
@@ -138,6 +147,14 @@ func (s *Server) matchSharded(w http.ResponseWriter, r *http.Request, a shardedM
 		"scatter_ms", durMs(res.ScatterTime),
 		"join_ms", durMs(res.JoinTime),
 	)
+	ft, exported := a.tr.Finish("http.match",
+		obs.Str("graph", a.ent.Name),
+		obs.Str("outcome", outcome),
+		obs.Int("shards", int64(coord.K())),
+		obs.Int("twigs", int64(res.Twigs)),
+		obs.Int("partials", int64(res.Partials)),
+		obs.Int("embeddings", int64(res.Embeddings)),
+		obs.Int("steps", int64(res.Steps)))
 	if s.slowlog.Qualifies(total) {
 		s.metrics.slowQueries.Add(1)
 		s.slowlog.Add(obs.SlowRecord{
@@ -146,7 +163,9 @@ func (s *Server) matchSharded(w http.ResponseWriter, r *http.Request, a shardedM
 			Duration: total,
 			Graph:    a.ent.Name,
 			Outcome:  outcome,
-			Spans:    a.tr.Spans(),
+			Spans:    ft.Spans,
+			Exported: exported,
+			TraceURL: traceURL(a.tr.ID),
 			Detail: map[string]any{
 				"sharded": true,
 				"pattern": map[string]any{
@@ -215,8 +234,13 @@ func (s *Server) mutateSharded(w http.ResponseWriter, tr *obs.Trace, rctx contex
 			return
 		}
 		s.metrics.mutationsFailed.Add(1)
-		jsonError(w, http.StatusUnprocessableEntity, err.Error())
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+			"error":    err.Error(),
+			"trace_id": tr.ID,
+		})
 		s.log.Warn("mutation batch rejected", "trace_id", tr.ID, "graph", ent.Name, "error", err)
+		tr.Finish("http.mutate", obs.Str("graph", ent.Name), obs.Str("outcome", "rejected"),
+			obs.Int("mutations", int64(len(muts))))
 		return
 	}
 	s.metrics.mutationsOK.Add(1)
@@ -238,6 +262,11 @@ func (s *Server) mutateSharded(w http.ResponseWriter, tr *obs.Trace, rctx contex
 	if len(res.AddedVertices) > 0 {
 		doc["added_vertices"] = res.AddedVertices
 	}
+	tr.Finish("http.mutate",
+		obs.Str("graph", ent.Name),
+		obs.Str("outcome", "ok"),
+		obs.Int("mutations", int64(res.Mutations)),
+		obs.Int("shards_touched", int64(res.ShardsTouched)))
 	writeJSON(w, http.StatusOK, doc)
 }
 
@@ -246,7 +275,7 @@ func (s *Server) mutateSharded(w http.ResponseWriter, tr *obs.Trace, rctx contex
 // sharded behind a scatter-gather coordinator, otherwise it becomes a
 // normal single-store live graph. 409 on duplicate names.
 func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
-	tr := obs.NewTrace()
+	tr := s.newTrace()
 	w.Header().Set("X-Trace-Id", string(tr.ID))
 	if s.draining.Load() {
 		jsonError(w, http.StatusServiceUnavailable, "draining")
@@ -296,6 +325,11 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 	s.log.Info("graph loaded",
 		"trace_id", tr.ID, "graph", name, "vertices", v, "edges", ed,
 		"shards", shards, "build_ms", durMs(time.Since(start)))
+	tr.Finish("http.load",
+		obs.Str("graph", name),
+		obs.Int("vertices", int64(v)),
+		obs.Int("edges", int64(ed)),
+		obs.Int("shards", int64(shards)))
 	doc := map[string]any{
 		"loaded":   true,
 		"trace_id": tr.ID,

@@ -413,8 +413,8 @@ func (c *Coordinator) Match(ctx context.Context, p *graph.Graph, opts MatchOptio
 		return res, err
 	}
 	c.matches.Add(1)
-	tr := obs.TraceFrom(ctx)
 
+	_, endDecomp := obs.StartSpanCtx(ctx, "shard.plan")
 	key := decompKey(opts.Variant, opts.Mode, c.EpochVector(), p)
 	dec, hit := c.decomp.get(key)
 	if !hit {
@@ -422,16 +422,25 @@ func (c *Coordinator) Match(ctx context.Context, p *graph.Graph, opts MatchOptio
 		var err error
 		dec, err = Decompose(p, func(l graph.Label) int { return freq[l] })
 		if err != nil {
+			endDecomp()
 			return res, err
 		}
 		c.decomp.put(key, dec)
 	}
 	res.DecompCacheHit = hit
 	res.Twigs = len(dec.Twigs)
+	cached := "miss"
+	if hit {
+		cached = "hit"
+	}
+	endDecomp(obs.Int("twigs", int64(res.Twigs)), obs.Str("cache", cached))
 
 	// Scatter: one MatchPartial per shard, all twigs against one pinned
-	// snapshot each, in parallel.
-	endScatter := tr.StartSpan("shard.scatter")
+	// snapshot each, in parallel. Span nesting follows the fan-out: each
+	// shard's "shard.local" is a child of "shard.scatter", and the local
+	// context flows into MatchPartial so core.read/core.plan/exec.search
+	// nest under the shard that ran them.
+	scatterCtx, endScatter := obs.StartSpanCtx(ctx, "shard.scatter")
 	scatterStart := time.Now()
 	req := PartialRequest{Twigs: dec.Twigs, Mode: opts.Mode, Workers: opts.Workers}
 	results := make([]PartialResult, len(c.shards))
@@ -441,10 +450,17 @@ func (c *Coordinator) Match(ctx context.Context, p *graph.Graph, opts MatchOptio
 		wg.Add(1)
 		go func(i int, sh Shard) {
 			defer wg.Done()
-			endLocal := tr.StartSpan("shard.local")
+			localCtx, endLocal := obs.StartSpanCtx(scatterCtx, "shard.local")
 			localStart := time.Now()
-			results[i], errs[i] = sh.MatchPartial(ctx, req)
-			endLocal()
+			results[i], errs[i] = sh.MatchPartial(localCtx, req)
+			var rows uint64
+			for _, tw := range results[i].Twigs {
+				rows += uint64(len(tw.Rows))
+			}
+			endLocal(obs.Int("shard", int64(i)),
+				obs.Int("epoch", int64(results[i].Epoch)),
+				obs.Int("rows", int64(rows)),
+				obs.Int("steps", int64(results[i].Steps)))
 			if c.obsv.Local != nil {
 				c.obsv.Local(time.Since(localStart))
 			}
@@ -452,7 +468,7 @@ func (c *Coordinator) Match(ctx context.Context, p *graph.Graph, opts MatchOptio
 	}
 	wg.Wait()
 	res.ScatterTime = time.Since(scatterStart)
-	endScatter()
+	endScatter(obs.Int("shards", int64(len(c.shards))))
 	if c.obsv.Scatter != nil {
 		c.obsv.Scatter(res.ScatterTime)
 	}
@@ -490,7 +506,7 @@ func (c *Coordinator) Match(ctx context.Context, p *graph.Graph, opts MatchOptio
 	}
 	c.partials.Add(res.Partials)
 
-	endJoin := tr.StartSpan("shard.join")
+	_, endJoin := obs.StartSpanCtx(ctx, "shard.join")
 	joinStart := time.Now()
 	emit := func(m []graph.VertexID) bool {
 		if opts.OnEmbedding != nil && !opts.OnEmbedding(m) {
@@ -501,7 +517,9 @@ func (c *Coordinator) Match(ctx context.Context, p *graph.Graph, opts MatchOptio
 	}
 	jst := joinPartials(ctx, p.NumVertices(), rels, opts.Variant.Injective(), emit)
 	res.JoinTime = time.Since(joinStart)
-	endJoin()
+	endJoin(obs.Int("partials", int64(res.Partials)),
+		obs.Int("candidates", int64(jst.Candidates)),
+		obs.Int("embeddings", int64(res.Embeddings)))
 	if c.obsv.Join != nil {
 		c.obsv.Join(res.JoinTime)
 	}
