@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race live-race crash-race shard-race vet lint alloc-gate ci bench-obs bench-serve
+.PHONY: build test race live-race crash-race shard-race prefilter-race vet lint alloc-gate ci bench-obs bench-serve bench-prefilter
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,16 @@ shard-race:
 	$(GO) test -race -count=2 ./internal/shard
 	$(GO) test -race -run 'TestSharded' ./internal/server
 
+# Never-wrong property gate for the admission pre-filters, under the race
+# detector: the prefilter unit suite (incremental == rebuild, soundness
+# against the executor), the live-ingest signature maintenance tests, and
+# the shard-layer TestPrefilterNeverWrong corpus×K×mutation matrix plus
+# the concurrent check/mutate race test. A Reject must always coincide
+# with an executor count of zero.
+prefilter-race:
+	$(GO) test -race ./internal/prefilter
+	$(GO) test -race -run 'TestPrefilter' ./internal/live ./internal/shard ./internal/server
+
 # Crash-recovery drill: the test re-execs the (race-instrumented) test
 # binary as a real csced, SIGKILLs it mid-mutation-storm, restarts it from
 # the same -wal-dir, and verifies the recovered seq/epoch and exact
@@ -55,7 +65,7 @@ lint:
 alloc-gate:
 	$(GO) run ./cmd/cscelint -checks allocfree ./...
 
-ci: build vet lint alloc-gate test race live-race crash-race shard-race
+ci: build vet lint alloc-gate test race live-race crash-race shard-race prefilter-race
 
 # Observability hot-path benchmarks plus the enforced budgets: <50ns/op on
 # histogram recording and <150ns/op on the span-export enqueue — the two
@@ -71,3 +81,11 @@ bench-obs:
 # throughput is at least 2x the single-store number.
 bench-serve:
 	$(GO) run ./cmd/cscebenchserve -out BENCH_serve.json -check
+
+# Admission pre-filter benchmark: label/cluster/degree-impossible queries
+# against a live-mutating K=4 coordinator. Writes BENCH_prefilter.json
+# (checked in: reject-path latency quantiles, per-filter breakdown) and
+# fails unless at least 90% of the impossible workload is rejected before
+# the scatter.
+bench-prefilter:
+	$(GO) run ./cmd/cscebenchserve -mode prefilter -out BENCH_prefilter.json -check

@@ -13,6 +13,13 @@
 // -check exits non-zero unless the sharded mutation throughput is at
 // least -want-speedup times the single-store number — the regression gate
 // behind `make bench-serve`.
+//
+// -mode prefilter switches to the admission pre-filter workload: a mix of
+// label-impossible, cluster-impossible, and degree-impossible patterns is
+// fired at a live-mutating sharded coordinator, and the report
+// (BENCH_prefilter.json behind `make bench-prefilter`) carries the
+// reject-path latency quantiles, the reject ratio over the impossible
+// workload (-check gates on -want-reject), and the per-filter breakdown.
 package main
 
 import (
@@ -77,6 +84,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		out     = fs.String("out", "BENCH_serve.json", "output file (\"-\" writes to stdout)")
+		mode    = fs.String("mode", "serve", "workload: serve (mutation/match comparison) or prefilter (impossible-query admission)")
+		wantRej = fs.Float64("want-reject", 0.9, "minimum impossible-query reject ratio for -check under -mode prefilter")
 		shards  = fs.Int("shards", 4, "shard count for the sharded side")
 		writers = fs.Int("writers", 4, "concurrent mutation clients")
 		rounds  = fs.Int("rounds", 120, "insert+delete rounds per writer")
@@ -105,6 +114,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Vertices: *n, Degree: *degree, Labels: *labels, Shards: *shards,
 		Writers: *writers, Rounds: *rounds, Batch: *batch, Seed: *seed,
 		MaxProcs: runtime.GOMAXPROCS(0),
+	}
+	switch *mode {
+	case "serve":
+	case "prefilter":
+		return runPrefilter(cfg, *out, *check, *wantRej, stdout)
+	default:
+		return fmt.Errorf("unknown -mode %q (serve, prefilter)", *mode)
 	}
 	g := buildGraph(cfg)
 	fmt.Fprintf(stdout, "cscebenchserve: graph %d vertices / %d edges, %d writers x %d rounds x %d edges\n",

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"csce/internal/ccsr"
+	"csce/internal/graph"
+	"csce/internal/shard"
+)
+
+// prefilterReport is the -mode prefilter output (BENCH_prefilter.json):
+// how much of the impossible workload the admission cascade rejected, how
+// fast the reject path is against a live-mutating sharded graph, and how
+// the rejects split across the cascade.
+type prefilterReport struct {
+	Config          config         `json:"config"`
+	Queries         int            `json:"queries"`
+	Impossible      int            `json:"impossible_queries"`
+	Rejected        int            `json:"rejected"`
+	RejectRatio     float64        `json:"reject_ratio"`
+	RejectP50Us     float64        `json:"reject_p50_us"`
+	RejectP99Us     float64        `json:"reject_p99_us"`
+	AdmittedP50Ms   float64        `json:"admitted_match_p50_ms"`
+	RejectsByFilter map[string]int `json:"rejects_by_filter"`
+	Mutations       int            `json:"mutations"`
+}
+
+// impossiblePatterns builds queries no embedding can satisfy against
+// buildGraph's output, each aimed at a different cascade depth: a label
+// that is never minted, an edge label no cluster carries, and a hub degree
+// beyond any data vertex.
+func impossiblePatterns(cfg config) []*graph.Graph {
+	var out []*graph.Graph
+
+	// nbr-label: vertex label cfg.Labels is one past the round-robin range.
+	b := graph.NewBuilder(false)
+	b.AddVertex(0)
+	b.AddVertex(graph.Label(cfg.Labels))
+	b.AddEdge(0, 1, 0)
+	out = append(out, b.MustBuild())
+
+	// label-pair: labels 0 and 1 are adjacent on the ring, but never via
+	// edge label 2 (base data uses 0, the bench writers use 1).
+	b = graph.NewBuilder(false)
+	b.AddVertex(0)
+	b.AddVertex(1)
+	b.AddEdge(0, 1, 2)
+	out = append(out, b.MustBuild())
+
+	// degree: a 64-star far beyond the ring-plus-chords maximum degree.
+	b = graph.NewBuilder(false)
+	b.AddVertex(0)
+	for i := 0; i < 64; i++ {
+		b.AddVertex(graph.Label(i % cfg.Labels))
+		b.AddEdge(0, graph.VertexID(i+1), 0)
+	}
+	out = append(out, b.MustBuild())
+
+	return out
+}
+
+// runPrefilter drives the admission workload: per round one mutation batch
+// commits (so signatures are checked mid-ingest), then every impossible
+// pattern and one satisfiable triangle run through Coordinator.Match.
+func runPrefilter(cfg config, out string, check bool, wantReject float64, stdout io.Writer) error {
+	g := buildGraph(cfg)
+	fmt.Fprintf(stdout, "cscebenchserve: prefilter workload, graph %d vertices / %d edges, K=%d\n",
+		g.NumVertices(), g.NumEdges(), cfg.Shards)
+	coord, err := shard.Open("bench-prefilter", ccsr.Build(g), shard.Options{K: cfg.Shards, Scheme: shard.SchemeID})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+
+	ctx := context.Background()
+	impossible := impossiblePatterns(cfg)
+	batches := writerBatches(cfg, 0)
+	rep := prefilterReport{Config: cfg, RejectsByFilter: make(map[string]int)}
+	var rejectDurs, admitDurs []time.Duration
+
+	for r := 0; r < cfg.Rounds; r++ {
+		// Alternate insert and delete so the graph keeps moving but never
+		// drifts: signatures are probed against a different epoch each round.
+		muts := batches[r%len(batches)]
+		if r%2 == 1 {
+			muts = deletesFor(batches[(r-1)%len(batches)])
+		}
+		if _, err := coord.Mutate(ctx, muts); err != nil {
+			return fmt.Errorf("round %d mutate: %w", r, err)
+		}
+		rep.Mutations += len(muts)
+
+		for _, p := range impossible {
+			t0 := time.Now()
+			res, err := coord.Match(ctx, p, shard.MatchOptions{Variant: graph.EdgeInduced, Limit: 100})
+			d := time.Since(t0)
+			if err != nil {
+				return fmt.Errorf("round %d impossible match: %w", r, err)
+			}
+			rep.Queries++
+			rep.Impossible++
+			if res.Embeddings != 0 {
+				return fmt.Errorf("round %d: impossible pattern matched %d times (workload bug)", r, res.Embeddings)
+			}
+			if res.RejectedBy != "" {
+				rep.Rejected++
+				rep.RejectsByFilter[string(res.RejectedBy)]++
+				rejectDurs = append(rejectDurs, d)
+			}
+		}
+
+		t0 := time.Now()
+		if _, err := coord.Match(ctx, triangle, shard.MatchOptions{Variant: graph.EdgeInduced, Limit: 100}); err != nil {
+			return fmt.Errorf("round %d triangle match: %w", r, err)
+		}
+		admitDurs = append(admitDurs, time.Since(t0))
+		rep.Queries++
+	}
+
+	rep.RejectRatio = float64(rep.Rejected) / float64(rep.Impossible)
+	rep.RejectP50Us = quantileMs(rejectDurs, 0.50) * 1e3
+	rep.RejectP99Us = quantileMs(rejectDurs, 0.99) * 1e3
+	rep.AdmittedP50Ms = quantileMs(admitDurs, 0.50)
+	fmt.Fprintf(stdout, "cscebenchserve: %d/%d impossible queries rejected (%.0f%%), reject p50 %.1fµs p99 %.1fµs, admitted match p50 %.2fms\n",
+		rep.Rejected, rep.Impossible, rep.RejectRatio*100, rep.RejectP50Us, rep.RejectP99Us, rep.AdmittedP50Ms)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "-" {
+		_, err = stdout.Write(buf)
+	} else {
+		err = os.WriteFile(out, buf, 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	if check && rep.RejectRatio < wantReject {
+		return fmt.Errorf("reject ratio %.2f, want >= %.2f", rep.RejectRatio, wantReject)
+	}
+	return nil
+}

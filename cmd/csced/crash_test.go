@@ -269,6 +269,47 @@ func TestCrashRecovery(t *testing.T) {
 		t.Fatalf("recovered graph matched %d embeddings, want %d", got, want)
 	}
 
+	// The rebuilt prefilter signature is exact for the recovered store.
+	// No B–B edge ever existed, so the nbr-label filter rejects it; and
+	// the storm grew vertex 0's degree to exactly batches+2, so a star
+	// one past that boundary rejects while the boundary itself admits
+	// and matches — off-by-one in the recovered histogram would flip one
+	// of the two.
+	postMatch := func(pattern string, limit int) (status int, body string) {
+		t.Helper()
+		r, err := http.Post(fmt.Sprintf("%s/v1/graphs/tiny/match?limit=%d", d2.base(), limit),
+			"text/plain", strings.NewReader(pattern))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		return r.StatusCode, string(raw)
+	}
+	star := func(leaves uint64) string {
+		var sb strings.Builder
+		sb.WriteString("t undirected\nv 0 A\n")
+		for i := uint64(1); i <= leaves; i++ {
+			fmt.Fprintf(&sb, "v %d A\n", i)
+		}
+		for i := uint64(1); i <= leaves; i++ {
+			fmt.Fprintf(&sb, "e 0 %d\n", i)
+		}
+		return sb.String()
+	}
+	if status, body := postMatch("t undirected\nv 0 B\nv 1 B\ne 0 1\n", 10); status != http.StatusOK ||
+		!strings.Contains(body, `"rejected_by":"nbr-label"`) {
+		t.Fatalf("B-B pattern after recovery: status %d, body %s (want nbr-label reject)", status, body)
+	}
+	if status, body := postMatch(star(batches+3), 10); status != http.StatusOK ||
+		!strings.Contains(body, `"rejected_by":"degree"`) {
+		t.Fatalf("degree-%d star after recovery: status %d, body %s (want degree reject)", batches+3, status, body)
+	}
+	if status, body := postMatch(star(batches+2), 1); status != http.StatusOK ||
+		strings.Contains(body, `"rejected_by"`) || !strings.Contains(body, `"embeddings":1`) {
+		t.Fatalf("degree-%d star after recovery: status %d, body %s (want admitted with 1 embedding)", batches+2, status, body)
+	}
+
 	// The log keeps extending gapless: the next batch must be assigned
 	// seq recSeq+1 on the recovered daemon.
 	lastSeq, err := mutateBatch(d2.base(), []map[string]any{

@@ -131,6 +131,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, started c
 		traceQ   = fs.Int("trace-queue", 4096, "bounded export queue; a full queue drops traces instead of blocking queries")
 		traceRg  = fs.Int("trace-ring", 256, "completed traces retained for /debug/trace/{id} (negative disables)")
 		rtStats  = fs.Duration("runtime-stats", 10*time.Second, "runtime/metrics polling interval for goroutine/heap/GC gauges (negative disables)")
+		preFlt   = fs.String("prefilter", "on", "O(pattern) admission pre-filters: on rejects provably-empty queries before planning, off disables the gate (signatures stay maintained)")
 	)
 	fs.Var(&graphs, "graph", "name=path of a data graph to serve (repeatable)")
 	fs.Var(&datasets, "dataset", "synthetic dataset from the catalog to serve (repeatable); see cmd/cscegen")
@@ -154,6 +155,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, started c
 	scheme, err := shard.ParseScheme(*shardSch)
 	if err != nil {
 		return err
+	}
+	switch *preFlt {
+	case "on", "off":
+	default:
+		return fmt.Errorf("bad -prefilter %q (on or off)", *preFlt)
 	}
 	var exporter *export.Exporter
 	if *traceEP != "" {
@@ -197,6 +203,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, started c
 		TraceExporter:        exporter,
 		TraceRingSize:        *traceRg,
 		RuntimeStatsInterval: *rtStats,
+		DisablePrefilter:     *preFlt == "off",
 	})
 
 	for _, spec := range graphs {

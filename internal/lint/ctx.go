@@ -41,8 +41,12 @@ var CtxPropagation = &Check{
 // searches running after the query's deadline fired. cmd is included
 // because the binaries (csced, cscebenchserve) wire signal handling into
 // the same chain — a dropped context at the outermost layer defeats every
-// propagation rule below it.
-var ctxCheckedPkgs = []string{"internal/exec", "internal/server", "internal/obs", "internal/live", "internal/shard", "cmd"}
+// propagation rule below it. internal/prefilter is included because
+// signature rebuilds walk whole recovered stores on the startup path and
+// bulk re-checks walk query backlogs: any helper there that takes a
+// context must actually consult it, or a slow rebuild outlives its
+// deadline unseen.
+var ctxCheckedPkgs = []string{"internal/exec", "internal/server", "internal/obs", "internal/live", "internal/shard", "internal/prefilter", "cmd"}
 
 func ctxApplies(p *Package) bool {
 	rel := strings.TrimPrefix(p.Path, p.ModulePath+"/")

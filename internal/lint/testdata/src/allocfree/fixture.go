@@ -49,3 +49,39 @@ func pinnedHot(n int) {
 func coldPath(n int) {
 	sink = make([]int, n)
 }
+
+// checkCascade mirrors the prefilter admission probe: sums over
+// pre-compiled needs into a caller-owned scratch slice, no allocation —
+// the shape internal/prefilter's CheckMany must keep.
+//
+//csce:hotpath
+func checkCascade(sums []uint64, counts []uint32) bool {
+	for i := range sums {
+		sums[i] = 0
+	}
+	for i, c := range counts {
+		sums[i%len(sums)] += uint64(c)
+	}
+	for _, s := range sums {
+		if s == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// badCheckCascade regresses the prefilter shape: building the probe's
+// scratch per call instead of pooling it.
+//
+//csce:hotpath
+func badCheckCascade(counts []uint32) bool {
+	sums := make([]uint64, len(counts)) // want `hot path csce.badCheckCascade allocates`
+	for i, c := range counts {
+		sums[i] = uint64(c)
+	}
+	usink = sums
+	return len(sums) > 0
+}
+
+// usink keeps uint64 slices reachable.
+var usink []uint64

@@ -1,0 +1,60 @@
+// Fixture for the ctxpropagation check in csce/internal/prefilter: the
+// admission cascade itself is O(pattern) and contextless, but signature
+// rebuilds walk whole recovered stores on the startup path and bulk
+// re-checks walk query backlogs — helpers there that accept a context
+// must consult it, or a slow rebuild outlives its deadline unseen.
+package prefilter
+
+import "context"
+
+type fakeStore struct {
+	clusters [][]int
+}
+
+type fakeSig struct {
+	pairs int
+}
+
+func (s *fakeSig) absorb(cluster []int) { s.pairs += len(cluster) }
+
+// goodRebuild polls cancellation between clusters, so a startup deadline
+// can abort a rebuild of an arbitrarily large recovered store.
+func goodRebuild(ctx context.Context, st *fakeStore) (*fakeSig, error) {
+	sig := &fakeSig{}
+	for _, cl := range st.clusters {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sig.absorb(cl)
+	}
+	return sig, nil
+}
+
+// badRebuild accepts a context and never consults it: the rebuild runs to
+// completion even after the startup deadline fired.
+func badRebuild(ctx context.Context, st *fakeStore) *fakeSig { // want `context parameter ctx is never used`
+	sig := &fakeSig{}
+	for _, cl := range st.clusters {
+		sig.absorb(cl)
+	}
+	return sig
+}
+
+// badRecheckRoot mints a fresh root for a bulk re-check, severing it from
+// the caller's deadline.
+func badRecheckRoot(ctx context.Context, st *fakeStore) error {
+	sub, cancel := context.WithCancel(context.Background()) // want `context.Background\(\) discards the caller's context`
+	defer cancel()
+	_ = ctx
+	return sub.Err()
+}
+
+// badMaintainPump loops in a goroutine with nothing cancellation can
+// reach: a background signature maintainer that can never be stopped.
+func badMaintainPump(st *fakeStore, sig *fakeSig) {
+	go func() { // want `goroutine loops without a reachable context`
+		for _, cl := range st.clusters {
+			sig.absorb(cl)
+		}
+	}()
+}

@@ -151,6 +151,9 @@ type Observer struct {
 	WALCheckpoint func(time.Duration)
 	// ResumeReplay observes each subscriber resume replay.
 	ResumeReplay func(time.Duration)
+	// SigMaintain observes the prefilter-signature maintenance of each
+	// committed batch (it rides inside the commit critical section).
+	SigMaintain func(time.Duration)
 }
 
 func observe(f func(time.Duration), start time.Time) {

@@ -12,6 +12,7 @@ import (
 	"csce/internal/delta"
 	"csce/internal/graph"
 	"csce/internal/obs"
+	"csce/internal/prefilter"
 )
 
 // Graph is one writable registered graph: a private writer store mutated
@@ -24,6 +25,12 @@ type Graph struct {
 	opts Options
 	wal  *wal
 	dwal *diskWAL // nil without Options.Durability.Dir
+
+	// sig is the admission pre-filter signature. It is built from the
+	// opening state (in-memory or recovered) and maintained inside Mutate's
+	// commit path, so it always describes a published epoch; the pointer
+	// itself never changes after Open.
+	sig *prefilter.Signature
 
 	// mu is the writer lock: it serializes Mutate/Subscribe/Close and
 	// guards writer, resumeBase, subs, nextSubID, closed, and epoch.
@@ -105,7 +112,9 @@ func NewGraph(name string, eng *core.Engine, opts Options) *Graph {
 	opts.Durability = Durability{}
 	g, err := Open(name, eng, opts)
 	if err != nil {
-		// Unreachable: every error path in Open touches the disk WAL.
+		// Unreachable in practice: every other error path in Open touches
+		// the disk WAL, and the signature build only fails if the engine's
+		// just-cloned store cannot decompress itself — corruption-grade.
 		panic(err)
 	}
 	return g
@@ -130,6 +139,11 @@ func Open(name string, eng *core.Engine, opts Options) (*Graph, error) {
 		g.wal = newWAL(opts.WALRetention)
 		g.writer = eng.Store().Clone()
 		g.resumeBase = eng.Store().Clone()
+		sig, err := prefilter.Build(g.writer)
+		if err != nil {
+			return nil, fmt.Errorf("live: build prefilter signature: %w", err)
+		}
+		g.sig = sig
 		g.installSnapshot(newSnapshot(0, eng, g.drainHook(0)))
 		return g, nil
 	}
@@ -178,6 +192,14 @@ func (g *Graph) recover(eng *core.Engine) error {
 	g.dwal = dw
 	g.wal = newWALAt(g.opts.WALRetention, lastSeq)
 	g.epoch = epoch
+	// The signature is rebuilt from the recovered writer, not replayed
+	// mutation-by-mutation: recovery re-interns labels by name, so only the
+	// post-replay store holds the ids the new process will mutate under.
+	sig, err := prefilter.Build(g.writer)
+	if err != nil {
+		return fmt.Errorf("live: rebuild prefilter signature: %w", err)
+	}
+	g.sig = sig
 	g.resumeBase = g.writer.Clone()
 	pub := g.writer.Clone()
 	g.installSnapshot(newSnapshot(epoch, core.FromStore(pub), g.drainHook(epoch)))
@@ -265,6 +287,11 @@ func (g *Graph) drainHook(epoch uint64) func() {
 // Recovery reports what Open reconstructed from the durable WAL; the zero
 // value means the graph is purely in-memory.
 func (g *Graph) Recovery() RecoveryStats { return g.recovery }
+
+// Prefilter returns the graph's admission signature. The pointer is fixed
+// at Open; the signature itself synchronizes its own readers against the
+// commit path's batched updates.
+func (g *Graph) Prefilter() *prefilter.Signature { return g.sig }
 
 // Names returns the label table of the live writer — after a recovery it
 // includes every label minted by replayed mutations, not just the ones
@@ -387,6 +414,25 @@ func (g *Graph) Mutate(ctx context.Context, muts []Mutation) (Commit, error) {
 			panic(fmt.Sprintf("live: resume base diverged at seq %d: %v", rec.Seq, err))
 		}
 	}
+	// Fold the batch into the admission signature while still holding the
+	// writer lock and only after the durable append accepted it: rollback
+	// paths never touch the signature, and the whole batch lands atomically
+	// with respect to concurrent admission checks. Interned ids are safe
+	// here for the same reason applyLocked uses them.
+	sigStart := time.Now()
+	g.sig.Batch(func(b *prefilter.BatchWriter) {
+		for _, m := range muts {
+			switch m.Op {
+			case OpAddVertex:
+				b.AddVertex(m.VertexLabel)
+			case OpInsertEdge:
+				b.InsertEdge(m.Src, m.Dst, m.EdgeLabel)
+			case OpDeleteEdge:
+				b.DeleteEdge(m.Src, m.Dst, m.EdgeLabel)
+			}
+		}
+	})
+	observe(g.opts.Observer.SigMaintain, sigStart)
 	g.publishLocked()
 	endSwap(obs.Int("epoch", int64(com.Epoch)),
 		obs.Int("first_seq", int64(com.FirstSeq)),

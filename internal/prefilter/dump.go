@@ -1,0 +1,71 @@
+package prefilter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dump renders the signature's complete state deterministically. It exists
+// for the exactness gates: a signature rebuilt from a recovered store must
+// Dump identically to one maintained incrementally through the same
+// mutations. Cold path; it allocates freely.
+func (s *Signature) Dump() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "directed=%v vertices=%d\n", s.directed, len(s.labels))
+	for v, l := range s.labels {
+		fmt.Fprintf(&b, "v%d label=%d deg=%d\n", v, l, s.deg[v])
+	}
+
+	pairs := make([]pairKey, 0, len(s.pair))
+	for pk := range s.pair {
+		pairs = append(pairs, pk)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].lo != pairs[j].lo {
+			return pairs[i].lo < pairs[j].lo
+		}
+		return pairs[i].hi < pairs[j].hi
+	})
+	for _, pk := range pairs {
+		fmt.Fprintf(&b, "pair (%d,%d)=%d\n", pk.lo, pk.hi, s.pair[pk])
+	}
+
+	clusters := make([]string, 0, len(s.cluster))
+	for k, n := range s.cluster {
+		clusters = append(clusters, fmt.Sprintf("cluster %s=%d", k, n))
+	}
+	sort.Strings(clusters)
+	for _, line := range clusters {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+
+	labels := make([]int, 0, len(s.degHist))
+	for l := range s.degHist {
+		labels = append(labels, int(l))
+	}
+	sort.Ints(labels)
+	for _, l := range labels {
+		fmt.Fprintf(&b, "deghist %d=%v\n", l, s.degHist[uint16(l)].b)
+	}
+
+	wls := make([]string, 0, len(s.wl))
+	for wk, e := range s.wl {
+		counts := make([]string, 0, len(e.counts))
+		for v, c := range e.counts {
+			counts = append(counts, fmt.Sprintf("%d:%d", v, c))
+		}
+		sort.Strings(counts)
+		wls = append(wls, fmt.Sprintf("wl %s/%d hist=%v counts=%s", wk.key, wk.side, e.h.b, strings.Join(counts, ",")))
+	}
+	sort.Strings(wls)
+	for _, line := range wls {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package prefilter
+
+// raceEnabled reports whether the race detector built this test binary;
+// the allocation assertion is meaningless there (sync.Pool intentionally
+// drops items at random under -race).
+const raceEnabled = false

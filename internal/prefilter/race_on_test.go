@@ -1,0 +1,6 @@
+//go:build race
+
+package prefilter
+
+// raceEnabled reports whether the race detector built this test binary.
+const raceEnabled = true

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"csce/internal/obs"
+	"csce/internal/prefilter"
 )
 
 // phase names index the per-phase latency histograms: the four stages a
@@ -45,10 +46,23 @@ const (
 	walReplay     = "replay"     // startup checkpoint load + log replay
 	walCheckpoint = "checkpoint" // checkpoint write + segment truncation
 	walResume     = "resume"     // subscriber resume replay
+	walSignature  = "signature"  // prefilter signature maintenance inside the commit
 )
 
 // metricsWALOps lists the WAL histogram keys in render order.
-var metricsWALOps = []string{walAppend, walFsync, walReplay, walCheckpoint, walResume}
+var metricsWALOps = []string{walAppend, walFsync, walReplay, walCheckpoint, walResume, walSignature}
+
+// prefilterCounters tallies one admission pre-filter's activity. checks
+// counts evaluations (a query bumps every filter in the cascade prefix it
+// reached), rejects counts rejections the filter proved, and falseAdmits
+// counts admitted queries that executed to zero embeddings — attributed to
+// the deepest filter evaluated, the one that had the last cheap chance to
+// prove emptiness.
+type prefilterCounters struct {
+	checks      atomic.Uint64
+	rejects     atomic.Uint64
+	falseAdmits atomic.Uint64
+}
 
 // metrics holds the daemon's monotonic counters and latency histograms.
 // Everything is a plain atomic so the hot path never takes a lock;
@@ -92,6 +106,10 @@ type metrics struct {
 	shardPartials       atomic.Uint64 // twig rows returned by shards, summed
 	shardJoinCandidates atomic.Uint64 // cross-shard join candidates probed
 
+	// Admission pre-filter tallies, one set per cascade filter. Allocated
+	// once by newMetrics, so recording never takes a lock or writes the map.
+	prefilter map[prefilter.Filter]*prefilterCounters
+
 	// Latency histograms: per query phase, per HTTP endpoint, per
 	// durable-WAL operation, and per scatter-gather stage. Allocated once
 	// by newMetrics; recording is lock-free (obs.Histogram).
@@ -103,10 +121,14 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	m := &metrics{
+		prefilter: make(map[prefilter.Filter]*prefilterCounters, len(prefilter.Filters())),
 		phases:    make(map[string]*obs.Histogram, len(metricsPhases)),
 		endpoints: make(map[string]*obs.Histogram, len(metricsEndpoints)),
 		wal:       make(map[string]*obs.Histogram, len(metricsWALOps)),
 		shard:     make(map[string]*obs.Histogram, len(metricsShardStages)),
+	}
+	for _, f := range prefilter.Filters() {
+		m.prefilter[f] = &prefilterCounters{}
 	}
 	for _, p := range metricsPhases {
 		m.phases[p] = &obs.Histogram{}
@@ -149,6 +171,50 @@ func (m *metrics) recordShard(stage string, d time.Duration) {
 	if h := m.shard[stage]; h != nil {
 		h.Record(d)
 	}
+}
+
+// recordPrefilterCheck tallies one admission-cascade evaluation: every
+// filter in the prefix the cascade actually evaluated counts one check,
+// and a rejection counts against the filter that proved it.
+func (m *metrics) recordPrefilterCheck(d prefilter.Decision) {
+	for i, f := range prefilter.Filters() {
+		if i >= int(d.Checked) {
+			break
+		}
+		m.prefilter[f].checks.Add(1)
+	}
+	if !d.Admit {
+		if c := m.prefilter[d.Filter]; c != nil {
+			c.rejects.Add(1)
+		}
+	}
+}
+
+// recordPrefilterFalseAdmit tallies an admitted query whose execution
+// produced zero embeddings, against the deepest filter the cascade
+// evaluated. The rate of these against rejects is the cascade's recall.
+func (m *metrics) recordPrefilterFalseAdmit(d prefilter.Decision) {
+	fs := prefilter.Filters()
+	if !d.Admit || d.Checked == 0 || int(d.Checked) > len(fs) {
+		return
+	}
+	m.prefilter[fs[d.Checked-1]].falseAdmits.Add(1)
+}
+
+// prefilterDoc returns the per-filter admission counters, keyed for the
+// JSON /metrics document: prefilter_checks, prefilter_rejects, and
+// prefilter_false_admits each map filter name → count.
+func (m *metrics) prefilterDoc() (checks, rejects, falseAdmits map[string]uint64) {
+	n := len(m.prefilter)
+	checks = make(map[string]uint64, n)
+	rejects = make(map[string]uint64, n)
+	falseAdmits = make(map[string]uint64, n)
+	for f, c := range m.prefilter {
+		checks[string(f)] = c.checks.Load()
+		rejects[string(f)] = c.rejects.Load()
+		falseAdmits[string(f)] = c.falseAdmits.Load()
+	}
+	return checks, rejects, falseAdmits
 }
 
 // counterDoc returns the counter block of the /metrics document.

@@ -12,6 +12,7 @@ import (
 
 	"csce/internal/live"
 	"csce/internal/obs"
+	"csce/internal/prefilter"
 	"csce/internal/shard"
 )
 
@@ -47,6 +48,22 @@ func (s *Server) writeProm(w http.ResponseWriter) {
 	}
 	promScalar(bw, "csce_plan_cache_hits", "counter", s.plans.hits.Load())
 	promScalar(bw, "csce_plan_cache_misses", "counter", s.plans.misses.Load())
+
+	// Admission pre-filter counters, one sample per cascade filter.
+	prefilterFamilies := []struct {
+		name string
+		get  func(c *prefilterCounters) uint64
+	}{
+		{"csce_prefilter_checks", func(c *prefilterCounters) uint64 { return c.checks.Load() }},
+		{"csce_prefilter_rejects", func(c *prefilterCounters) uint64 { return c.rejects.Load() }},
+		{"csce_prefilter_false_admits", func(c *prefilterCounters) uint64 { return c.falseAdmits.Load() }},
+	}
+	for _, fam := range prefilterFamilies {
+		fmt.Fprintf(bw, "# TYPE %s counter\n", fam.name)
+		for _, f := range prefilter.Filters() {
+			fmt.Fprintf(bw, "%s{filter=%q} %d\n", fam.name, string(f), fam.get(s.metrics.prefilter[f]))
+		}
+	}
 
 	// Point-in-time gauges.
 	promScalar(bw, "csce_in_flight", "gauge", s.adm.inFlight())

@@ -74,6 +74,11 @@ type Registry struct {
 	// ShardObserver receives scatter/local/join durations from every
 	// sharded graph's coordinator; the server wires it to its histograms.
 	ShardObserver shard.Observer
+	// DisablePrefilter turns off the admission gate inside subsequently
+	// added sharded coordinators (per-shard signatures are still
+	// maintained); the server sets it from Config.DisablePrefilter so a
+	// direct Coordinator.Match agrees with the HTTP path.
+	DisablePrefilter bool
 
 	mu      sync.RWMutex
 	entries map[string]*Entry
@@ -132,10 +137,11 @@ func (r *Registry) AddSharded(name string, engine *core.Engine, k int, scheme sh
 		return nil, fmt.Errorf("server: graph name must be non-empty")
 	}
 	opts := shard.Options{
-		K:        k,
-		Scheme:   scheme,
-		Live:     r.LiveOpts,
-		Observer: r.ShardObserver,
+		K:                k,
+		Scheme:           scheme,
+		Live:             r.LiveOpts,
+		Observer:         r.ShardObserver,
+		DisablePrefilter: r.DisablePrefilter,
 	}
 	if r.WALRoot != "" {
 		opts.WALDir = filepath.Join(r.WALRoot, name)

@@ -43,6 +43,7 @@ import (
 	"csce/internal/obs"
 	"csce/internal/obs/export"
 	"csce/internal/plan"
+	"csce/internal/prefilter"
 	"csce/internal/shard"
 )
 
@@ -127,6 +128,12 @@ type Config struct {
 	// RuntimeStatsInterval is the runtime/metrics polling period for the
 	// goroutine/heap/GC gauge surface (default 10s; negative disables).
 	RuntimeStatsInterval time.Duration
+	// DisablePrefilter turns off the O(pattern) admission pre-filters:
+	// queries skip the signature check and go straight to the slot wait and
+	// plan cache. Signatures are still maintained (they ride the WAL commit
+	// and must stay exact for re-enablement), only the gate is skipped.
+	// Set by csced's -prefilter=off; a kill switch and an A/B lever.
+	DisablePrefilter bool
 }
 
 func (c Config) withDefaults() Config {
@@ -260,9 +267,11 @@ func New(cfg Config) *Server {
 			WALReplay:     func(d time.Duration) { s.metrics.recordWAL(walReplay, d) },
 			WALCheckpoint: func(d time.Duration) { s.metrics.recordWAL(walCheckpoint, d) },
 			ResumeReplay:  func(d time.Duration) { s.metrics.recordWAL(walResume, d) },
+			SigMaintain:   func(d time.Duration) { s.metrics.recordWAL(walSignature, d) },
 		},
 	}
 	s.reg.WALRoot = cfg.WALDir
+	s.reg.DisablePrefilter = cfg.DisablePrefilter
 	s.reg.ShardObserver = shard.Observer{
 		Scatter: func(d time.Duration) { s.metrics.recordShard(shardStageScatter, d) },
 		Local:   func(d time.Duration) { s.metrics.recordShard(shardStageLocal, d) },
@@ -482,6 +491,36 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Phase 0: admission pre-filter. An O(pattern) probe of the graph's
+	// incrementally-maintained signature runs before the slot wait, the
+	// snapshot pin, and the plan-cache lookup, so a provably-empty query
+	// costs none of them — it returns a normal 200 summary with a zero
+	// count and the rejecting filter's name. Sharded vertex-induced
+	// queries skip the check to preserve the coordinator's 422 contract
+	// (unsupported variant beats "no results").
+	var pre prefilter.Decision
+	preChecked := false
+	if !s.cfg.DisablePrefilter && !(ent.Sharded != nil && params.variant == graph.VertexInduced) {
+		endCheck := tr.StartSpan("prefilter.check")
+		if ent.Sharded != nil {
+			pre = ent.Sharded.PrefilterCheck(p, params.variant)
+		} else {
+			pre = ent.Live.Prefilter().Check(p, params.variant)
+		}
+		preChecked = true
+		s.metrics.recordPrefilterCheck(pre)
+		if !pre.Admit {
+			reason := pre.Reason(ent.Names)
+			endCheck(obs.Str("decision", "reject"),
+				obs.Str("filter", string(pre.Filter)),
+				obs.Str("reason", reason))
+			s.writePrefilterReject(w, start, tr, ent, pre, reason)
+			return
+		}
+		endCheck(obs.Str("decision", "admit"),
+			obs.Int("filters_checked", int64(pre.Checked)))
+	}
+
 	// Phase 1: admission. The wait for a slot is recorded whether the
 	// query is admitted, rejected, or abandoned — queueing delay under
 	// overload is exactly what the histogram must show.
@@ -509,6 +548,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if ent.Sharded != nil {
 		s.matchSharded(w, r, shardedMatchArgs{
 			start: start, tr: tr, rctx: rctx, ent: ent, params: params, pattern: p,
+			pre: pre, preChecked: preChecked,
 		})
 		return
 	}
@@ -647,6 +687,11 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		s.metrics.queriesOK.Add(1)
 		outcome = "ok"
 	}
+	if preChecked && outcome == "ok" && res.Embeddings == 0 {
+		// The cascade admitted a query the executor proved empty: a false
+		// admit, charged to the deepest filter that looked at it.
+		s.metrics.recordPrefilterFalseAdmit(pre)
+	}
 
 	total := time.Since(start)
 	s.log.Info("query",
@@ -720,6 +765,63 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if _, err := w.Write(append(line, '\n')); err == nil && flusher != nil {
 		flusher.Flush()
 	}
+}
+
+// writePrefilterReject finishes a query the admission cascade proved
+// empty: a normal 200 NDJSON summary with a zero count and the rejecting
+// filter — never a silent empty result — plus the same log line, trace
+// finish, and slow-query capture an executed query would get.
+func (s *Server) writePrefilterReject(w http.ResponseWriter, start time.Time, tr *obs.Trace,
+	ent *Entry, d prefilter.Decision, reason string) {
+	s.metrics.queriesOK.Add(1)
+	total := time.Since(start)
+	s.log.Info("query",
+		"trace_id", tr.ID,
+		"graph", ent.Name,
+		"outcome", "rejected",
+		"rejected_by", string(d.Filter),
+		"reason", reason,
+		"embeddings", 0,
+		"total_ms", durMs(total),
+	)
+	ft, exported := tr.Finish("http.match",
+		obs.Str("graph", ent.Name),
+		obs.Str("outcome", "rejected"),
+		obs.Str("rejected_by", string(d.Filter)),
+		obs.Str("reason", reason),
+		obs.Int("embeddings", 0))
+	if s.slowlog.Qualifies(total) {
+		s.metrics.slowQueries.Add(1)
+		s.slowlog.Add(obs.SlowRecord{
+			TraceID:  tr.ID,
+			Start:    start,
+			Duration: total,
+			Graph:    ent.Name,
+			Outcome:  "rejected",
+			Spans:    ft.Spans,
+			Exported: exported,
+			TraceURL: traceURL(tr.ID),
+			Detail:   map[string]any{"rejected_by": string(d.Filter), "reason": reason},
+		})
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	summary := map[string]any{
+		"done":        true,
+		"trace_id":    tr.ID,
+		"graph":       ent.Name,
+		"count":       0,
+		"embeddings":  0,
+		"rejected_by": string(d.Filter),
+		"reason":      reason,
+		"cancelled":   false,
+		"timed_out":   false,
+	}
+	if ent.Sharded != nil {
+		summary["sharded"] = true
+		summary["shards"] = ent.Sharded.K()
+	}
+	line, _ := json.Marshal(summary)
+	_, _ = w.Write(append(line, '\n'))
 }
 
 // cacheOutcome renders a plan-cache lookup result for summaries and logs.
@@ -858,6 +960,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	doc := s.metrics.counterDoc()
+	pfChecks, pfRejects, pfFalse := s.metrics.prefilterDoc()
+	doc["prefilter_checks"] = pfChecks
+	doc["prefilter_rejects"] = pfRejects
+	doc["prefilter_false_admits"] = pfFalse
 	doc["plan_cache_size"] = s.plans.len()
 	doc["plan_cache_hits"] = s.plans.hits.Load()
 	doc["plan_cache_misses"] = s.plans.misses.Load()

@@ -14,6 +14,7 @@ import (
 	"csce/internal/graph"
 	"csce/internal/live"
 	"csce/internal/obs"
+	"csce/internal/prefilter"
 	"csce/internal/shard"
 )
 
@@ -26,6 +27,12 @@ type shardedMatchArgs struct {
 	ent     *Entry
 	params  matchParams
 	pattern *graph.Graph
+	// pre is the admission pre-filter decision handleMatch already took
+	// (always an admit here — rejects return before the slot wait);
+	// preChecked distinguishes it from a skipped check so the coordinator
+	// is told not to re-check and the false-admit tally stays honest.
+	pre        prefilter.Decision
+	preChecked bool
 }
 
 // matchSharded is the scatter-gather continuation of handleMatch: the
@@ -82,7 +89,18 @@ func (s *Server) matchSharded(w http.ResponseWriter, r *http.Request, a shardedM
 		Limit:       a.params.limit,
 		Workers:     a.params.workers,
 		OnEmbedding: onEmbedding,
+		// handleMatch already ran the pre-filter before the slot wait;
+		// re-checking here would double-count every query.
+		SkipPrefilter: a.preChecked,
 	})
+	if matchErr == nil && res.RejectedBy != "" {
+		// Backstop: the coordinator's own gate fired because the server-side
+		// check was skipped. Same wire contract as a pre-admission reject;
+		// nothing has been streamed yet, so the summary is the whole body.
+		s.metrics.recordPrefilterCheck(res.Reject)
+		s.writePrefilterReject(w, a.start, a.tr, a.ent, res.Reject, res.Reject.Reason(coord.Names()))
+		return
+	}
 	matchWall := time.Since(matchStart)
 	streamDur := time.Duration(streamNs)
 	execSpanEnd := time.Since(a.tr.Begin)
@@ -130,6 +148,9 @@ func (s *Server) matchSharded(w http.ResponseWriter, r *http.Request, a shardedM
 	default:
 		s.metrics.queriesOK.Add(1)
 		outcome = "ok"
+	}
+	if a.preChecked && outcome == "ok" && res.Embeddings == 0 {
+		s.metrics.recordPrefilterFalseAdmit(a.pre)
 	}
 
 	total := time.Since(a.start)

@@ -15,6 +15,7 @@ import (
 	"csce/internal/live"
 	"csce/internal/obs"
 	"csce/internal/plan"
+	"csce/internal/prefilter"
 )
 
 // Options configures one sharded graph; the zero value of everything but
@@ -37,6 +38,10 @@ type Options struct {
 	// Observer receives scatter/local/join durations for external
 	// histogramming. All hooks optional.
 	Observer Observer
+	// DisablePrefilter turns off the admission pre-filter check inside
+	// Match (PrefilterCheck then always admits). The per-shard signatures
+	// are still maintained — they ride each shard's commit path.
+	DisablePrefilter bool
 }
 
 // Observer carries the coordinator's latency hooks.
@@ -63,6 +68,12 @@ type Coordinator struct {
 	shards []Shard       // the narrow interface the scatter path uses
 	locals []*localShard // same shards, for cheap epoch/owner bookkeeping
 
+	// sigs are the per-shard admission signatures, in shard order. Checked
+	// as a union: each shard owns its vertices' complete adjacency, so
+	// cross-shard sums can only overcount (false admits, never false
+	// rejects). Empty when Options.DisablePrefilter was set.
+	sigs []*prefilter.Signature
+
 	// own maps every vertex to its shard; vmu serializes ownership
 	// growth: vertex-adding batches hold it exclusively (all shards must
 	// append vertices in lockstep), edge-only batches share it.
@@ -76,7 +87,9 @@ type Coordinator struct {
 	statsMu    sync.Mutex
 	statsCache []cachedStats
 
-	matches        atomic.Uint64
+	matches          atomic.Uint64
+	prefilterRejects atomic.Uint64
+
 	partials       atomic.Uint64
 	joinCandidates atomic.Uint64
 	mutBatches     atomic.Uint64
@@ -140,6 +153,9 @@ func Open(name string, base *ccsr.Store, opts Options) (*Coordinator, error) {
 		sh := newLocalShard(i, lg, c.own)
 		c.locals = append(c.locals, sh)
 		c.shards = append(c.shards, sh)
+		if !opts.DisablePrefilter {
+			c.sigs = append(c.sigs, lg.Prefilter())
+		}
 	}
 	c.statsCache = make([]cachedStats, c.k)
 	if err := c.reconcileRecovered(); err != nil {
@@ -307,6 +323,16 @@ func (c *Coordinator) aggregateLabelFreq() map[graph.Label]int {
 	return agg
 }
 
+// PrefilterCheck runs the O(pattern) admission cascade over the union of
+// the per-shard signatures without touching any shard. It always admits
+// when the coordinator was opened with DisablePrefilter.
+func (c *Coordinator) PrefilterCheck(p *graph.Graph, variant graph.Variant) prefilter.Decision {
+	if len(c.sigs) == 0 {
+		return prefilter.Decision{Admit: true}
+	}
+	return prefilter.CheckMany(c.sigs, p, variant)
+}
+
 // CacheStats reports the decomposition cache's counters.
 func (c *Coordinator) CacheStats() (size int, hits, misses uint64) {
 	return c.decomp.len(), c.decomp.hits.Load(), c.decomp.misses.Load()
@@ -318,7 +344,9 @@ type CoordStats struct {
 	Scheme         string  `json:"scheme"`
 	Vertices       int     `json:"vertices"`
 	Edges          int     `json:"edges"`
-	Matches        uint64  `json:"matches"`
+	Matches          uint64 `json:"matches"`
+	PrefilterRejects uint64 `json:"prefilter_rejects"`
+
 	Partials       uint64  `json:"partials"`
 	JoinCandidates uint64  `json:"join_candidates"`
 	MutationOK     uint64  `json:"mutation_batches"`
@@ -338,8 +366,9 @@ func (c *Coordinator) Stats() CoordStats {
 		Scheme:         c.scheme.String(),
 		Vertices:       v,
 		Edges:          e,
-		Matches:        c.matches.Load(),
-		Partials:       c.partials.Load(),
+		Matches:          c.matches.Load(),
+		PrefilterRejects: c.prefilterRejects.Load(),
+		Partials:         c.partials.Load(),
 		JoinCandidates: c.joinCandidates.Load(),
 		MutationOK:     c.mutBatches.Load(),
 		MutationFailed: c.mutFailed.Load(),
@@ -368,6 +397,11 @@ type MatchOptions struct {
 	Limit uint64
 	// Workers sizes each shard's local executor (<=1 serial).
 	Workers int
+	// SkipPrefilter bypasses Match's admission check. Set it only when the
+	// caller already ran PrefilterCheck for this exact pattern and variant
+	// (the serving layer checks before taking an admission slot, so the
+	// scatter path must not check — and count — the query twice).
+	SkipPrefilter bool
 	// OnEmbedding receives each full embedding, indexed by pattern
 	// vertex. The slice is reused between calls — copy to retain. Return
 	// false to stop.
@@ -390,6 +424,11 @@ type MatchResult struct {
 	// DecompCacheHit reports whether the twig decomposition came from the
 	// epoch-vector-keyed cache.
 	DecompCacheHit bool
+	// RejectedBy names the admission pre-filter that proved the pattern
+	// unmatchable before any decomposition or scatter ("" when the query
+	// was admitted); Reject carries the full decision for reporting.
+	RejectedBy prefilter.Filter
+	Reject     prefilter.Decision
 	ScatterTime    time.Duration
 	JoinTime       time.Duration
 }
@@ -413,6 +452,24 @@ func (c *Coordinator) Match(ctx context.Context, p *graph.Graph, opts MatchOptio
 		return res, err
 	}
 	c.matches.Add(1)
+
+	// Admission pre-filter: a provably-empty pattern answers here, before
+	// the decomposition cache is consulted and before any shard sees a
+	// scatter. The serving layer checks earlier still (before its admission
+	// slot) and sets SkipPrefilter so the query is not counted twice.
+	if !opts.SkipPrefilter {
+		_, endCheck := obs.StartSpanCtx(ctx, "prefilter.check")
+		d := c.PrefilterCheck(p, opts.Variant)
+		if !d.Admit {
+			c.prefilterRejects.Add(1)
+			endCheck(obs.Str("decision", "reject"), obs.Str("filter", string(d.Filter)),
+				obs.Str("reason", d.Reason(c.names)))
+			res.RejectedBy = d.Filter
+			res.Reject = d
+			return res, nil
+		}
+		endCheck(obs.Str("decision", "admit"))
+	}
 
 	_, endDecomp := obs.StartSpanCtx(ctx, "shard.plan")
 	key := decompKey(opts.Variant, opts.Mode, c.EpochVector(), p)
