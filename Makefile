@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race live-race crash-race shard-race prefilter-race vet lint alloc-gate ci bench-obs bench-serve bench-prefilter
+.PHONY: build test race live-race crash-race shard-race prefilter-race vet lint alloc-gate docscheck ci bench-obs bench-serve bench-prefilter
 
 build:
 	$(GO) build ./...
@@ -41,12 +41,15 @@ prefilter-race:
 	$(GO) test -race ./internal/prefilter
 	$(GO) test -race -run 'TestPrefilter' ./internal/live ./internal/shard ./internal/server
 
-# Crash-recovery drill: the test re-execs the (race-instrumented) test
-# binary as a real csced, SIGKILLs it mid-mutation-storm, restarts it from
-# the same -wal-dir, and verifies the recovered seq/epoch and exact
-# vertex/edge/match counts. See cmd/csced/crash_test.go.
+# Crash-recovery drills: the tests re-exec the (race-instrumented) test
+# binary as a real csced and SIGKILL it mid-mutation-storm. TestCrashRecovery
+# verifies the restart recovers the exact seq/epoch and vertex/edge/match
+# counts; TestCrashResumeSubscription kills the daemon under a live
+# subscriber and proves the persisted resume log makes the restart
+# transparent: the resumed stream satisfies count = before + Σdeltas −
+# Σretractions across the crash. See cmd/csced/crash_test.go.
 crash-race:
-	$(GO) test -race -run TestCrashRecovery ./cmd/csced
+	$(GO) test -race -run 'TestCrash' ./cmd/csced
 
 vet:
 	$(GO) vet ./...
@@ -65,7 +68,13 @@ lint:
 alloc-gate:
 	$(GO) run ./cmd/cscelint -checks allocfree ./...
 
-ci: build vet lint alloc-gate test race live-race crash-race shard-race prefilter-race
+# Flag/documentation drift gate: every flag the csced, cscematch, and
+# cscebenchserve binaries define must be documented in README.md or
+# OPERATIONS.md (stdlib-only checker; see cmd/cscedocs).
+docscheck:
+	$(GO) run ./cmd/cscedocs
+
+ci: build vet lint alloc-gate docscheck test race live-race crash-race shard-race prefilter-race
 
 # Observability hot-path benchmarks plus the enforced budgets: <50ns/op on
 # histogram recording and <150ns/op on the span-export enqueue — the two

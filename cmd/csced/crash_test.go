@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"os/exec"
 	"os/signal"
@@ -321,5 +322,220 @@ func TestCrashRecovery(t *testing.T) {
 	}
 	if lastSeq != recSeq+2 {
 		t.Fatalf("post-recovery batch ended at seq %d, want %d", lastSeq, recSeq+2)
+	}
+}
+
+// subEvent is one parsed NDJSON subscription line.
+type subEvent struct {
+	Kind     string `json:"kind"`
+	Seq      uint64 `json:"seq"`
+	CaughtUp bool   `json:"caught_up"`
+}
+
+// TestCrashResumeSubscription SIGKILLs csced while a subscriber is
+// streaming and proves the restart is transparent to it: the persisted
+// resume log lets the subscriber resume from its last received commit on
+// the restarted process, and the ledger it accumulates across BOTH
+// processes satisfies count = before + Σdeltas − Σretractions against the
+// recovered graph. The storm toggles one A–A edge so retractions are a
+// first-class part of the equation, and runs under -checkpoint-mode
+// incremental so the drill also recovers through a base + chain + tail.
+func TestCrashResumeSubscription(t *testing.T) {
+	graphPath := writeTempGraph(t)
+	walDir := t.TempDir()
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-graph", "tiny=" + graphPath,
+		"-wal-dir", walDir,
+		"-fsync", "always",
+		"-segment-size", "8192",
+		"-wal-keep-segments", "2",
+		"-checkpoint-mode", "incremental",
+		"-log-level", "off",
+	}
+	d1 := spawnDaemon(t, args...)
+
+	// The seed holds 3 A–A edges = 6 ordered embeddings; the subscriber
+	// joins before any mutation, so its baseline is exactly that.
+	const before = uint64(6)
+	pattern := "t undirected\nv 0 A\nv 1 A\ne 0 1\n"
+	subResp, err := http.Get(d1.base() + "/v1/graphs/tiny/subscribe?pattern=" +
+		url.QueryEscape(pattern) + "&from_seq=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subResp.Body.Close()
+	if subResp.StatusCode != http.StatusOK {
+		t.Fatalf("subscribe status %d", subResp.StatusCode)
+	}
+
+	// The subscriber ledger: only fully delivered batches count. sum is
+	// the running Σdeltas − Σretractions; the pair (lastCommit,
+	// sumAtCommit) freezes the ledger at the last commit marker that made
+	// it through before the kill, discarding any torn batch suffix — the
+	// resume below replays that batch in full.
+	type ledger struct {
+		lastCommit  uint64
+		sumAtCommit int64
+	}
+	ledgerCh := make(chan ledger, 1)
+	go func() {
+		sc := bufio.NewScanner(subResp.Body)
+		sc.Buffer(make([]byte, 1<<16), 1<<22)
+		var led ledger
+		var sum int64
+		first := true
+		for sc.Scan() {
+			if first {
+				first = false // hello line
+				continue
+			}
+			var ev subEvent
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				break // torn line at the kill
+			}
+			switch ev.Kind {
+			case "delta":
+				sum++
+			case "retract":
+				sum--
+			case "commit":
+				led.lastCommit = ev.Seq
+				led.sumAtCommit = sum
+			}
+		}
+		ledgerCh <- led
+	}()
+
+	// Storm: batch 1 mints vertex 4 (label A), then batch k toggles the
+	// A–A edge (4,0) — inserts on even seqs, deletes on odd — so every
+	// batch after the first streams two deltas or two retractions.
+	ackCh := make(chan uint64, 1024)
+	stormDone := make(chan struct{})
+	go func() {
+		defer close(stormDone)
+		if _, err := mutateBatch(d1.base(), []map[string]any{{"op": "add_vertex", "label": "A"}}); err != nil {
+			return
+		}
+		for k := 2; ; k++ {
+			op := "insert_edge"
+			if k%2 == 1 {
+				op = "delete_edge"
+			}
+			lastSeq, err := mutateBatch(d1.base(), []map[string]any{
+				{"op": op, "src": 4, "dst": 0, "label": ""},
+			})
+			if err != nil {
+				return // the kill landed
+			}
+			ackCh <- lastSeq
+		}
+	}()
+
+	var ackSeq uint64
+	for ackSeq < 40 {
+		select {
+		case s := <-ackCh:
+			ackSeq = s
+		case <-time.After(20 * time.Second):
+			t.Fatal("mutation storm stalled")
+		}
+	}
+	if err := d1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = d1.cmd.Wait()
+	<-stormDone
+	subResp.Body.Close() // unblock the subscriber goroutine's scanner
+	var led ledger
+	select {
+	case led = <-ledgerCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("subscriber did not observe the kill")
+	}
+	if led.lastCommit == 0 {
+		t.Fatal("no commit marker reached the subscriber before the kill")
+	}
+
+	// Restart: the recovery line must report the restored resume window.
+	d2 := spawnDaemon(t, args...)
+	defer func() {
+		_ = d2.cmd.Process.Kill()
+		_ = d2.cmd.Wait()
+	}()
+	if out := d2.out.String(); !strings.Contains(out, "resume=true") {
+		t.Fatalf("restart log lacks resume=true:\n%s", out)
+	}
+	st := liveStats(t, d2.base())
+	recSeq := uint64(st["last_seq"].(float64))
+	if recSeq < ackSeq {
+		t.Fatalf("recovered seq %d lost acknowledged seq %d", recSeq, ackSeq)
+	}
+	if oldest := uint64(st["oldest_resumable_seq"].(float64)); oldest > led.lastCommit {
+		t.Fatalf("restored window starts at %d, past the subscriber's commit %d", oldest, led.lastCommit)
+	}
+
+	// Resume on the restarted daemon from the subscriber's last commit and
+	// drain the replay to caught_up, extending the same ledger.
+	resumeResp, err := http.Get(d2.base() + "/v1/graphs/tiny/subscribe?pattern=" +
+		url.QueryEscape(pattern) + fmt.Sprintf("&from_seq=%d", led.lastCommit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumeResp.Body.Close()
+	if resumeResp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resumeResp.Body)
+		t.Fatalf("resume subscribe status %d: %s", resumeResp.StatusCode, raw)
+	}
+	sc := bufio.NewScanner(resumeResp.Body)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	sum := led.sumAtCommit
+	prevCommit := led.lastCommit
+	first := true
+	for {
+		if !sc.Scan() {
+			t.Fatalf("resumed stream ended before caught_up: %v", sc.Err())
+		}
+		if first {
+			first = false // hello line
+			continue
+		}
+		var ev subEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad resumed line %q: %v", sc.Text(), err)
+		}
+		if ev.CaughtUp {
+			break
+		}
+		switch ev.Kind {
+		case "delta":
+			sum++
+		case "retract":
+			sum--
+		case "commit":
+			if ev.Seq != prevCommit+1 {
+				t.Fatalf("resumed commits not gapless: seq %d after %d", ev.Seq, prevCommit)
+			}
+			prevCommit = ev.Seq
+		}
+	}
+	if prevCommit != recSeq {
+		t.Fatalf("resumed replay ended at commit %d, want recovered seq %d", prevCommit, recSeq)
+	}
+
+	// The delta equation across the crash: the recovered graph's match
+	// count equals the baseline plus the ledger both processes streamed.
+	mresp, err := http.Post(d2.base()+"/v1/graphs/tiny/match", "text/plain", strings.NewReader(pattern))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("match status %d: %s", mresp.StatusCode, mbody)
+	}
+	count := uint64(strings.Count(string(mbody), "\n")) - 1
+	if int64(count) != int64(before)+sum {
+		t.Fatalf("count %d != before %d + Σdeltas−Σretractions %d", count, before, sum)
 	}
 }

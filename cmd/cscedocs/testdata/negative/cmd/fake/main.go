@@ -1,0 +1,23 @@
+// Package main is a docscheck fixture: it defines three flags, and the
+// fixture README documents only two of them (-addr and -graph), so the
+// checker must report -undocumented and exit non-zero.
+package main
+
+import (
+	"flag"
+	"os"
+)
+
+func main() {
+	fs := flag.NewFlagSet("fake", flag.ContinueOnError)
+	var graphs flagList
+	_ = fs.String("addr", ":8080", "listen address")
+	fs.Var(&graphs, "graph", "name=path, repeatable")
+	_ = fs.Int("undocumented", 0, "this flag is missing from the fixture docs")
+	_ = fs.Parse(os.Args[1:])
+}
+
+type flagList []string
+
+func (l *flagList) String() string     { return "" }
+func (l *flagList) Set(s string) error { *l = append(*l, s); return nil }

@@ -58,6 +58,7 @@ func Checks() []*Check {
 		RefBalance,
 		LockOrder,
 		GoroLeak,
+		DocComment,
 	}
 }
 

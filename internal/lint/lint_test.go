@@ -26,6 +26,7 @@ var goldenChecks = map[string][]string{
 	"refbalance":        {"refbalance"},
 	"lockorder":         {"lockorder"},
 	"goroleak":          {"goroleak"},
+	"doccomment":        {"doccomment"},
 }
 
 // wantRe matches golden expectations: want `regex`, repeatable within one

@@ -1,0 +1,3 @@
+module csce
+
+go 1.22

@@ -1,0 +1,9 @@
+// Package other is outside the doccomment scope: its undocumented
+// exports must produce no findings.
+package other
+
+func Undocumented() {}
+
+type Window struct{}
+
+var ErrBroken error

@@ -22,7 +22,9 @@ import (
 //
 //	<dir>/00000000000000000001.wal   segment; name = first seq it holds
 //	<dir>/00000000000000004097.wal   ...
-//	<dir>/checkpoint                 latest store checkpoint (optional)
+//	<dir>/checkpoint                 latest base checkpoint (optional)
+//	<dir>/00000000000000002049.inc      incremental checkpoint chain
+//	<dir>/resume/                    persisted resume log (rlog.go)
 //
 // Each segment starts with an 8-byte magic and holds length-prefixed,
 // CRC-checksummed records:
@@ -43,6 +45,22 @@ import (
 // segment that holds only records <= S is deleted. Recovery loads the
 // checkpoint (if any) and replays the remaining segments on top.
 //
+// Durability.CheckpointMode selects how that cycle pays for itself.
+// CheckpointFull rewrites the whole store every time. CheckpointIncremental
+// instead *renames* each newly covered sealed segment to NNN.inc,
+// extending a checkpoint chain rooted at the base file: the cycle is O(1)
+// in store size because the chain reuses already-fsynced WAL bytes as
+// checkpoint content. Recovery replays chain and live segments merged in
+// firstSeq order; a torn tail is legal only in the final live segment.
+// Once the chain would exceed Durability.ChainMax the next cycle falls
+// back to one full serialization, which absorbs and deletes the chain.
+//
+// The resume/ subdirectory holds the persisted resume log (rlog.go): the
+// subscriber-resume window, written in the commit path right after the WAL
+// append, so ?from_seq replay survives restarts. It is a convenience tier,
+// not a durability tier — recovery gap-fills any lost tail from the WAL,
+// and damage beyond a torn tail is healed by deleting the directory.
+//
 // A crash can leave a torn tail: a partially written frame at the end of
 // the *final* segment. Replay detects it (short frame or CRC mismatch),
 // truncates the file back to the last whole record, and recovery proceeds
@@ -55,6 +73,7 @@ const (
 	segmentMagic    = "CSCEWAL1"
 	checkpointMagic = "CSCECKP1"
 	segmentSuffix   = ".wal"
+	chainSuffix     = ".inc"
 	checkpointName  = "checkpoint"
 	frameHeaderLen  = 8       // u32 length + u32 crc
 	maxRecordLen    = 1 << 20 // sanity bound on one payload
@@ -105,6 +124,48 @@ func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
 	}
 }
 
+// CheckpointMode selects how retention turns sealed segments into a
+// bounded recovery state.
+type CheckpointMode uint8
+
+const (
+	// CheckpointFull serializes the whole store every time retention
+	// triggers: recovery loads one checkpoint plus the remaining segments,
+	// but each checkpoint costs O(graph).
+	CheckpointFull CheckpointMode = iota
+	// CheckpointIncremental writes the full store once (the base), then
+	// advances by renaming covered segments into the checkpoint chain — an
+	// O(1) metadata operation per cycle regardless of graph size. Recovery
+	// loads base + chain + remaining segments. Once the chain exceeds
+	// Durability.ChainMax files, the next cycle rewrites the base and
+	// drops the chain, bounding both replay time and disk usage.
+	CheckpointIncremental
+)
+
+// String renders the mode as its flag spelling.
+func (m CheckpointMode) String() string {
+	switch m {
+	case CheckpointFull:
+		return "full"
+	case CheckpointIncremental:
+		return "incremental"
+	default:
+		return fmt.Sprintf("CheckpointMode(%d)", uint8(m))
+	}
+}
+
+// ParseCheckpointMode parses the -checkpoint-mode flag spelling.
+func ParseCheckpointMode(s string) (CheckpointMode, error) {
+	switch s {
+	case "full":
+		return CheckpointFull, nil
+	case "incremental":
+		return CheckpointIncremental, nil
+	default:
+		return 0, fmt.Errorf("live: unknown checkpoint mode %q (full, incremental)", s)
+	}
+}
+
 // Durability configures the disk WAL of one live graph. The zero value
 // (empty Dir) disables it: the graph is purely in-memory, as before.
 type Durability struct {
@@ -121,6 +182,13 @@ type Durability struct {
 	// checkpoint is written and fully-covered segments are deleted
 	// (default 4).
 	KeepSegments int
+	// CheckpointMode selects full-store checkpoints (default) or the
+	// incremental base+chain scheme.
+	CheckpointMode CheckpointMode
+	// ChainMax bounds the incremental-checkpoint chain: once the chain
+	// reaches this many files, the next checkpoint rewrites the full base
+	// and drops them (default 16). Ignored under CheckpointFull.
+	ChainMax int
 }
 
 func (d Durability) withDefaults() Durability {
@@ -132,6 +200,9 @@ func (d Durability) withDefaults() Durability {
 	}
 	if d.KeepSegments <= 0 {
 		d.KeepSegments = 4
+	}
+	if d.ChainMax <= 0 {
+		d.ChainMax = 16
 	}
 	return d
 }
@@ -151,6 +222,10 @@ type Observer struct {
 	WALCheckpoint func(time.Duration)
 	// ResumeReplay observes each subscriber resume replay.
 	ResumeReplay func(time.Duration)
+	// ResumeLogAppend observes the resume-log append of each committed
+	// batch (buffered write, no fsync; rides the commit path after the
+	// WAL append).
+	ResumeLogAppend func(time.Duration)
 	// SigMaintain observes the prefilter-signature maintenance of each
 	// committed batch (it rides inside the commit critical section).
 	SigMaintain func(time.Duration)
@@ -186,7 +261,9 @@ type diskWAL struct {
 	cur         *os.File
 	curInfo     segmentInfo
 	sealed      []segmentInfo
-	dirty       bool // bytes written since the last sync
+	chain       []segmentInfo // incremental-checkpoint chain (.inc), seq order
+	hasBase     bool          // a checkpoint file exists on disk
+	dirty       bool          // bytes written since the last sync
 	fsyncs      uint64
 	checkpoints uint64
 	closed      bool
@@ -209,10 +286,19 @@ func openDiskWAL(opts Durability, obs Observer) (*diskWAL, error) {
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, segmentSuffix) {
+		if e.IsDir() {
 			continue
 		}
-		first, err := strconv.ParseUint(strings.TrimSuffix(name, segmentSuffix), 10, 64)
+		var suffix string
+		switch {
+		case strings.HasSuffix(name, segmentSuffix):
+			suffix = segmentSuffix
+		case strings.HasSuffix(name, chainSuffix):
+			suffix = chainSuffix
+		default:
+			continue
+		}
+		first, err := strconv.ParseUint(strings.TrimSuffix(name, suffix), 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("live: wal segment %q: bad name", name)
 		}
@@ -220,13 +306,19 @@ func openDiskWAL(opts Durability, obs Observer) (*diskWAL, error) {
 		if err != nil {
 			return nil, err
 		}
-		d.sealed = append(d.sealed, segmentInfo{
+		seg := segmentInfo{
 			path:     filepath.Join(opts.Dir, name),
 			firstSeq: first,
 			size:     info.Size(),
-		})
+		}
+		if suffix == chainSuffix {
+			d.chain = append(d.chain, seg)
+		} else {
+			d.sealed = append(d.sealed, seg)
+		}
 	}
 	sort.Slice(d.sealed, func(i, j int) bool { return d.sealed[i].firstSeq < d.sealed[j].firstSeq })
+	sort.Slice(d.chain, func(i, j int) bool { return d.chain[i].firstSeq < d.chain[j].firstSeq })
 	return d, nil
 }
 
@@ -234,21 +326,27 @@ func segmentPath(dir string, firstSeq uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("%020d%s", firstSeq, segmentSuffix))
 }
 
-// encodeRecord appends one framed record to buf. The name-length field is
-// biased by one: 0 means "unnamed" (replay trusts the raw label id),
-// n+1 means a name of n bytes follows — an interned empty name is a real
-// label and must survive the round trip distinct from "no name".
-func encodeRecord(buf []byte, r Record) []byte {
+// recordBodyLen is the number of payload bytes putRecordBody writes for r.
+func recordBodyLen(r Record) int {
+	if r.Mut.LabelNamed {
+		return 29 + len(r.Mut.LabelName)
+	}
+	return 29
+}
+
+// putRecordBody serializes one record into payload, which must be exactly
+// recordBodyLen(r) bytes. The name-length field is biased by one: 0 means
+// "unnamed" (replay trusts the raw label id), n+1 means a name of n bytes
+// follows — an interned empty name is a real label and must survive the
+// round trip distinct from "no name". Shared by the WAL segment format and
+// the resume log (rlog.go), which wraps the same body in a kind byte.
+func putRecordBody(payload []byte, r Record) {
 	var name string
 	nameField := uint16(0)
 	if r.Mut.LabelNamed {
 		name = r.Mut.LabelName
 		nameField = uint16(len(name)) + 1
 	}
-	payloadLen := 29 + len(name)
-	start := len(buf)
-	buf = append(buf, make([]byte, frameHeaderLen+payloadLen)...)
-	payload := buf[start+frameHeaderLen:]
 	le := binary.LittleEndian
 	le.PutUint64(payload[0:], r.Seq)
 	le.PutUint64(payload[8:], r.Epoch)
@@ -262,8 +360,17 @@ func encodeRecord(buf []byte, r Record) []byte {
 	le.PutUint16(payload[25:], label)
 	le.PutUint16(payload[27:], nameField)
 	copy(payload[29:], name)
-	le.PutUint32(buf[start:], uint32(payloadLen))
-	le.PutUint32(buf[start+4:], crc32.ChecksumIEEE(payload))
+}
+
+// encodeRecord appends one framed record (header + body) to buf.
+func encodeRecord(buf []byte, r Record) []byte {
+	payloadLen := recordBodyLen(r)
+	start := len(buf)
+	buf = append(buf, make([]byte, frameHeaderLen+payloadLen)...)
+	payload := buf[start+frameHeaderLen:]
+	putRecordBody(payload, r)
+	binary.LittleEndian.PutUint32(buf[start:], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.ChecksumIEEE(payload))
 	return buf
 }
 
@@ -357,15 +464,22 @@ func readSegment(path string, fn func(Record) error) (validEnd int64, err error)
 	}
 }
 
-// replay streams every record with Seq > afterSeq, in order, across all
-// segments. A torn tail in the final segment is truncated away (reported
-// via torn); any invalid frame earlier is corruption and fails recovery.
-// Sequence numbers are verified gapless across segment boundaries.
+// replay streams every record with Seq > afterSeq, in order, across the
+// incremental-checkpoint chain and then the segments (chain files are
+// renamed segments, so one pass covers base + chain + log tail). A torn
+// tail in the final segment is truncated away (reported via torn); any
+// invalid frame earlier — including anywhere in a chain file, which was
+// sealed and synced before it was renamed — is corruption and fails
+// recovery. Sequence numbers are verified gapless across file boundaries.
 func (d *diskWAL) replay(afterSeq uint64, fn func(Record) error) (lastSeq uint64, replayed int, torn bool, err error) {
 	lastSeq = afterSeq
 	prevSeq := uint64(0)
-	for i, seg := range d.sealed {
-		final := i == len(d.sealed)-1
+	files := make([]segmentInfo, 0, len(d.chain)+len(d.sealed))
+	files = append(files, d.chain...)
+	files = append(files, d.sealed...)
+	sort.SliceStable(files, func(i, j int) bool { return files[i].firstSeq < files[j].firstSeq })
+	for i, seg := range files {
+		final := i == len(files)-1 && strings.HasSuffix(seg.path, segmentSuffix)
 		validEnd, segErr := readSegment(seg.path, func(rec Record) error {
 			if prevSeq != 0 && rec.Seq != prevSeq+1 {
 				return fmt.Errorf("sequence gap: %d follows %d in %s", rec.Seq, prevSeq, filepath.Base(seg.path))
@@ -389,7 +503,11 @@ func (d *diskWAL) replay(afterSeq uint64, fn func(Record) error) (lastSeq uint64
 			if terr := os.Truncate(seg.path, validEnd); terr != nil {
 				return lastSeq, replayed, false, fmt.Errorf("live: truncate torn tail: %w", terr)
 			}
-			d.sealed[i].size = validEnd
+			for j := range d.sealed {
+				if d.sealed[j].path == seg.path {
+					d.sealed[j].size = validEnd
+				}
+			}
 			return lastSeq, replayed, true, nil
 		}
 		if segErr != nil {
@@ -531,11 +649,64 @@ func (d *diskWAL) rotateLocked(nextSeq uint64) error {
 }
 
 // needsCheckpoint reports whether enough sealed segments accumulated for
-// retention to demand a checkpoint + truncation.
+// retention to demand a checkpoint + truncation. Chain files do not
+// count: they are already part of the checkpoint state.
 func (d *diskWAL) needsCheckpoint() bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return len(d.sealed) > d.opts.KeepSegments
+}
+
+// checkpoint applies the retention policy at (seq, epoch). Under
+// CheckpointFull — or before any base exists, or once the chain reached
+// ChainMax — the store is serialized as a fresh base and every covered
+// file is deleted. Otherwise the covered segments advance into the chain
+// by rename, costing O(1) per file instead of O(graph).
+func (d *diskWAL) checkpoint(st *ccsr.Store, seq, epoch uint64) error {
+	d.mu.Lock()
+	incremental := d.opts.CheckpointMode == CheckpointIncremental &&
+		d.hasBase && len(d.chain) < d.opts.ChainMax
+	d.mu.Unlock()
+	if incremental {
+		return d.advanceChain(seq)
+	}
+	return d.writeCheckpoint(st, seq, epoch)
+}
+
+// advanceChain is the incremental checkpoint: every sealed segment whose
+// records are all covered by seq is renamed into the chain. The renamed
+// file's records stay exactly where they were, so recovery's one replay
+// pass over chain + segments reconstructs the same state a full
+// checkpoint at seq would have captured — without serializing the store.
+func (d *diskWAL) advanceChain(seq uint64) error {
+	start := time.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	kept := d.sealed[:0]
+	for i, seg := range d.sealed {
+		var upper uint64 // one past the last seq the segment can hold
+		if i+1 < len(d.sealed) {
+			upper = d.sealed[i+1].firstSeq
+		} else {
+			upper = d.curInfo.firstSeq
+		}
+		if upper != 0 && upper-1 <= seq {
+			dst := strings.TrimSuffix(seg.path, segmentSuffix) + chainSuffix
+			if err := os.Rename(seg.path, dst); err != nil {
+				kept = append(kept, d.sealed[i:]...)
+				d.sealed = kept
+				return err
+			}
+			seg.path = dst
+			d.chain = append(d.chain, seg)
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	d.sealed = kept
+	d.checkpoints++
+	observe(d.obs.WALCheckpoint, start)
+	return nil
 }
 
 // writeCheckpoint atomically replaces the checkpoint file with a store
@@ -574,27 +745,46 @@ func (d *diskWAL) writeCheckpoint(st *ccsr.Store, seq, epoch uint64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.checkpoints++
-	// A sealed segment holds records [firstSeq, next segment's firstSeq);
-	// it is deletable once that whole range is <= seq.
-	kept := d.sealed[:0]
-	for i, seg := range d.sealed {
-		var upper uint64 // one past the last seq the segment can hold
-		if i+1 < len(d.sealed) {
-			upper = d.sealed[i+1].firstSeq
+	d.hasBase = true
+	// A sealed file holds records [firstSeq, next file's firstSeq); it is
+	// deletable once that whole range is <= seq. Chain files sit before
+	// every sealed segment in seq order, so their final upper bound is the
+	// first sealed segment (or the active one).
+	chainUpper := d.curInfo.firstSeq
+	if len(d.sealed) > 0 {
+		chainUpper = d.sealed[0].firstSeq
+	}
+	if d.chain, err = removeCovered(d.chain, chainUpper, seq); err != nil {
+		return err
+	}
+	if d.sealed, err = removeCovered(d.sealed, d.curInfo.firstSeq, seq); err != nil {
+		return err
+	}
+	observe(d.obs.WALCheckpoint, start)
+	return nil
+}
+
+// removeCovered deletes every file of list whose records are all <= seq;
+// finalUpper is the exclusive seq bound of the last list entry.
+func removeCovered(list []segmentInfo, finalUpper, seq uint64) ([]segmentInfo, error) {
+	kept := list[:0]
+	for i, seg := range list {
+		var upper uint64
+		if i+1 < len(list) {
+			upper = list[i+1].firstSeq
 		} else {
-			upper = d.curInfo.firstSeq
+			upper = finalUpper
 		}
 		if upper != 0 && upper-1 <= seq {
 			if err := os.Remove(seg.path); err != nil {
-				return err
+				kept = append(kept, list[i:]...)
+				return kept, err
 			}
 			continue
 		}
 		kept = append(kept, seg)
 	}
-	d.sealed = kept
-	observe(d.obs.WALCheckpoint, start)
-	return nil
+	return kept, nil
 }
 
 // loadCheckpoint decodes the checkpoint file, if present.
@@ -620,11 +810,15 @@ func (d *diskWAL) loadCheckpoint() (st *ccsr.Store, seq, epoch uint64, ok bool, 
 	if err != nil {
 		return nil, 0, 0, false, fmt.Errorf("live: checkpoint store: %w", err)
 	}
+	d.mu.Lock()
+	d.hasBase = true
+	d.mu.Unlock()
 	return st, seq, epoch, true, nil
 }
 
-// diskStats reports segment count (sealed + active) and total bytes.
-func (d *diskWAL) diskStats() (segments int, bytes int64, fsyncs, checkpoints uint64) {
+// diskStats reports segment count (sealed + active), chain file count,
+// total bytes of each, and the fsync/checkpoint counters.
+func (d *diskWAL) diskStats() (segments int, bytes int64, chainSegments int, chainBytes int64, fsyncs, checkpoints uint64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	segments = len(d.sealed)
@@ -635,7 +829,11 @@ func (d *diskWAL) diskStats() (segments int, bytes int64, fsyncs, checkpoints ui
 		segments++
 		bytes += d.curInfo.size
 	}
-	return segments, bytes, d.fsyncs, d.checkpoints
+	chainSegments = len(d.chain)
+	for _, s := range d.chain {
+		chainBytes += s.size
+	}
+	return segments, bytes, chainSegments, chainBytes, d.fsyncs, d.checkpoints
 }
 
 // close flushes, syncs, and closes the active segment and stops the

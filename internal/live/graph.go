@@ -24,7 +24,8 @@ type Graph struct {
 	name string
 	opts Options
 	wal  *wal
-	dwal *diskWAL // nil without Options.Durability.Dir
+	dwal *diskWAL   // nil without Options.Durability.Dir
+	rlog *resumeLog // persisted resume window; nil without Durability.Dir
 
 	// sig is the admission pre-filter signature. It is built from the
 	// opening state (in-memory or recovered) and maintained inside Mutate's
@@ -101,6 +102,28 @@ type RecoveryStats struct {
 	// TornTail reports that the final segment ended mid-record (a crash
 	// during an append) and was truncated back to the last whole record.
 	TornTail bool `json:"torn_tail"`
+	// ChainSegments is how many incremental-checkpoint chain files the
+	// replay folded in on top of the base checkpoint.
+	ChainSegments int `json:"chain_segments"`
+	// ResumeWindowRestored reports that the persisted resume log restored
+	// the pre-restart subscription window, so subscribers can resume from
+	// any seq in (ResumeOldestSeq, RecoveredSeq] exactly as if the process
+	// had never died.
+	ResumeWindowRestored bool `json:"resume_window_restored"`
+	// ResumeOldestSeq is the oldest resumable seq after recovery (equals
+	// RecoveredSeq when the window starts fresh).
+	ResumeOldestSeq uint64 `json:"resume_oldest_seq"`
+	// ResumeRecords is how many tail records the restored window holds.
+	ResumeRecords int `json:"resume_records"`
+	// ResumeTornTail reports a truncated crash tail in the resume log's
+	// final chain file (the lost suffix was gap-filled from the WAL when
+	// possible).
+	ResumeTornTail bool `json:"resume_torn_tail"`
+	// ResumeWindowLost reports that a resume log was present but its
+	// window could not be restored (seq gap against the WAL, or a label
+	// table that diverged from the recovered one); a fresh window was
+	// started at RecoveredSeq and pre-restart from_seqs answer 410.
+	ResumeWindowLost bool `json:"resume_window_lost"`
 	// Duration is the wall time of checkpoint load + replay.
 	Duration time.Duration `json:"duration_ns"`
 }
@@ -161,6 +184,16 @@ func (g *Graph) recover(eng *core.Engine) error {
 	if err != nil {
 		return err
 	}
+	// The resume log loads before the WAL replays so the replay can
+	// collect the gap-fill records the log's unsynced tail may have lost.
+	rl, err := openResumeLog(g.opts.Durability.Dir, g.opts.Durability.withDefaults(), g.opts.Observer)
+	if err != nil {
+		return err
+	}
+	rstate, err := rl.load()
+	if err != nil {
+		return err
+	}
 	base := eng.Store()
 	ckStore, ckSeq, ckEpoch, hasCk, err := dw.loadCheckpoint()
 	if err != nil {
@@ -172,15 +205,26 @@ func (g *Graph) recover(eng *core.Engine) error {
 		g.recovery.CheckpointSeq = ckSeq
 		g.recovery.CheckpointEpoch = ckEpoch
 	}
+	g.recovery.ChainSegments = len(dw.chain)
 	// The writer replays in place; labels re-intern by name so runtime-
 	// minted labels keep their identity across the restart.
 	g.writer = base.Clone()
 	epoch := ckEpoch
+	rlogLast := rstate.lastSeq()
+	var fill []Record
 	lastSeq, replayed, torn, err := dw.replay(ckSeq, func(rec Record) error {
 		if err := applyRecord(g.writer, rec.Mut); err != nil {
 			return fmt.Errorf("live: replay seq %d (%s): %w", rec.Seq, rec.Mut.Op, err)
 		}
 		epoch = rec.Epoch
+		if rstate.base != nil && rec.Seq > rlogLast {
+			// The WAL reaches past the resume log (its tail is not fsynced
+			// per batch, so a power cut can shrink it): keep the missing
+			// records, re-interned under the recovered table, to extend the
+			// restored window to the recovered seq.
+			reinternMutation(g.writer.Names(), &rec.Mut)
+			fill = append(fill, rec)
+		}
 		return nil
 	})
 	if err != nil {
@@ -190,7 +234,6 @@ func (g *Graph) recover(eng *core.Engine) error {
 		return err
 	}
 	g.dwal = dw
-	g.wal = newWALAt(g.opts.WALRetention, lastSeq)
 	g.epoch = epoch
 	// The signature is rebuilt from the recovered writer, not replayed
 	// mutation-by-mutation: recovery re-interns labels by name, so only the
@@ -200,7 +243,26 @@ func (g *Graph) recover(eng *core.Engine) error {
 		return fmt.Errorf("live: rebuild prefilter signature: %w", err)
 	}
 	g.sig = sig
-	g.resumeBase = g.writer.Clone()
+	g.recovery.ResumeTornTail = rstate.torn
+	restored := false
+	if rstate.base != nil {
+		restored = g.restoreResumeWindow(rl, rstate, fill, lastSeq)
+		g.recovery.ResumeWindowRestored = restored
+		g.recovery.ResumeWindowLost = !restored
+	}
+	if !restored {
+		// No usable window: resume from the recovered position only, and
+		// re-anchor the on-disk chain there so the window regrows.
+		g.resumeBase = g.writer.Clone()
+		g.wal = newWALAt(g.opts.WALRetention, lastSeq)
+		if err := rl.start(g.resumeBase, lastSeq, epoch); err != nil {
+			rl.markBroken()
+		}
+	}
+	g.rlog = rl
+	g.recovery.ResumeOldestSeq = g.wal.oldestResumable()
+	retained, _ := g.wal.size()
+	g.recovery.ResumeRecords = retained
 	pub := g.writer.Clone()
 	g.installSnapshot(newSnapshot(epoch, core.FromStore(pub), g.drainHook(epoch)))
 	g.recovery.ReplayedRecords = replayed
@@ -212,36 +274,125 @@ func (g *Graph) recover(eng *core.Engine) error {
 	return nil
 }
 
-// applyRecord applies one WAL record to a store during crash replay,
-// re-interning the label by name when the record carries one (the id
-// alone is only stable within a single process lifetime). Interning may
-// mutate the store's label table, so this must only run single-threaded
-// — which recovery is. Steady-state code paths use applyRaw instead.
-func applyRecord(st *ccsr.Store, m Mutation) error {
-	names := st.Names()
-	switch m.Op {
-	case OpAddVertex:
-		l := m.VertexLabel
-		if m.LabelNamed && names != nil {
-			l = names.Vertex(m.LabelName)
-		}
-		st.AddVertex(l)
-		return nil
-	case OpInsertEdge:
-		el := m.EdgeLabel
-		if m.LabelNamed && names != nil {
-			el = names.Edge(m.LabelName)
-		}
-		return st.InsertEdge(m.Src, m.Dst, el)
-	case OpDeleteEdge:
-		el := m.EdgeLabel
-		if m.LabelNamed && names != nil {
-			el = names.Edge(m.LabelName)
-		}
-		return st.DeleteEdge(m.Src, m.Dst, el)
-	default:
-		return fmt.Errorf("unknown op %d", m.Op)
+// restoreResumeWindow rebuilds resumeBase and the in-memory tail from the
+// loaded resume-log state plus the WAL gap-fill, and heals the on-disk
+// chain up to the recovered seq. It returns false — leaving the caller to
+// start a fresh window — whenever a gapless, label-consistent window up
+// to lastSeq cannot be proven.
+func (g *Graph) restoreResumeWindow(rl *resumeLog, rstate *rlogState, fill []Record, lastSeq uint64) bool {
+	if rstate.baseSeq > lastSeq {
+		return false // the base claims a future the WAL never acknowledged
 	}
+	// Label ids are arrival-order-dependent: the persisted base indexes its
+	// adjacency under the previous process's table, the recovered writer
+	// under a freshly re-interned one. Replaying against the base is only
+	// sound when the base's table is a prefix of the recovered table —
+	// every id the base can contain means the same name in both. Named
+	// labels minted after the base was encoded ride in the tail records and
+	// re-intern by name below.
+	if !labelTablePrefix(rstate.base.Names(), g.writer.Names()) {
+		return false
+	}
+	tail := rstate.tail
+	// Drop records past the recovered seq: with -fsync never a power cut
+	// can push the WAL behind the resume log, and the unacknowledged
+	// suffix must not outlive it.
+	for len(tail) > 0 && tail[len(tail)-1].Seq > lastSeq {
+		tail = tail[:len(tail)-1]
+	}
+	droppedFuture := len(tail) != len(rstate.tail)
+	rlogLast := rstate.baseSeq + uint64(len(tail))
+	if len(fill) > 0 && fill[0].Seq != rlogLast+1 {
+		return false // the WAL cannot bridge the log's lost suffix
+	}
+	if len(fill) == 0 && rlogLast != lastSeq {
+		return false // checkpoint truncation consumed the bridge records
+	}
+	for i := range tail {
+		reinternMutation(g.writer.Names(), &tail[i].Mut)
+	}
+	combined := append(tail, fill...)
+	base := rstate.base
+	oldest := rstate.baseSeq
+	// The restored window may exceed WALRetention (the log truncates by
+	// rebase cadence, not record count): fold the excess into the base so
+	// the in-memory invariants hold exactly as in steady state.
+	if drop := len(combined) - g.opts.WALRetention; drop > 0 {
+		for _, rec := range combined[:drop] {
+			if err := applyRaw(base, rec.Mut); err != nil {
+				return false
+			}
+		}
+		oldest += uint64(drop)
+		combined = combined[drop:]
+	}
+	g.resumeBase = base
+	g.wal = newWALWithTail(g.opts.WALRetention, oldest, combined)
+	// Heal the on-disk chain. If the chain holds records past the
+	// recovered seq it must be rewritten — appending after them would gap
+	// the chain — otherwise appending the gap-fill extends it to lastSeq.
+	if droppedFuture {
+		_ = rl.rebase(base, oldest, g.epoch, combined)
+		return true
+	}
+	if err := rl.openAppend(); err != nil {
+		rl.markBroken()
+		return true
+	}
+	if len(fill) > 0 {
+		_ = rl.appendMuts(fill)
+	}
+	return true
+}
+
+// labelTablePrefix reports whether every label interned in a is interned
+// in b with the same id and name — a's table is a prefix of (or equal to)
+// b's, for both namespaces.
+func labelTablePrefix(a, b *graph.LabelTable) bool {
+	if a == nil {
+		return true
+	}
+	if b == nil {
+		return a.NumVertexLabels() == 0 && a.NumEdgeLabels() == 0
+	}
+	if a.NumVertexLabels() > b.NumVertexLabels() || a.NumEdgeLabels() > b.NumEdgeLabels() {
+		return false
+	}
+	for i := 0; i < a.NumVertexLabels(); i++ {
+		if a.VertexName(graph.Label(i)) != b.VertexName(graph.Label(i)) {
+			return false
+		}
+	}
+	for i := 0; i < a.NumEdgeLabels(); i++ {
+		if a.EdgeName(graph.EdgeLabel(i)) != b.EdgeName(graph.EdgeLabel(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// reinternMutation rewrites a named mutation's label id by re-interning
+// its symbolic name (the id alone is only stable within a single process
+// lifetime). Interning may mutate the table, so this must only run
+// single-threaded — which recovery is. Nameless mutations keep their raw
+// id by contract.
+func reinternMutation(names *graph.LabelTable, m *Mutation) {
+	if !m.LabelNamed || names == nil {
+		return
+	}
+	if m.Op == OpAddVertex {
+		m.VertexLabel = names.Vertex(m.LabelName)
+	} else {
+		m.EdgeLabel = names.Edge(m.LabelName)
+	}
+}
+
+// applyRecord applies one WAL record to a store during crash replay,
+// re-interning the label by name when the record carries one. Steady-
+// state code paths use applyRaw instead.
+func applyRecord(st *ccsr.Store, m Mutation) error {
+	reinternMutation(st.Names(), &m)
+	return applyRaw(st, m)
 }
 
 // applyRaw applies one record by its interned ids, never touching the
@@ -405,6 +556,12 @@ func (g *Graph) Mutate(ctx context.Context, muts []Mutation) (Commit, error) {
 			return Commit{}, err
 		}
 	}
+	if g.rlog != nil {
+		// The batch is already durable in the WAL, so a resume-log failure
+		// never aborts the commit: the log marks itself broken (counted)
+		// and the next rebase rewrites the chain.
+		_ = g.rlog.appendMuts(recs)
+	}
 	for _, rec := range g.wal.appendRecords(recs) {
 		// Retention pushed this record out of the in-memory tail: fold it
 		// into the resume base so the oldest resumable state keeps pace.
@@ -457,9 +614,17 @@ func (g *Graph) Mutate(ctx context.Context, muts []Mutation) (Commit, error) {
 		// failed checkpoint is not a failed commit — the batch is already
 		// durable in the segment log — so it only counts, it never errors
 		// the acknowledged mutation back to the client.
-		if err := g.dwal.writeCheckpoint(g.cur.Store(), com.LastSeq, com.Epoch); err != nil {
+		if err := g.dwal.checkpoint(g.cur.Store(), com.LastSeq, com.Epoch); err != nil {
 			g.stats.checkpointFailures.Add(1)
 		}
+	}
+	if g.rlog != nil && g.rlog.needsRebase() {
+		// Rewrite the chain as base(oldest-resumable) + retained tail: the
+		// on-disk window tracks the in-memory retention policy, and a
+		// broken log heals here. Failure is counted inside, never surfaced
+		// — the WAL already holds the acknowledged data.
+		oldest := g.wal.oldestResumable()
+		_ = g.rlog.rebase(g.resumeBase, oldest, com.Epoch, g.wal.tail(oldest))
 	}
 	return com, nil
 }
@@ -643,6 +808,22 @@ type Stats struct {
 	WALFsyncs          uint64 `json:"wal_fsyncs"`
 	WALCheckpoints     uint64 `json:"wal_checkpoints"`
 	CheckpointFailures uint64 `json:"checkpoint_failures"`
+	// Incremental-checkpoint chain files (renamed covered segments) and
+	// their bytes; zero under -checkpoint-mode=full.
+	WALChainSegments int   `json:"wal_chain_segments"`
+	WALChainBytes    int64 `json:"wal_chain_bytes"`
+
+	// Persisted-resume-log state; all zero for a purely in-memory graph.
+	// OldestResumableSeq is the smallest from_seq a subscriber may resume
+	// from (maintained in memory too, so it is also set for in-memory
+	// graphs); ResumeLogFailures counts appends or rebases the disk
+	// refused — the window keeps serving from memory and the next rebase
+	// repairs the chain.
+	ResumeLogSegments  int    `json:"resume_log_segments"`
+	ResumeLogBytes     int64  `json:"resume_log_bytes"`
+	ResumeLogRebases   uint64 `json:"resume_log_rebases"`
+	ResumeLogFailures  uint64 `json:"resume_log_failures"`
+	OldestResumableSeq uint64 `json:"oldest_resumable_seq"`
 
 	Batches       uint64 `json:"batches"`
 	BatchesFailed uint64 `json:"batches_failed"`
@@ -695,8 +876,13 @@ func (g *Graph) Stats() Stats {
 		DeltasDelivered:      g.stats.deltasDelivered.Load(),
 		RetractionsDelivered: g.stats.retractionsDelivered.Load(),
 	}
+	st.OldestResumableSeq = g.wal.oldestResumable()
 	if g.dwal != nil {
-		st.WALDiskSegments, st.WALDiskBytes, st.WALFsyncs, st.WALCheckpoints = g.dwal.diskStats()
+		st.WALDiskSegments, st.WALDiskBytes, st.WALChainSegments, st.WALChainBytes,
+			st.WALFsyncs, st.WALCheckpoints = g.dwal.diskStats()
+	}
+	if g.rlog != nil {
+		st.ResumeLogSegments, st.ResumeLogBytes, st.ResumeLogRebases, st.ResumeLogFailures = g.rlog.diskStats()
 	}
 	now := time.Now()
 	g.retMu.Lock()
@@ -736,6 +922,9 @@ func (g *Graph) Close() {
 		sub.closeLocked()
 	}
 	g.subs = map[uint64]*Subscription{}
+	if g.rlog != nil {
+		_ = g.rlog.close()
+	}
 	if g.dwal != nil {
 		_ = g.dwal.close()
 	}

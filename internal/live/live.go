@@ -37,10 +37,14 @@
 // lands in segment files under that directory (CRC-checksummed, fsynced
 // per the configured policy) and Open replays checkpoint + segments at
 // startup, recovering the exact committed seq and epoch; see dwal.go for
-// the format and crash semantics. Subscribers that reconnect resume from
-// any retained seq with ResumeSubscribe: replayed deltas (and retraction
-// events for deletions) arrive gapless before the stream hands over to
-// live commits.
+// the format and crash semantics, including the incremental checkpoint
+// chain selected by Durability.CheckpointMode. Subscribers that reconnect
+// resume from any retained seq with ResumeSubscribe: replayed deltas (and
+// retraction events for deletions) arrive gapless before the stream hands
+// over to live commits. The resume window is itself persisted (rlog.go),
+// so a from_seq that was resumable before a restart replays the identical
+// events after it — recovery gap-fills any resume-log tail lost to the
+// crash from the WAL.
 package live
 
 import (

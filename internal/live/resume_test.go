@@ -193,9 +193,10 @@ func TestResumeBoundaries(t *testing.T) {
 		t.Fatalf("vertex-induced resume: %v, want ErrVertexInduced", err)
 	}
 
-	// A recovered graph restarts its resume horizon at the recovered seq:
-	// nothing before it is in the in-memory tail, so everything before it
-	// is 410 and the recovered seq itself is the boundary.
+	// A recovered graph restores its resume horizon from the persisted
+	// resume log: the pre-restart window survives the process, so a
+	// subscriber that last saw seq 0 replays the pre-restart batch as if
+	// the restart never happened, and the boundary errors stay exact.
 	dir := t.TempDir()
 	opts := Options{Durability: Durability{Dir: dir, Fsync: FsyncNever}}
 	d := openDurable(t, pathGraph, opts)
@@ -206,20 +207,32 @@ func TestResumeBoundaries(t *testing.T) {
 	d.Close()
 	r := openDurable(t, pathGraph, opts)
 	defer r.Close()
-	if got := r.OldestResumableSeq(); got != com.LastSeq {
-		t.Fatalf("post-recovery resume boundary %d, want %d", got, com.LastSeq)
+	if rec := r.Recovery(); !rec.ResumeWindowRestored || rec.ResumeWindowLost {
+		t.Fatalf("recovery did not restore the resume window: %+v", rec)
 	}
-	if _, err := r.ResumeSubscribe(edgePattern, graph.EdgeInduced, com.LastSeq-1); !errors.Is(err, ErrSeqTruncated) {
-		t.Fatalf("pre-recovery seq must be gone: %v", err)
+	if got := r.OldestResumableSeq(); got != 0 {
+		t.Fatalf("post-recovery resume boundary %d, want 0 (persisted window)", got)
 	}
-	res2, err := r.ResumeSubscribe(edgePattern, graph.EdgeInduced, com.LastSeq)
+	res2, err := r.ResumeSubscribe(edgePattern, graph.EdgeInduced, 0)
+	if err != nil {
+		t.Fatalf("resume across the restart: %v", err)
+	}
+	events := replayAll(t, res2)
+	if len(events) == 0 || events[len(events)-1].Kind != EventCommit || events[len(events)-1].Seq != com.LastSeq {
+		t.Fatalf("restored replay must cover the pre-restart batch, got %+v", events)
+	}
+	res2.Live().Close()
+	res3, err := r.ResumeSubscribe(edgePattern, graph.EdgeInduced, com.LastSeq)
 	if err != nil {
 		t.Fatalf("resume at the recovered seq: %v", err)
 	}
-	if events := replayAll(t, res2); len(events) != 0 {
+	if events := replayAll(t, res3); len(events) != 0 {
 		t.Fatalf("nothing to replay at the boundary, got %d events", len(events))
 	}
-	res2.Live().Close()
+	res3.Live().Close()
+	if _, err := r.ResumeSubscribe(edgePattern, graph.EdgeInduced, com.LastSeq+1); !errors.Is(err, ErrSeqFuture) {
+		t.Fatalf("past the recovered log: %v, want ErrSeqFuture", err)
+	}
 }
 
 // TestResumeReplayOnce pins the once-only contract.

@@ -1,0 +1,529 @@
+package live
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"csce/internal/ccsr"
+)
+
+// Resume log: the persisted half of the subscription resume window. The
+// in-memory wal keeps the last WALRetention records and resumeBase keeps
+// the state at exactly the oldest retained seq; together they answer any
+// subscribe?from_seq inside the window. Both die with the process, so
+// before this log existed a restart answered 410 to every pre-crash
+// from_seq. The resume log persists the same two ingredients next to the
+// WAL, in <wal-dir>/resume/:
+//
+//	<dir>/resume/00000000000000000001.rlog   chain file; name = file index
+//	<dir>/resume/00000000000000000002.rlog   ...
+//
+// Files are numbered by a monotone file index (not by seq: a rebase may
+// re-anchor the chain at a seq older than the newest file's records, and
+// recovery depends on scanning files in creation order). Each file starts
+// with an 8-byte magic and holds the WAL's frame format —
+//
+//	u32 payload length | u32 crc32(payload) | payload
+//
+// — where payload[0] is a kind byte:
+//
+//	kindBase: u64 seq | u64 epoch | ccsr-encoded store  (state at seq)
+//	kindMut:  one WAL record body (putRecordBody)
+//
+// Scanning in file order rebuilds the window: a base record RESETS the
+// chain (the old window is dead weight the moment a newer base lands),
+// mutation records must then chain gaplessly from it, and mutation
+// records seen before any base are skipped (a crash mid-rebase can leave
+// a deleted-base prefix). A torn tail in the final file is truncated
+// like a WAL crash tail; any earlier damage — or a seq gap after a base —
+// cannot be explained by a crash and is refused as corruption (remedy:
+// delete the resume directory; only the resume window is lost, never
+// acknowledged data, which lives in the WAL proper).
+//
+// Appends are NOT individually fsynced: the log syncs on rotation,
+// rebase, and close. Losing the page-cache tail to a power cut only
+// shrinks the restorable window — recovery gap-fills from the fsynced
+// WAL segments when they reach further than the resume log — so the
+// commit path pays a buffered write, not a second fsync.
+//
+// An append error does not abort the commit: by the time the resume log
+// runs, the batch is already durable in the WAL and will be replayed
+// after a crash, so failing the client over auxiliary data would be a
+// lie. The log instead marks itself broken (counted in stats) and the
+// next rebase rewrites the chain from scratch, healing it if the disk
+// recovered.
+const (
+	rlogMagic   = "CSCERSL1"
+	rlogSuffix  = ".rlog"
+	rlogDirName = "resume"
+
+	rlogKindBase = 1
+	rlogKindMut  = 2
+
+	// maxBaseLen bounds one base payload (a whole serialized store).
+	maxBaseLen = 1 << 31
+)
+
+// rlogFile is one on-disk chain file, sorted by file index.
+type rlogFile struct {
+	path string
+	idx  uint64
+	size int64
+}
+
+// resumeLog owns the chain files of one graph's persisted resume window.
+// Appends are serialized by the graph's writer lock; the mutex covers
+// stats readers.
+type resumeLog struct {
+	dir  string
+	opts Durability
+	obs  Observer
+
+	mu       sync.Mutex
+	files    []rlogFile // all chain files, cur last
+	cur      *os.File   // active file (last of files); nil until openAppend/start
+	encBuf   []byte     // reusable frame buffer for appendMuts
+	rebases  uint64
+	failures uint64
+	broken   bool
+	closed   bool
+}
+
+// rlogState is what load reconstructed from the chain files.
+type rlogState struct {
+	base      *ccsr.Store // state at exactly baseSeq; nil if no valid base
+	baseSeq   uint64
+	baseEpoch uint64
+	tail      []Record // gapless records baseSeq+1 .. lastSeq
+	torn      bool     // final file ended mid-frame and was truncated
+}
+
+// lastSeq is the newest seq the restored window covers.
+func (s *rlogState) lastSeq() uint64 {
+	if len(s.tail) > 0 {
+		return s.tail[len(s.tail)-1].Seq
+	}
+	return s.baseSeq
+}
+
+// openResumeLog scans (creating if needed) the resume directory under the
+// graph's WAL dir. The returned log is not yet writable: recovery must
+// call load and then start or openAppend.
+func openResumeLog(walDir string, opts Durability, obs Observer) (*resumeLog, error) {
+	dir := filepath.Join(walDir, rlogDirName)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("live: resume log dir: %w", err)
+	}
+	l := &resumeLog{dir: dir, opts: opts, obs: obs}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("live: resume log dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, rlogSuffix) {
+			continue
+		}
+		idx, err := strconv.ParseUint(strings.TrimSuffix(name, rlogSuffix), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("live: resume log file %q: bad name", name)
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil, err
+		}
+		l.files = append(l.files, rlogFile{path: filepath.Join(dir, name), idx: idx, size: info.Size()})
+	}
+	sort.Slice(l.files, func(i, j int) bool { return l.files[i].idx < l.files[j].idx })
+	return l, nil
+}
+
+func rlogPath(dir string, idx uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%020d%s", idx, rlogSuffix))
+}
+
+// readRlogFile streams the frames of one chain file; fn receives the kind
+// byte and the rest of the payload. Same torn-tail contract as
+// readSegment: validEnd plus errTornTail marks the longest valid prefix.
+func readRlogFile(path string, fn func(kind byte, body []byte) error) (validEnd int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	magic := make([]byte, len(rlogMagic))
+	if _, err := io.ReadFull(f, magic); err != nil {
+		return 0, fmt.Errorf("%w: missing resume log header", errTornTail)
+	}
+	if string(magic) != rlogMagic {
+		return 0, fmt.Errorf("bad resume log magic %q", magic)
+	}
+	offset := int64(len(rlogMagic))
+	header := make([]byte, frameHeaderLen)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, header); err != nil {
+			if err == io.EOF {
+				return offset, nil // clean end
+			}
+			return offset, errTornTail
+		}
+		le := binary.LittleEndian
+		length := le.Uint32(header[0:])
+		crc := le.Uint32(header[4:])
+		if length < 1 || int64(length) > maxBaseLen {
+			return offset, errTornTail
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return offset, errTornTail
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return offset, errTornTail
+		}
+		if err := fn(payload[0], payload[1:]); err != nil {
+			return offset, err
+		}
+		offset += frameHeaderLen + int64(length)
+	}
+}
+
+// load scans the chain files into the restorable window, truncating a
+// torn tail in the final file. Any earlier damage, or a seq gap after a
+// base record, is corruption: the error tells the operator to delete the
+// resume directory (the WAL proper holds all acknowledged data).
+func (l *resumeLog) load() (*rlogState, error) {
+	st := &rlogState{}
+	haveBase := false
+	for i := range l.files {
+		file := &l.files[i]
+		final := i == len(l.files)-1
+		validEnd, err := readRlogFile(file.path, func(kind byte, body []byte) error {
+			switch kind {
+			case rlogKindBase:
+				if len(body) < 16 {
+					return fmt.Errorf("base record of %d bytes", len(body))
+				}
+				seq := binary.LittleEndian.Uint64(body[0:])
+				epoch := binary.LittleEndian.Uint64(body[8:])
+				store, err := ccsr.Decode(bytes.NewReader(body[16:]))
+				if err != nil {
+					return fmt.Errorf("base store at seq %d: %w", seq, err)
+				}
+				st.base, st.baseSeq, st.baseEpoch = store, seq, epoch
+				st.tail = nil
+				haveBase = true
+				return nil
+			case rlogKindMut:
+				rec, err := decodeRecord(body)
+				if err != nil {
+					return err
+				}
+				if !haveBase {
+					// A crash mid-rebase can delete the base's file before
+					// the files holding its tail; skip orphaned records.
+					return nil
+				}
+				if want := st.lastSeq() + 1; rec.Seq != want {
+					return fmt.Errorf("resume chain gap: seq %d follows %d", rec.Seq, want-1)
+				}
+				st.tail = append(st.tail, rec)
+				return nil
+			default:
+				return fmt.Errorf("unknown resume record kind %d", kind)
+			}
+		})
+		if errors.Is(err, errTornTail) {
+			if !final {
+				return nil, fmt.Errorf(
+					"live: resume log %s is corrupt mid-chain (not a crash tail); delete the %s directory to rebuild the resume window from scratch",
+					filepath.Base(file.path), l.dir)
+			}
+			if terr := os.Truncate(file.path, validEnd); terr != nil {
+				return nil, fmt.Errorf("live: truncate resume log tail: %w", terr)
+			}
+			file.size = validEnd
+			st.torn = true
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf(
+				"live: resume log %s: %v; delete the %s directory to rebuild the resume window from scratch",
+				filepath.Base(file.path), err, l.dir)
+		}
+	}
+	if !haveBase {
+		return &rlogState{torn: st.torn}, nil
+	}
+	return st, nil
+}
+
+// frameBase appends one framed base record (state at seq) to buf.
+func frameBase(buf []byte, st *ccsr.Store, seq, epoch uint64) ([]byte, error) {
+	var enc bytes.Buffer
+	if err := st.Encode(&enc); err != nil {
+		return nil, err
+	}
+	payloadLen := 1 + 16 + enc.Len()
+	if payloadLen > maxBaseLen {
+		return nil, fmt.Errorf("base store of %d bytes exceeds the resume log frame limit", enc.Len())
+	}
+	start := len(buf)
+	buf = append(buf, make([]byte, frameHeaderLen+payloadLen)...)
+	payload := buf[start+frameHeaderLen:]
+	payload[0] = rlogKindBase
+	binary.LittleEndian.PutUint64(payload[1:], seq)
+	binary.LittleEndian.PutUint64(payload[9:], epoch)
+	copy(payload[17:], enc.Bytes())
+	binary.LittleEndian.PutUint32(buf[start:], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.ChecksumIEEE(payload))
+	return buf, nil
+}
+
+// frameMut appends one framed mutation record to buf.
+func frameMut(buf []byte, r Record) []byte {
+	payloadLen := 1 + recordBodyLen(r)
+	start := len(buf)
+	buf = append(buf, make([]byte, frameHeaderLen+payloadLen)...)
+	payload := buf[start+frameHeaderLen:]
+	payload[0] = rlogKindMut
+	putRecordBody(payload[1:], r)
+	binary.LittleEndian.PutUint32(buf[start:], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// nextIdxLocked returns the file index after the newest existing file.
+func (l *resumeLog) nextIdxLocked() uint64 {
+	if n := len(l.files); n > 0 {
+		return l.files[n-1].idx + 1
+	}
+	return 1
+}
+
+// createFileLocked opens a fresh chain file at idx and appends it to the
+// file list as the active file.
+func (l *resumeLog) createFileLocked(idx uint64) error {
+	f, err := os.OpenFile(rlogPath(l.dir, idx), os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(rlogMagic); err != nil {
+		_ = f.Close()
+		return err
+	}
+	l.cur = f
+	l.files = append(l.files, rlogFile{path: f.Name(), idx: idx, size: int64(len(rlogMagic))})
+	return nil
+}
+
+// openAppend reopens the newest chain file for appending; load must have
+// run first (it truncates any torn tail). With no files yet the caller
+// must start a fresh chain instead.
+func (l *resumeLog) openAppend() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := len(l.files)
+	if n == 0 {
+		return fmt.Errorf("live: resume log has no chain files; start a fresh chain")
+	}
+	info := l.files[n-1]
+	f, err := os.OpenFile(info.path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Seek(info.size, io.SeekStart); err != nil {
+		_ = f.Close()
+		return err
+	}
+	l.cur = f
+	return nil
+}
+
+// start begins a fresh chain: every existing file is deleted and a new
+// one is written holding only a base record for the state at seq. Used on
+// first boot and whenever recovery could not restore the old window.
+func (l *resumeLog) start(st *ccsr.Store, seq, epoch uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rewriteLocked(st, seq, epoch, nil)
+}
+
+// rebase rewrites the chain as one fresh file — base record for the state
+// at seq, then the retained tail — then deletes every older file,
+// oldest first (so a crash mid-delete leaves a skippable orphan prefix,
+// never a gapped chain). A successful rebase clears the broken flag: the
+// new chain owes nothing to whatever write failed.
+func (l *resumeLog) rebase(st *ccsr.Store, seq, epoch uint64, tail []Record) error {
+	start := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.rewriteLocked(st, seq, epoch, tail); err != nil {
+		l.failures++
+		l.broken = true
+		return err
+	}
+	l.rebases++
+	observe(l.obs.WALCheckpoint, start)
+	return nil
+}
+
+// rewriteLocked is the shared chain rewrite under l.mu.
+func (l *resumeLog) rewriteLocked(st *ccsr.Store, seq, epoch uint64, tail []Record) error {
+	if l.cur != nil {
+		_ = l.cur.Close()
+		l.cur = nil
+	}
+	old := l.files
+	l.files = append([]rlogFile(nil), old...)
+	idx := l.nextIdxLocked()
+	if err := l.createFileLocked(idx); err != nil {
+		l.files = old
+		return fmt.Errorf("live: resume log rewrite: %w", err)
+	}
+	buf, err := frameBase(nil, st, seq, epoch)
+	if err != nil {
+		return fmt.Errorf("live: resume log base: %w", err)
+	}
+	for _, r := range tail {
+		buf = frameMut(buf, r)
+	}
+	if _, err := l.cur.Write(buf); err != nil {
+		return fmt.Errorf("live: resume log rewrite: %w", err)
+	}
+	if err := l.cur.Sync(); err != nil {
+		return fmt.Errorf("live: resume log sync: %w", err)
+	}
+	l.files[len(l.files)-1].size += int64(len(buf))
+	// The new chain is durable; old files are now skippable history.
+	kept := l.files[:0]
+	for _, f := range l.files {
+		if f.idx == idx {
+			kept = append(kept, f)
+			continue
+		}
+		if err := os.Remove(f.path); err != nil {
+			kept = append(kept, f)
+		}
+	}
+	l.files = kept
+	l.broken = false
+	return nil
+}
+
+// appendMuts writes one committed batch to the active chain file,
+// rotating when the file outgrew SegmentSize. Called under the graph's
+// writer lock after the WAL accepted the batch; an error here marks the
+// log broken (the next rebase heals it) but never aborts the commit —
+// the batch is already durable in the WAL.
+func (l *resumeLog) appendMuts(recs []Record) error {
+	start := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.broken || l.cur == nil {
+		return nil // already waiting on a rebase to heal
+	}
+	buf := l.encBuf[:0]
+	for _, r := range recs {
+		buf = frameMut(buf, r)
+	}
+	l.encBuf = buf
+	if _, err := l.cur.Write(buf); err != nil {
+		l.failures++
+		l.broken = true
+		return fmt.Errorf("live: resume log append: %w", err)
+	}
+	n := len(l.files) - 1
+	l.files[n].size += int64(len(buf))
+	if l.files[n].size >= l.opts.SegmentSize {
+		if err := l.rotateLocked(); err != nil {
+			l.failures++
+			l.broken = true
+			return fmt.Errorf("live: resume log rotate: %w", err)
+		}
+	}
+	observe(l.obs.ResumeLogAppend, start)
+	return nil
+}
+
+// rotateLocked seals the active file (sync + close) and opens the next.
+func (l *resumeLog) rotateLocked() error {
+	if err := l.cur.Sync(); err != nil {
+		return err
+	}
+	if err := l.cur.Close(); err != nil {
+		return err
+	}
+	l.cur = nil
+	return l.createFileLocked(l.nextIdxLocked())
+}
+
+// markBroken records an out-of-band failure (a reopen or start that did
+// not complete): appends stop until the next rebase rewrites the chain.
+func (l *resumeLog) markBroken() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.failures++
+	l.broken = true
+}
+
+// needsRebase reports whether the chain accumulated enough sealed files
+// for retention to demand a rewrite — or whether a failed append left the
+// log broken, in which case the rewrite doubles as the repair.
+func (l *resumeLog) needsRebase() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.files) > l.opts.KeepSegments+1 || l.broken
+}
+
+// diskStats reports chain file count, total bytes, and the rebase/failure
+// counters.
+func (l *resumeLog) diskStats() (files int, bytes int64, rebases, failures uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, f := range l.files {
+		bytes += f.size
+	}
+	return len(l.files), bytes, l.rebases, l.failures
+}
+
+// close syncs and closes the active chain file. Idempotent.
+func (l *resumeLog) close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.cur == nil {
+		return nil
+	}
+	if err := l.cur.Sync(); err != nil {
+		_ = l.cur.Close()
+		l.cur = nil
+		return err
+	}
+	err := l.cur.Close()
+	l.cur = nil
+	return err
+}

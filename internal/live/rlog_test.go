@@ -1,0 +1,495 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"csce/internal/core"
+	"csce/internal/graph"
+)
+
+// runScriptDurable applies resumeScript to a durable graph, one batch per
+// seq, and returns the per-seq counts like runScript.
+func runScriptDurable(t *testing.T, g *Graph) (countAt []uint64) {
+	t.Helper()
+	countAt = []uint64{count(t, g, edgePattern, graph.EdgeInduced)}
+	for i, m := range resumeScript {
+		if _, err := g.Mutate(context.Background(), []Mutation{m}); err != nil {
+			t.Fatalf("script seq %d: %v", i+1, err)
+		}
+		countAt = append(countAt, count(t, g, edgePattern, graph.EdgeInduced))
+	}
+	return countAt
+}
+
+// eventTrace flattens a replayed stream into a comparable shape: one line
+// per event carrying everything a subscriber acts on.
+func eventTrace(events []Event) []string {
+	out := make([]string, len(events))
+	for i, ev := range events {
+		out[i] = fmt.Sprintf("%d/%d kind=%d %d-%d(%d) emb=%v d=%d r=%d",
+			ev.Seq, ev.Epoch, ev.Kind, ev.Src, ev.Dst, ev.EdgeLabel, ev.Embedding, ev.Deltas, ev.Retractions)
+	}
+	return out
+}
+
+// replayEvents resumes from fromSeq and drains the replay.
+func replayEvents(t *testing.T, g *Graph, fromSeq uint64) []Event {
+	t.Helper()
+	res, err := g.ResumeSubscribe(edgePattern, graph.EdgeInduced, fromSeq)
+	if err != nil {
+		t.Fatalf("resume from %d: %v", fromSeq, err)
+	}
+	defer res.Live().Close()
+	return replayAll(t, res)
+}
+
+// replayTrace resumes from fromSeq and returns the stream's trace.
+func replayTrace(t *testing.T, g *Graph, fromSeq uint64) []string {
+	t.Helper()
+	return eventTrace(replayEvents(t, g, fromSeq))
+}
+
+// sumEvents folds a stream into Σdeltas − Σretractions.
+func sumEvents(events []Event) (sum int64) {
+	for _, ev := range events {
+		switch ev.Kind {
+		case EventDelta:
+			sum++
+		case EventRetract:
+			sum--
+		}
+	}
+	return sum
+}
+
+// TestResumeLogReplayEquivalence pins the tentpole contract: for every
+// retained from_seq, the replayed stream after close+reopen is
+// event-for-event identical to the stream the pre-restart process served.
+func TestResumeLogReplayEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Durability: Durability{Dir: dir, Fsync: FsyncNever}}
+	g := openDurable(t, pathGraph, opts)
+	runScriptDurable(t, g)
+	last := uint64(len(resumeScript))
+
+	before := make(map[uint64][]string)
+	for from := uint64(0); from <= last; from++ {
+		before[from] = replayTrace(t, g, from)
+	}
+	g.Close()
+
+	r := openDurable(t, pathGraph, opts)
+	defer r.Close()
+	rec := r.Recovery()
+	if !rec.ResumeWindowRestored || rec.ResumeWindowLost {
+		t.Fatalf("window not restored: %+v", rec)
+	}
+	if got := r.OldestResumableSeq(); got != 0 {
+		t.Fatalf("restored boundary %d, want 0", got)
+	}
+	for from := uint64(0); from <= last; from++ {
+		after := replayTrace(t, r, from)
+		if len(after) != len(before[from]) {
+			t.Fatalf("from %d: %d events after restart, %d before", from, len(after), len(before[from]))
+		}
+		for i := range after {
+			if after[i] != before[from][i] {
+				t.Fatalf("from %d event %d diverged across restart:\n before %s\n after  %s",
+					from, i, before[from][i], after[i])
+			}
+		}
+	}
+}
+
+// rlogFiles globs the graph's resume chain files in index order.
+func rlogFiles(t *testing.T, walDir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(walDir, rlogDirName, "*"+rlogSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matches // %020d names sort by index
+}
+
+// TestResumeLogTornTailGapFilled crashes the resume log mid-frame: the
+// torn tail is truncated and the lost records are gap-filled from the
+// fsynced WAL, so the restored window still reaches the recovered seq.
+func TestResumeLogTornTailGapFilled(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tail []byte
+	}{
+		{"partial frame", append([]byte{40, 0, 0, 0, 9, 9, 9, 9}, make([]byte, 10)...)},
+		{"lone garbage byte", []byte{0xFF}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			opts := Options{Durability: Durability{Dir: dir, Fsync: FsyncNever}}
+			g := openDurable(t, pathGraph, opts)
+			countAt := runScriptDurable(t, g)
+			last := uint64(len(resumeScript))
+			g.Close()
+
+			files := rlogFiles(t, dir)
+			if len(files) == 0 {
+				t.Fatal("no resume chain files on disk")
+			}
+			f, err := os.OpenFile(files[len(files)-1], os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(tc.tail); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			r := openDurable(t, pathGraph, opts)
+			defer r.Close()
+			rec := r.Recovery()
+			if !rec.ResumeTornTail {
+				t.Fatalf("torn resume tail not detected: %+v", rec)
+			}
+			if !rec.ResumeWindowRestored {
+				t.Fatalf("window must survive a crash tail: %+v", rec)
+			}
+			if sum, want := sumEvents(replayEvents(t, r, 0)), int64(countAt[last])-int64(countAt[0]); sum != want {
+				t.Fatalf("gap-filled replay sum %d, want %d", sum, want)
+			}
+		})
+	}
+}
+
+// TestResumeLogMidChainCorruptionRefused flips a byte in a NON-final
+// chain file: that cannot be a crash tail, so Open must refuse with the
+// delete-the-directory remedy rather than serve a gapped window.
+func TestResumeLogMidChainCorruptionRefused(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Durability: Durability{
+		Dir:          dir,
+		Fsync:        FsyncNever,
+		SegmentSize:  1,   // rotate the chain on every batch
+		KeepSegments: 100, // never rebase the early files away
+	}}
+	g := openDurable(t, pathGraph, opts)
+	runScriptDurable(t, g)
+	g.Close()
+
+	files := rlogFiles(t, dir)
+	if len(files) < 2 {
+		t.Fatalf("need >= 2 chain files, got %d", len(files))
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(files[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	gr := graph.MustParse(pathGraph)
+	if _, err := Open("dur", core.NewEngine(gr), opts); err == nil {
+		t.Fatal("mid-chain resume corruption must fail recovery")
+	} else if !strings.Contains(err.Error(), "delete the") {
+		t.Fatalf("error must carry the operator remedy, got: %v", err)
+	}
+}
+
+// TestResumeLogRotationBoundary rotates the chain at every batch and
+// checks the window survives file boundaries exactly: every retained seq
+// resumes, one past the log is the future.
+func TestResumeLogRotationBoundary(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Durability: Durability{
+		Dir:          dir,
+		Fsync:        FsyncNever,
+		SegmentSize:  1,
+		KeepSegments: 100,
+	}}
+	g := openDurable(t, pathGraph, opts)
+	countAt := runScriptDurable(t, g)
+	last := uint64(len(resumeScript))
+	if st := g.Stats(); st.ResumeLogSegments < 2 {
+		t.Fatalf("rotation never happened: %+v", st)
+	}
+	g.Close()
+
+	r := openDurable(t, pathGraph, opts)
+	defer r.Close()
+	if rec := r.Recovery(); !rec.ResumeWindowRestored {
+		t.Fatalf("window not restored across rotations: %+v", rec)
+	}
+	for from := uint64(0); from <= last; from++ {
+		if sum, want := sumEvents(replayEvents(t, r, from)), int64(countAt[last])-int64(countAt[from]); sum != want {
+			t.Fatalf("from %d across rotations: sum %d, want %d", from, sum, want)
+		}
+	}
+	if _, err := r.ResumeSubscribe(edgePattern, graph.EdgeInduced, last+1); !errors.Is(err, ErrSeqFuture) {
+		t.Fatalf("past the restored log: %v, want ErrSeqFuture", err)
+	}
+}
+
+// TestResumeLogRebaseRetention drives the chain past KeepSegments so
+// rebases must fire, then pins the truncated-window contract across a
+// restart: from_seq older than the rebased chain is ErrSeqTruncated (the
+// HTTP 410) and the boundary itself still resumes.
+func TestResumeLogRebaseRetention(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		WALRetention: 4,
+		Durability: Durability{
+			Dir:          dir,
+			Fsync:        FsyncNever,
+			SegmentSize:  1,
+			KeepSegments: 2,
+		},
+	}
+	g := openDurable(t, pathGraph, opts)
+	runScriptDurable(t, g)
+	last := uint64(len(resumeScript))
+	st := g.Stats()
+	if st.ResumeLogRebases == 0 {
+		t.Fatalf("no rebase fired: %+v", st)
+	}
+	if st.ResumeLogFailures != 0 {
+		t.Fatalf("rebase path counted failures: %+v", st)
+	}
+	if st.ResumeLogSegments > opts.Durability.KeepSegments+2 {
+		t.Fatalf("rebase did not bound the chain: %d files", st.ResumeLogSegments)
+	}
+	g.Close()
+
+	r := openDurable(t, pathGraph, opts)
+	defer r.Close()
+	rec := r.Recovery()
+	if !rec.ResumeWindowRestored {
+		t.Fatalf("window not restored after rebases: %+v", rec)
+	}
+	oldest := r.OldestResumableSeq()
+	if oldest != last-uint64(opts.WALRetention) {
+		t.Fatalf("restored boundary %d, want %d", oldest, last-uint64(opts.WALRetention))
+	}
+	if rec.ResumeOldestSeq != oldest {
+		t.Fatalf("recovery reports oldest %d, stats say %d", rec.ResumeOldestSeq, oldest)
+	}
+	res, err := r.ResumeSubscribe(edgePattern, graph.EdgeInduced, oldest)
+	if err != nil {
+		t.Fatalf("the exact restored boundary must resume: %v", err)
+	}
+	replayAll(t, res)
+	res.Live().Close()
+	if _, err := r.ResumeSubscribe(edgePattern, graph.EdgeInduced, oldest-1); !errors.Is(err, ErrSeqTruncated) {
+		t.Fatalf("before the restored boundary: %v, want ErrSeqTruncated", err)
+	}
+}
+
+// TestResumeLogDeletedDirStartsFresh pins the operator remedy: deleting
+// the resume directory loses only the window — recovery still lands on
+// the exact committed seq and re-anchors a fresh chain there.
+func TestResumeLogDeletedDirStartsFresh(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Durability: Durability{Dir: dir, Fsync: FsyncNever}}
+	g := openDurable(t, pathGraph, opts)
+	runScriptDurable(t, g)
+	last := uint64(len(resumeScript))
+	g.Close()
+	if err := os.RemoveAll(filepath.Join(dir, rlogDirName)); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openDurable(t, pathGraph, opts)
+	defer r.Close()
+	rec := r.Recovery()
+	if rec.ResumeWindowRestored || rec.ResumeWindowLost {
+		t.Fatalf("no log on disk means no window to restore or lose: %+v", rec)
+	}
+	if rec.RecoveredSeq != last {
+		t.Fatalf("recovered seq %d, want %d", rec.RecoveredSeq, last)
+	}
+	if got := r.OldestResumableSeq(); got != last {
+		t.Fatalf("fresh window must re-anchor at the recovered seq, got %d", got)
+	}
+	if _, err := r.ResumeSubscribe(edgePattern, graph.EdgeInduced, last-1); !errors.Is(err, ErrSeqTruncated) {
+		t.Fatalf("pre-deletion seq: %v, want ErrSeqTruncated", err)
+	}
+	// The fresh chain regrows: a batch committed now is resumable, and it
+	// survives the next restart.
+	com, err := r.Mutate(context.Background(), []Mutation{{Op: OpInsertEdge, Src: 0, Dst: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r2 := openDurable(t, pathGraph, opts)
+	defer r2.Close()
+	if rec := r2.Recovery(); !rec.ResumeWindowRestored {
+		t.Fatalf("regrown chain not restored: %+v", rec)
+	}
+	events := replayTrace(t, r2, last)
+	if len(events) == 0 || !strings.HasPrefix(events[len(events)-1], fmt.Sprintf("%d/", com.LastSeq)) {
+		t.Fatalf("regrown window must replay the post-deletion batch, got %v", events)
+	}
+}
+
+// TestCheckpointModeParse pins the -checkpoint-mode spellings.
+func TestCheckpointModeParse(t *testing.T) {
+	for _, mode := range []CheckpointMode{CheckpointFull, CheckpointIncremental} {
+		parsed, err := ParseCheckpointMode(mode.String())
+		if err != nil || parsed != mode {
+			t.Fatalf("mode %v round-trip: %v %v", mode, parsed, err)
+		}
+	}
+	if _, err := ParseCheckpointMode("differential"); err == nil {
+		t.Fatal("bad mode spelling must error")
+	}
+}
+
+// incOpts is the durability shape the incremental-checkpoint tests share:
+// rotate every batch, checkpoint after two sealed segments.
+func incOpts(dir string, chainMax int) Options {
+	return Options{Durability: Durability{
+		Dir:            dir,
+		Fsync:          FsyncNever,
+		SegmentSize:    1,
+		KeepSegments:   2,
+		CheckpointMode: CheckpointIncremental,
+		ChainMax:       chainMax,
+	}}
+}
+
+// TestIncrementalCheckpointChainAndRecovery drives incremental mode until
+// chain files exist, then recovers through base + chain + tail and keeps
+// committing gaplessly.
+func TestIncrementalCheckpointChainAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	opts := incOpts(dir, 0) // default ChainMax
+	g := openDurable(t, pathGraph, opts)
+	countAt := runScriptDurable(t, g)
+	last := uint64(len(resumeScript))
+	st := g.Stats()
+	if st.WALCheckpoints < 2 {
+		t.Fatalf("need a full then incremental checkpoint, got %d: %+v", st.WALCheckpoints, st)
+	}
+	if st.WALChainSegments == 0 {
+		t.Fatalf("incremental mode never chained a segment: %+v", st)
+	}
+	g.Close()
+
+	matches, err := filepath.Glob(filepath.Join(dir, "*"+chainSuffix))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no %s chain files on disk (%v)", chainSuffix, err)
+	}
+	r := openDurable(t, pathGraph, opts)
+	defer r.Close()
+	rec := r.Recovery()
+	if rec.ChainSegments == 0 {
+		t.Fatalf("recovery saw no chain: %+v", rec)
+	}
+	if !rec.HasCheckpoint || rec.RecoveredSeq != last {
+		t.Fatalf("recovered %+v, want checkpoint at seq %d", rec, last)
+	}
+	if got := count(t, r, edgePattern, graph.EdgeInduced); got != countAt[last] {
+		t.Fatalf("recovered count %d, want %d", got, countAt[last])
+	}
+	com, err := r.Mutate(context.Background(), []Mutation{{Op: OpInsertEdge, Src: 0, Dst: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if com.FirstSeq != last+1 {
+		t.Fatalf("post-recovery seq %d, want %d", com.FirstSeq, last+1)
+	}
+}
+
+// TestIncrementalChainMaxRewritesBase pins the chain bound: once the
+// chain holds ChainMax files, the next checkpoint rewrites the base and
+// clears them, so the chain stays bounded by ChainMax plus one cycle's
+// covered segments instead of growing forever.
+func TestIncrementalChainMaxRewritesBase(t *testing.T) {
+	dir := t.TempDir()
+	const chainMax = 2
+	opts := incOpts(dir, chainMax)
+	g := openDurable(t, pathGraph, opts)
+	defer g.Close()
+	// One checkpoint cycle chains at most KeepSegments+1 covered segments.
+	bound := chainMax + opts.Durability.KeepSegments + 1
+	sawChain, sawRewrite := false, false
+	prev := 0
+	for i := 0; i < 24; i++ {
+		m := Mutation{Op: OpInsertEdge, Src: 2, Dst: 3}
+		if i%2 == 1 {
+			m.Op = OpDeleteEdge
+		}
+		if _, err := g.Mutate(context.Background(), []Mutation{m}); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		st := g.Stats()
+		if st.WALChainSegments > bound {
+			t.Fatalf("batch %d: chain grew unbounded (%d files > %d): %+v", i, st.WALChainSegments, bound, st)
+		}
+		if st.WALChainSegments > 0 {
+			sawChain = true
+		}
+		if st.WALChainSegments < prev {
+			sawRewrite = true // a full checkpoint absorbed the chain
+		}
+		prev = st.WALChainSegments
+	}
+	if !sawChain {
+		t.Fatal("chain never advanced; incremental mode was never exercised")
+	}
+	if !sawRewrite {
+		t.Fatal("chain never shrank; ChainMax never forced a base rewrite")
+	}
+}
+
+// TestCheckpointModeSwitch restarts an incremental-mode directory in full
+// mode and back: both directions must recover, and a full checkpoint must
+// absorb the leftover chain files.
+func TestCheckpointModeSwitch(t *testing.T) {
+	dir := t.TempDir()
+	inc := incOpts(dir, 0)
+	g := openDurable(t, pathGraph, inc)
+	countAt := runScriptDurable(t, g)
+	last := uint64(len(resumeScript))
+	if st := g.Stats(); st.WALChainSegments == 0 {
+		t.Fatalf("setup: no chain to hand over: %+v", st)
+	}
+	g.Close()
+
+	full := inc
+	full.Durability.CheckpointMode = CheckpointFull
+	r := openDurable(t, pathGraph, full)
+	if got := count(t, r, edgePattern, graph.EdgeInduced); got != countAt[last] {
+		t.Fatalf("full-mode recovery count %d, want %d", got, countAt[last])
+	}
+	// Enough batches to seal KeepSegments+1 segments and force a full
+	// checkpoint, which deletes every covered chain file.
+	for i := 0; i < 6; i++ {
+		m := Mutation{Op: OpInsertEdge, Src: 2, Dst: 3}
+		if i%2 == 1 {
+			m.Op = OpDeleteEdge
+		}
+		if _, err := r.Mutate(context.Background(), []Mutation{m}); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	if st := r.Stats(); st.WALChainSegments != 0 {
+		t.Fatalf("full checkpoint left chain files behind: %+v", st)
+	}
+	wantCount := count(t, r, edgePattern, graph.EdgeInduced)
+	r.Close()
+	if matches, _ := filepath.Glob(filepath.Join(dir, "*"+chainSuffix)); len(matches) != 0 {
+		t.Fatalf("chain files survived the full checkpoint: %v", matches)
+	}
+
+	back := openDurable(t, pathGraph, inc)
+	defer back.Close()
+	if got := count(t, back, edgePattern, graph.EdgeInduced); got != wantCount {
+		t.Fatalf("incremental-mode recovery count %d, want %d", got, wantCount)
+	}
+}

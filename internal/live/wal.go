@@ -36,6 +36,20 @@ func newWALAt(retention int, lastSeq uint64) *wal {
 	return &wal{nextSeq: lastSeq + 1, truncated: lastSeq, retention: retention}
 }
 
+// newWALWithTail seeds a log whose retained window survived a restart:
+// tail holds the gapless records (oldest, oldest+len(tail)], restored from
+// the persisted resume log, and numbering continues after the last of
+// them. An empty tail is the newWALAt degenerate case at seq oldest.
+func newWALWithTail(retention int, oldest uint64, tail []Record) *wal {
+	last := oldest + uint64(len(tail))
+	return &wal{
+		recs:      tail,
+		nextSeq:   last + 1,
+		truncated: oldest,
+		retention: retention,
+	}
+}
+
 // peekNextSeq returns the sequence number the next committed record will
 // receive. Only meaningful under the graph writer lock, which serializes
 // all appends.

@@ -47,10 +47,11 @@ const (
 	walCheckpoint = "checkpoint" // checkpoint write + segment truncation
 	walResume     = "resume"     // subscriber resume replay
 	walSignature  = "signature"  // prefilter signature maintenance inside the commit
+	walResumeLog  = "resume_log" // resume-log append inside the commit
 )
 
 // metricsWALOps lists the WAL histogram keys in render order.
-var metricsWALOps = []string{walAppend, walFsync, walReplay, walCheckpoint, walResume, walSignature}
+var metricsWALOps = []string{walAppend, walFsync, walReplay, walCheckpoint, walResume, walSignature, walResumeLog}
 
 // prefilterCounters tallies one admission pre-filter's activity. checks
 // counts evaluations (a query bumps every filter in the cascade prefix it

@@ -2,11 +2,13 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/url"
 	"testing"
+	"time"
 
 	"csce/internal/graph"
 )
@@ -202,5 +204,115 @@ func TestSubscribeResumeGoneAndBadSeq(t *testing.T) {
 	m := getMetrics(t, base)
 	if metric(t, m, "subscriptions_gone") != 1 {
 		t.Fatalf("subscriptions_gone: %v", m["subscriptions_gone"])
+	}
+}
+
+// TestSubscribeResumeAcrossRestart pins the restart-transparent contract
+// end to end: a durable server commits a history, shuts down, and a fresh
+// process on the same WAL directory serves the same resume window — 410
+// only for seqs the window had already truncated BEFORE the restart, a
+// replay for everything else that reproduces the count equation, and live
+// hand-off at the next seq.
+func TestSubscribeResumeAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{WALRetention: 2, WALDir: dir}
+	base, s := startServer(t, cfg, map[string]*graph.Graph{"g": pathOf(6)})
+	// Three batches of two inserts: seqs 1..6, retention 2 → oldest 4.
+	var midCount uint64
+	for i := 0; i < 3; i++ {
+		resp, doc := postMutate(t, base, "g", fmt.Sprintf(`{"mutations":[
+			{"op":"insert_edge","src":0,"dst":%d},
+			{"op":"insert_edge","src":1,"dst":%d}
+		]}`, i+2, i+3))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("mutate %d: %d %v", i, resp.StatusCode, doc)
+		}
+		if i == 1 {
+			midCount = matchCount(t, base, "g", pathPattern2) // state at seq 4
+		}
+	}
+	finalCount := matchCount(t, base, "g", pathPattern2)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	base2, _ := startServer(t, cfg, map[string]*graph.Graph{"g": pathOf(6)})
+	if got := matchCount(t, base2, "g", pathPattern2); got != finalCount {
+		t.Fatalf("restarted count %d, want %d", got, finalCount)
+	}
+
+	// Only a seq the pre-restart window had already truncated is Gone —
+	// and the body still names the true boundary.
+	status, doc := resumeRequest(t, base2, "g", pathPattern2, "3")
+	if status != http.StatusGone {
+		t.Fatalf("truncated from_seq after restart: status %d %v, want 410", status, doc)
+	}
+	if doc["oldest_seq"].(float64) != 4 {
+		t.Fatalf("410 body lacks oldest_seq=4: %v", doc)
+	}
+
+	// A pre-restart seq inside the window replays as if the process never
+	// died: Σdeltas − Σretractions bridges the state at seq 4 to now.
+	sc, hello, closeSub := resumeStream(t, base2, "g", pathPattern2, 4)
+	defer closeSub()
+	if hello["resume_from"] != "4" {
+		t.Fatalf("hello lacks resume_from=4: %v", hello)
+	}
+	var sum int64
+	var lastCommit float64
+	for {
+		if !sc.Scan() {
+			t.Fatalf("stream ended before caught_up: %v", sc.Err())
+		}
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev["caught_up"] == true {
+			break
+		}
+		if ev["replay"] != true {
+			t.Fatalf("pre-caught_up event lacks replay flag: %v", ev)
+		}
+		switch ev["kind"] {
+		case "delta":
+			sum++
+		case "retract":
+			sum--
+		case "commit":
+			lastCommit = ev["seq"].(float64)
+		}
+	}
+	if lastCommit != 6 {
+		t.Fatalf("replay's final commit at seq %v, want 6", lastCommit)
+	}
+	if got, want := sum, int64(finalCount)-int64(midCount); got != want {
+		t.Fatalf("cross-restart Σdeltas−Σretractions = %d, want %d", got, want)
+	}
+
+	// Live hand-off continues the same seq space.
+	resp, doc := postMutate(t, base2, "g", `{"mutations":[{"op":"delete_edge","src":0,"dst":2}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart mutate: %d %v", resp.StatusCode, doc)
+	}
+	if doc["last_seq"].(float64) != 7 {
+		t.Fatalf("post-restart batch at seq %v, want 7", doc["last_seq"])
+	}
+	for {
+		if !sc.Scan() {
+			t.Fatalf("live stream ended: %v", sc.Err())
+		}
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev["kind"] == "commit" {
+			if ev["seq"].(float64) != 7 {
+				t.Fatalf("live commit at seq %v, want 7", ev["seq"])
+			}
+			break
+		}
 	}
 }

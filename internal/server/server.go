@@ -107,6 +107,12 @@ type Config struct {
 	// WALKeepSegments checkpoints and truncates the log once more than
 	// this many sealed segments accumulate (default 4).
 	WALKeepSegments int
+	// WALCheckpointMode selects the checkpoint strategy when WALDir is
+	// set: live.CheckpointFull serializes the whole store each time,
+	// live.CheckpointIncremental chains covered segments and rewrites the
+	// base only when the chain grows past Durability.ChainMax (default
+	// full).
+	WALCheckpointMode live.CheckpointMode
 	// SlowQueryThreshold is the end-to-end latency at which a query is
 	// captured in /debug/slowlog with its trace, plan summary, and
 	// per-level execution profile (default 500ms; negative disables).
@@ -256,18 +262,20 @@ func New(cfg Config) *Server {
 		// Dir stays empty here; Registry.Add derives each graph's own
 		// subdirectory from WALRoot.
 		Durability: live.Durability{
-			Fsync:        cfg.WALFsync,
-			FsyncEvery:   cfg.WALFsyncInterval,
-			SegmentSize:  cfg.WALSegmentSize,
-			KeepSegments: cfg.WALKeepSegments,
+			Fsync:          cfg.WALFsync,
+			FsyncEvery:     cfg.WALFsyncInterval,
+			SegmentSize:    cfg.WALSegmentSize,
+			KeepSegments:   cfg.WALKeepSegments,
+			CheckpointMode: cfg.WALCheckpointMode,
 		},
 		Observer: live.Observer{
-			WALAppend:     func(d time.Duration) { s.metrics.recordWAL(walAppend, d) },
-			WALFsync:      func(d time.Duration) { s.metrics.recordWAL(walFsync, d) },
-			WALReplay:     func(d time.Duration) { s.metrics.recordWAL(walReplay, d) },
-			WALCheckpoint: func(d time.Duration) { s.metrics.recordWAL(walCheckpoint, d) },
-			ResumeReplay:  func(d time.Duration) { s.metrics.recordWAL(walResume, d) },
-			SigMaintain:   func(d time.Duration) { s.metrics.recordWAL(walSignature, d) },
+			WALAppend:       func(d time.Duration) { s.metrics.recordWAL(walAppend, d) },
+			WALFsync:        func(d time.Duration) { s.metrics.recordWAL(walFsync, d) },
+			WALReplay:       func(d time.Duration) { s.metrics.recordWAL(walReplay, d) },
+			WALCheckpoint:   func(d time.Duration) { s.metrics.recordWAL(walCheckpoint, d) },
+			ResumeReplay:    func(d time.Duration) { s.metrics.recordWAL(walResume, d) },
+			SigMaintain:     func(d time.Duration) { s.metrics.recordWAL(walSignature, d) },
+			ResumeLogAppend: func(d time.Duration) { s.metrics.recordWAL(walResumeLog, d) },
 		},
 	}
 	s.reg.WALRoot = cfg.WALDir
